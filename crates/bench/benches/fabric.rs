@@ -1,0 +1,53 @@
+//! Fabric-simulation throughput: simulated bytes per host second for the
+//! paper's three traffic patterns, plus the ablation configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cellsim_core::{CellSystem, Placement, SyncPolicy, TransferPlan};
+
+const VOLUME: u64 = 512 << 10;
+
+fn plans() -> Vec<(&'static str, TransferPlan)> {
+    let pair = TransferPlan::builder()
+        .exchange_with(0, 1, VOLUME, 16 * 1024, SyncPolicy::AfterAll)
+        .build()
+        .unwrap();
+    let mut b = TransferPlan::builder();
+    for spe in 0..8 {
+        b = b.get_from_memory(spe, VOLUME, 16 * 1024, SyncPolicy::AfterAll);
+    }
+    let mem8 = b.build().unwrap();
+    let mut b = TransferPlan::builder();
+    for spe in 0..8 {
+        b = b.exchange_with(spe, (spe + 1) % 8, VOLUME, 16 * 1024, SyncPolicy::AfterAll);
+    }
+    let cycle8 = b.build().unwrap();
+    let small = TransferPlan::builder()
+        .exchange_with(0, 1, VOLUME / 4, 128, SyncPolicy::AfterAll)
+        .build()
+        .unwrap();
+    vec![
+        ("pair_16k", pair),
+        ("mem_get_8spe", mem8),
+        ("cycle_8spe", cycle8),
+        ("pair_128b", small),
+    ]
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let system = CellSystem::blade();
+    let placement = Placement::identity();
+    let mut g = c.benchmark_group("fabric");
+    g.sample_size(10);
+    for (name, plan) in plans() {
+        g.throughput(Throughput::Bytes(plan.total_bytes()));
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(system.run(&placement, &plan)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! One Criterion benchmark per paper figure: how long the simulator takes
+//! to regenerate each result on a reduced sweep. Run the `repro` binary
+//! for the actual tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cellsim_core::experiments::{
+    figure10, figure12, figure13, figure15, figure16, figure3, figure4, figure6, figure8,
+    section_4_2_2, ExperimentConfig,
+};
+use cellsim_core::CellSystem;
+
+fn tiny() -> ExperimentConfig {
+    ExperimentConfig {
+        volume_per_spe: 128 << 10,
+        dma_elem_sizes: vec![1024, 16384],
+        placements: 2,
+        seed: 0xCE11,
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let system = CellSystem::blade();
+    let cfg = tiny();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig03_ppe_l1", |b| b.iter(|| black_box(figure3(&system))));
+    g.bench_function("fig04_ppe_l2", |b| b.iter(|| black_box(figure4(&system))));
+    g.bench_function("fig06_ppe_mem", |b| b.iter(|| black_box(figure6(&system))));
+    g.bench_function("fig08_spe_mem", |b| {
+        b.iter(|| black_box(figure8(&system, &cfg)))
+    });
+    g.bench_function("sec422_spu_ls", |b| {
+        b.iter(|| black_box(section_4_2_2(&system)))
+    });
+    g.bench_function("fig10_sync", |b| {
+        b.iter(|| black_box(figure10(&system, &cfg)))
+    });
+    g.bench_function("fig12_couples", |b| {
+        b.iter(|| black_box(figure12(&system, &cfg)))
+    });
+    g.bench_function("fig13_couples_spread", |b| {
+        b.iter(|| black_box(figure13(&system, &cfg)))
+    });
+    g.bench_function("fig15_cycle", |b| {
+        b.iter(|| black_box(figure15(&system, &cfg)))
+    });
+    g.bench_function("fig16_cycle_spread", |b| {
+        b.iter(|| black_box(figure16(&system, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

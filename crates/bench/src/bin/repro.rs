@@ -1,0 +1,181 @@
+//! Regenerates every figure of the ISPASS 2007 paper on the simulated
+//! blade and prints them as text tables.
+//!
+//! ```text
+//! repro [--quick|--full] [--figure <id>]... [--ablations] [--seed N]
+//!
+//!   --quick        reduced sweep (fast smoke run)
+//!   --full         paper-scale protocol (32 MiB per SPE, slow)
+//!   --figure <id>  only the named figure: 3, 4, 6, 8, 10, 12, 13,
+//!                  15, 16 or 4.2.2 (repeatable)
+//!   --ablations    also run the design-choice ablations
+//!   --seed N       placement-lottery seed (default 0xCE11)
+//! ```
+
+use std::process::ExitCode;
+
+use cellsim_bench::all_ablations;
+use cellsim_core::experiments::{
+    figure10, figure12, figure13, figure15, figure16, figure3, figure4, figure6, figure8,
+    section_4_2_2, ExperimentConfig,
+};
+use cellsim_core::CellSystem;
+use cellsim_kernels::roofline_figure;
+
+struct Args {
+    cfg: ExperimentConfig,
+    figures: Vec<String>,
+    ablations: bool,
+    kernels: bool,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = ExperimentConfig::default();
+    let mut figures = Vec::new();
+    let mut ablations = false;
+    let mut kernels = false;
+    let mut csv_dir = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => cfg = ExperimentConfig::quick(),
+            "--full" => cfg = ExperimentConfig::full(),
+            "--figure" => {
+                let id = argv.next().ok_or("--figure needs an id")?;
+                figures.push(id);
+            }
+            "--ablations" => ablations = true,
+            "--kernels" => kernels = true,
+            "--csv" => {
+                let dir = argv.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--seed" => {
+                let n = argv.next().ok_or("--seed needs a value")?;
+                cfg.seed = n.parse().map_err(|_| format!("bad seed: {n}"))?;
+            }
+            "--help" | "-h" => {
+                println!("repro [--quick|--full] [--figure <id>]... [--ablations] [--kernels] [--csv <dir>] [--seed N]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        cfg,
+        figures,
+        ablations,
+        kernels,
+        csv_dir,
+    })
+}
+
+fn wanted(figures: &[String], id: &str) -> bool {
+    figures.is_empty() || figures.iter().any(|f| f == id)
+}
+
+fn csv_name(id: &str) -> String {
+    let slug: String = id
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("figure_{slug}.csv")
+}
+
+fn emit(csv_dir: &Option<std::path::PathBuf>, fig: &cellsim_core::report::Figure) {
+    println!("{fig}");
+    if let Some(dir) = csv_dir {
+        let _ = std::fs::create_dir_all(dir);
+        if let Err(e) = std::fs::write(dir.join(csv_name(&fig.id)), fig.to_csv()) {
+            eprintln!("warning: could not write CSV for figure {}: {e}", fig.id);
+        }
+    }
+}
+
+fn emit_spread(csv_dir: &Option<std::path::PathBuf>, fig: &cellsim_core::report::SpreadFigure) {
+    println!("{fig}");
+    if let Some(dir) = csv_dir {
+        let _ = std::fs::create_dir_all(dir);
+        if let Err(e) = std::fs::write(dir.join(csv_name(&fig.id)), fig.to_csv()) {
+            eprintln!("warning: could not write CSV for figure {}: {e}", fig.id);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let system = CellSystem::blade();
+    let cfg = &args.cfg;
+    println!(
+        "cellsim repro — 2.1 GHz CBE blade, {} KiB/SPE, {} placements, seed {:#x}\n",
+        cfg.volume_per_spe >> 10,
+        cfg.placements,
+        cfg.seed
+    );
+
+    let csv = &args.csv_dir;
+    if wanted(&args.figures, "3") {
+        for f in figure3(&system) {
+            emit(csv, &f);
+        }
+    }
+    if wanted(&args.figures, "4") {
+        for f in figure4(&system) {
+            emit(csv, &f);
+        }
+    }
+    if wanted(&args.figures, "6") {
+        for f in figure6(&system) {
+            emit(csv, &f);
+        }
+    }
+    if wanted(&args.figures, "8") {
+        for f in figure8(&system, cfg) {
+            emit(csv, &f);
+        }
+    }
+    if wanted(&args.figures, "4.2.2") {
+        emit(csv, &section_4_2_2(&system));
+    }
+    if wanted(&args.figures, "10") {
+        emit(csv, &figure10(&system, cfg));
+    }
+    if wanted(&args.figures, "12") {
+        for f in figure12(&system, cfg) {
+            emit(csv, &f);
+        }
+    }
+    if wanted(&args.figures, "13") {
+        for f in figure13(&system, cfg) {
+            emit_spread(csv, &f);
+        }
+    }
+    if wanted(&args.figures, "15") {
+        for f in figure15(&system, cfg) {
+            emit(csv, &f);
+        }
+    }
+    if wanted(&args.figures, "16") {
+        for f in figure16(&system, cfg) {
+            emit_spread(csv, &f);
+        }
+    }
+    if args.ablations {
+        println!("— ablations —\n");
+        for f in all_ablations(cfg) {
+            emit(csv, &f);
+        }
+    }
+    if args.kernels {
+        println!("— small kernels (paper §5 future work) —\n");
+        emit(csv, &roofline_figure(&system));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,232 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each ablation varies one structural parameter of the simulated blade
+//! and reports the bandwidth of the experiment that parameter governs,
+//! using the same [`Figure`] rendering as the paper reproductions.
+
+use cellsim_core::experiments::ExperimentConfig;
+use cellsim_core::report::{Figure, Point, Series};
+use cellsim_core::{CellConfig, CellSystem, Placement, SyncPolicy, TransferPlan};
+use cellsim_eib::RingOccupancy;
+use cellsim_mem::NumaPolicy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mean_aggregate(system: &CellSystem, plan: &TransferPlan, cfg: &ExperimentConfig) -> f64 {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.placements)
+        .map(|_| {
+            system
+                .run(&Placement::random(&mut rng), plan)
+                .aggregate_gbps
+        })
+        .sum::<f64>()
+        / cfg.placements as f64
+}
+
+fn cycle8_plan(cfg: &ExperimentConfig, elem: u32) -> TransferPlan {
+    let mut b = TransferPlan::builder();
+    for spe in 0..8 {
+        b = b.exchange_with(
+            spe,
+            (spe + 1) % 8,
+            cfg.volume_per_spe,
+            elem,
+            SyncPolicy::AfterAll,
+        );
+    }
+    b.build().expect("valid plan")
+}
+
+/// Single-SPE memory GET bandwidth versus the MFC's outstanding-packet
+/// budget: the Little's-law knob behind the paper's 10 GB/s single-SPE
+/// ceiling.
+pub fn ablation_outstanding(cfg: &ExperimentConfig) -> Figure {
+    let plan = TransferPlan::builder()
+        .get_from_memory(0, cfg.volume_per_spe, 16 * 1024, SyncPolicy::AfterAll)
+        .build()
+        .expect("valid plan");
+    let points = [2usize, 4, 8, 16, 32]
+        .into_iter()
+        .map(|budget| {
+            let mut machine = CellConfig::default();
+            machine.mfc.max_outstanding_packets = budget;
+            let system = CellSystem::new(machine);
+            Point {
+                x: format!("{budget}"),
+                gbps: system.run(&Placement::identity(), &plan).aggregate_gbps,
+            }
+        })
+        .collect();
+    Figure {
+        id: "A1".into(),
+        title: "1-SPE memory GET vs MFC outstanding-packet budget".into(),
+        x_label: "budget".into(),
+        series: vec![Series {
+            label: "GET".into(),
+            points,
+        }],
+    }
+}
+
+/// 8-SPE cycle bandwidth versus the number of EIB rings per direction:
+/// how much of the machine's behaviour the four-ring topology explains.
+pub fn ablation_rings(cfg: &ExperimentConfig) -> Figure {
+    let plan = cycle8_plan(cfg, 16 * 1024);
+    let points = [1usize, 2, 4]
+        .into_iter()
+        .map(|rings| {
+            let mut machine = CellConfig::default();
+            machine.eib.rings_per_direction = rings;
+            let system = CellSystem::new(machine);
+            Point {
+                x: format!("{}", 2 * rings),
+                gbps: mean_aggregate(&system, &plan, cfg),
+            }
+        })
+        .collect();
+    Figure {
+        id: "A2".into(),
+        title: "8-SPE cycle vs total EIB ring count".into(),
+        x_label: "rings".into(),
+        series: vec![Series {
+            label: "cycle".into(),
+            points,
+        }],
+    }
+}
+
+/// Four-SPE memory GET bandwidth under each NUMA placement policy: why
+/// spreading buffers over both banks beats one bank.
+pub fn ablation_numa(cfg: &ExperimentConfig) -> Figure {
+    let mut b = TransferPlan::builder();
+    for spe in 0..4 {
+        b = b.get_from_memory(spe, cfg.volume_per_spe, 16 * 1024, SyncPolicy::AfterAll);
+    }
+    let plan = b.build().expect("valid plan");
+    let policies = [
+        ("local-only", NumaPolicy::LocalOnly),
+        ("round-robin", NumaPolicy::RoundRobinRegions),
+        (
+            "interleave-64K",
+            NumaPolicy::InterleavePages {
+                page_bytes: 64 << 10,
+            },
+        ),
+    ];
+    let points = policies
+        .into_iter()
+        .map(|(name, policy)| {
+            let machine = CellConfig {
+                numa: policy,
+                ..CellConfig::default()
+            };
+            let system = CellSystem::new(machine);
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let mean = (0..cfg.placements)
+                .map(|_| system.run(&Placement::random(&mut rng), &plan).sum_gbps)
+                .sum::<f64>()
+                / cfg.placements as f64;
+            Point {
+                x: name.into(),
+                gbps: mean,
+            }
+        })
+        .collect();
+    Figure {
+        id: "A3".into(),
+        title: "4-SPE memory GET vs NUMA policy".into(),
+        x_label: "policy".into(),
+        series: vec![Series {
+            label: "GET".into(),
+            points,
+        }],
+    }
+}
+
+/// 8-SPE cycle bandwidth under circuit-hold versus idealized pipelined
+/// ring occupancy: how much the arbiter's conservative path holding
+/// costs under saturation.
+pub fn ablation_occupancy(cfg: &ExperimentConfig) -> Figure {
+    let plan = cycle8_plan(cfg, 16 * 1024);
+    let points = [
+        ("circuit-hold", RingOccupancy::CircuitHold),
+        ("pipelined", RingOccupancy::Pipelined),
+    ]
+    .into_iter()
+    .map(|(name, occ)| {
+        let mut machine = CellConfig::default();
+        machine.eib.occupancy = occ;
+        let system = CellSystem::new(machine);
+        Point {
+            x: name.into(),
+            gbps: mean_aggregate(&system, &plan, cfg),
+        }
+    })
+    .collect();
+    Figure {
+        id: "A4".into(),
+        title: "8-SPE cycle vs ring occupancy model".into(),
+        x_label: "model".into(),
+        series: vec![Series {
+            label: "cycle".into(),
+            points,
+        }],
+    }
+}
+
+/// Runs every ablation.
+pub fn all_ablations(cfg: &ExperimentConfig) -> Vec<Figure> {
+    vec![
+        ablation_outstanding(cfg),
+        ablation_rings(cfg),
+        ablation_numa(cfg),
+        ablation_occupancy(cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            volume_per_spe: 256 << 10,
+            dma_elem_sizes: vec![16384],
+            placements: 2,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn outstanding_budget_is_monotonic_until_bank_peak() {
+        let fig = ablation_outstanding(&tiny());
+        let pts = &fig.series[0].points;
+        assert!(pts[0].gbps < pts[2].gbps, "2 < 8 outstanding");
+        // Beyond the bank's sustainable rate, more budget stops helping.
+        assert!(pts[4].gbps <= pts[2].gbps * 1.8);
+    }
+
+    #[test]
+    fn fewer_rings_hurt_the_cycle() {
+        let fig = ablation_rings(&tiny());
+        let pts = &fig.series[0].points;
+        assert!(pts[0].gbps < pts[1].gbps, "2 rings < 4 rings");
+    }
+
+    #[test]
+    fn numa_spreading_beats_local_only() {
+        let fig = ablation_numa(&tiny());
+        let local = fig.value("GET", "local-only").unwrap();
+        let rr = fig.value("GET", "round-robin").unwrap();
+        assert!(rr > local, "round-robin {rr} must beat local-only {local}");
+    }
+
+    #[test]
+    fn pipelined_occupancy_is_at_least_as_fast() {
+        let fig = ablation_occupancy(&tiny());
+        let hold = fig.value("cycle", "circuit-hold").unwrap();
+        let pipe = fig.value("cycle", "pipelined").unwrap();
+        assert!(pipe >= hold * 0.95, "hold={hold} pipe={pipe}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Scratch calibration probe (not part of the public examples).
+
+use cellsim_core::{CellSystem, Placement, SyncPolicy, TransferPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MIB: u64 = 1 << 20;
+
+fn main() {
+    let sys = CellSystem::blade();
+    let id = Placement::identity();
+
+    println!("== Fig 8: SPE->mem GET/PUT/COPY (16KB elems), sum over 10 placements ==");
+    for op in ["get", "put", "copy"] {
+        for n in [1usize, 2, 4, 8] {
+            let mut b = TransferPlan::builder();
+            for spe in 0..n {
+                b = match op {
+                    "get" => b.get_from_memory(spe, 2 * MIB, 16384, SyncPolicy::AfterAll),
+                    "put" => b.put_to_memory(spe, 2 * MIB, 16384, SyncPolicy::AfterAll),
+                    _ => b.copy_memory(spe, 2 * MIB, 16384, SyncPolicy::AfterAll),
+                };
+            }
+            let plan = b.build().unwrap();
+            let mut rng = StdRng::seed_from_u64(99);
+            let mean: f64 = (0..10)
+                .map(|_| sys.run(&Placement::random(&mut rng), &plan).sum_gbps)
+                .sum::<f64>()
+                / 10.0;
+            print!("  {op} {n}: {mean:.1}  ");
+        }
+        println!();
+    }
+
+    println!("== pair exchange vs elem size (DMA-elem), peak 33.6 ==");
+    for elem in [128u32, 256, 512, 1024, 2048, 4096, 8192, 16384] {
+        let plan = TransferPlan::builder()
+            .exchange_with(0, 1, MIB, elem, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let r = sys.run(&id, &plan);
+        println!("  {elem:>5} B: {:.2}", r.sum_gbps);
+    }
+
+    println!("== pair exchange vs elem size (DMA-list) ==");
+    for elem in [128u32, 512, 2048, 8192] {
+        let plan = TransferPlan::builder()
+            .exchange_with_list(0, 1, MIB, elem, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let r = sys.run(&id, &plan);
+        println!("  {elem:>5} B: {:.2}", r.sum_gbps);
+    }
+
+    println!("== sync delay (4KB elems, pair): wait every k ==");
+    for k in [1u32, 2, 4, 8, 16, 0] {
+        let sync = if k == 0 {
+            SyncPolicy::AfterAll
+        } else {
+            SyncPolicy::Every(k)
+        };
+        let plan = TransferPlan::builder()
+            .exchange_with(0, 1, MIB, 4096, sync)
+            .build()
+            .unwrap();
+        let r = sys.run(&id, &plan);
+        println!("  every {k:>2}: {:.2}", r.sum_gbps);
+    }
+
+    println!("== couples (4 active pairs = 8 SPEs), 10 placements, 16KB, peak 134.4 ==");
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut samples = Vec::new();
+    let mut b = TransferPlan::builder();
+    for pair in 0..4usize {
+        b = b.exchange_with(2 * pair, 2 * pair + 1, MIB, 16384, SyncPolicy::AfterAll);
+    }
+    let plan = b.build().unwrap();
+    for _ in 0..10 {
+        let p = Placement::random(&mut rng);
+        samples.push(sys.run(&p, &plan).aggregate_gbps);
+    }
+    summarize(&samples);
+
+    println!("== cycle of N SPEs (16KB), peaks 33.6/67.2/134.4 ==");
+    for n in [2usize, 4, 8] {
+        let mut b = TransferPlan::builder();
+        for spe in 0..n {
+            b = b.exchange_with(spe, (spe + 1) % n, MIB, 16384, SyncPolicy::AfterAll);
+        }
+        let plan = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let samples: Vec<f64> = (0..10)
+            .map(|_| sys.run(&Placement::random(&mut rng), &plan).aggregate_gbps)
+            .collect();
+        print!("  {n} SPEs: ");
+        summarize(&samples);
+    }
+}
+
+fn summarize(samples: &[f64]) {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
+    println!(
+        "min={:.1} med={:.1} mean={:.1} max={:.1}",
+        s[0],
+        s[s.len() / 2],
+        mean,
+        s[s.len() - 1]
+    );
+}

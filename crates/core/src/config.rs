@@ -1,0 +1,146 @@
+//! Machine configuration and the top-level [`CellSystem`] handle.
+
+use cellsim_eib::EibConfig;
+use cellsim_kernel::MachineClock;
+use cellsim_mem::{BankConfig, NumaPolicy};
+use cellsim_mfc::MfcConfig;
+use cellsim_ppe::{PpeConfig, PpeModel};
+use cellsim_spe::{SpuLsConfig, SpuLsModel};
+
+use crate::data::MachineState;
+use crate::fabric::{self, FabricReport};
+use crate::placement::Placement;
+use crate::plan::TransferPlan;
+use crate::tracing::FabricTrace;
+
+/// Every tunable of the simulated blade in one place.
+///
+/// The defaults reproduce the ISPASS 2007 machine: a 2.1 GHz CBE with the
+/// bus at half speed, four EIB rings, 16-entry MFC queues with an
+/// 8-packet outstanding budget, a 16.8 GB/s local XDR bank and a 7 GB/s
+/// remote bank, and round-robin NUMA region placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellConfig {
+    /// CPU/bus frequencies.
+    pub clock: MachineClock,
+    /// Element Interconnect Bus structure.
+    pub eib: EibConfig,
+    /// Cycles between command-bus starts (1 = full rate).
+    pub cmd_issue_interval: u64,
+    /// Command-bus snoop latency in bus cycles.
+    pub cmd_latency: u64,
+    /// Per-SPE MFC structure.
+    pub mfc: MfcConfig,
+    /// Local XDR bank behind the MIC.
+    pub local_bank: BankConfig,
+    /// Remote bank behind IOIF0.
+    pub remote_bank: BankConfig,
+    /// How regions map onto banks.
+    pub numa: NumaPolicy,
+    /// Local-Store-side service latency for LS↔LS packets (bus cycles).
+    pub ls_access_latency: u64,
+    /// SPU cost of enqueuing one MFC command (bus cycles).
+    pub enqueue_cost: u64,
+    /// PPE pipeline structure (used by the PPE experiments).
+    pub ppe: PpeConfig,
+    /// SPU↔LS pipeline costs (used by the §4.2.2 experiment).
+    pub spu_ls: SpuLsConfig,
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        CellConfig {
+            clock: MachineClock::default(),
+            eib: EibConfig::default(),
+            cmd_issue_interval: 1,
+            cmd_latency: 10,
+            mfc: MfcConfig::default(),
+            local_bank: BankConfig::local_xdr(),
+            remote_bank: BankConfig::remote_xdr(),
+            numa: NumaPolicy::default(),
+            ls_access_latency: 2,
+            enqueue_cost: 2,
+            ppe: PpeConfig::default(),
+            spu_ls: SpuLsConfig::default(),
+        }
+    }
+}
+
+/// A configured Cell blade, ready to run transfer plans and kernels.
+///
+/// See the [crate-level quickstart](crate).
+#[derive(Debug, Clone, Default)]
+pub struct CellSystem {
+    config: CellConfig,
+}
+
+impl CellSystem {
+    /// The paper's blade with all defaults.
+    pub fn blade() -> CellSystem {
+        CellSystem::default()
+    }
+
+    /// A blade with an explicit configuration.
+    pub fn new(config: CellConfig) -> CellSystem {
+        CellSystem { config }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &CellConfig {
+        &self.config
+    }
+
+    /// Runs a DMA transfer plan under `placement` and reports bandwidths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric deadlocks or exceeds its safety horizon —
+    /// both indicate a simulator bug, not bad input (plans are validated
+    /// at construction).
+    pub fn run(&self, placement: &Placement, plan: &TransferPlan) -> FabricReport {
+        fabric::run_plan(&self.config, placement, plan, None)
+    }
+
+    /// Runs a plan *and moves real bytes*: every delivered packet copies
+    /// its payload between `state`'s main memory and Local Stores, in
+    /// delivery order. Timing is identical to [`CellSystem::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CellSystem::run`].
+    pub fn run_with_data(
+        &self,
+        placement: &Placement,
+        plan: &TransferPlan,
+        state: &mut MachineState,
+    ) -> FabricReport {
+        fabric::run_plan(&self.config, placement, plan, Some(state))
+    }
+
+    /// Runs a plan while recording a [`FabricTrace`] of every packet
+    /// phase, for post-hoc analysis (throughput timelines, ring shares,
+    /// hop statistics). Timing is identical to [`CellSystem::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CellSystem::run`].
+    pub fn run_traced(
+        &self,
+        placement: &Placement,
+        plan: &TransferPlan,
+    ) -> (FabricReport, FabricTrace) {
+        let mut trace = FabricTrace::new();
+        let report = fabric::run_plan_traced(&self.config, placement, plan, None, Some(&mut trace));
+        (report, trace)
+    }
+
+    /// The PPE pipeline model configured for this machine.
+    pub fn ppe_model(&self) -> PpeModel {
+        PpeModel::new(self.config.ppe, self.config.clock)
+    }
+
+    /// The SPU↔Local-Store model configured for this machine.
+    pub fn spu_ls_model(&self) -> SpuLsModel {
+        SpuLsModel::new(self.config.spu_ls)
+    }
+}

@@ -1,0 +1,98 @@
+//! The ISPASS 2007 experiments, one constructor per paper figure.
+//!
+//! | Function | Paper figure | What it measures |
+//! |---|---|---|
+//! | [`figure3`] | Fig. 3 (a,b,c) | PPE↔L1 load/store/copy, 1–2 threads |
+//! | [`figure4`] | Fig. 4 (a,b,c) | PPE↔L2 |
+//! | [`figure6`] | Fig. 6 (a,b,c) | PPE↔main memory |
+//! | [`figure8`] | Fig. 8 (a,b,c) | SPE↔memory DMA GET/PUT/GET+PUT, 1–8 SPEs |
+//! | [`section_4_2_2`] | §4.2.2 | SPU↔Local Store load/store/copy |
+//! | [`figure10`] | Fig. 10 | Delayed DMA synchronization, SPE↔SPE |
+//! | [`figure12`] | Fig. 12 (a,b) | Couples of SPEs, DMA-elem vs DMA-list |
+//! | [`figure13`] | Fig. 13 (a,b) | Couples: spread over placements |
+//! | [`figure15`] | Fig. 15 (a,b) | Cycle of SPEs, DMA-elem vs DMA-list |
+//! | [`figure16`] | Fig. 16 (a,b) | Cycle: spread over placements |
+//!
+//! All DMA experiments honour the paper's protocol: weak scaling (a fixed
+//! volume per SPE), warm state (the simulator has no TLB to warm), and
+//! statistics over seeded random logical→physical placements.
+
+mod ppe;
+mod spe_mem;
+mod spe_pairs;
+mod spu_ls;
+
+pub use ppe::{figure3, figure4, figure6};
+pub use spe_mem::figure8;
+pub use spe_pairs::{figure10, figure12, figure13, figure15, figure16};
+pub use spu_ls::section_4_2_2;
+
+use crate::report::{Figure, SpreadFigure};
+use crate::CellSystem;
+
+/// Shared knobs of the DMA experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Payload bytes each active SPE transfers (per direction where the
+    /// experiment is bidirectional). The paper uses 32 MiB; the simulator
+    /// is noise-free, so far less reaches steady state.
+    pub volume_per_spe: u64,
+    /// DMA element sizes to sweep (the paper: 128 B – 16 KB).
+    pub dma_elem_sizes: Vec<u32>,
+    /// Random placements per configuration (the paper: 10).
+    pub placements: usize,
+    /// RNG seed for the placement lottery.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            volume_per_spe: 2 << 20,
+            dma_elem_sizes: vec![128, 256, 512, 1024, 2048, 4096, 8192, 16384],
+            placements: 10,
+            seed: 0xCE11,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced sweep for tests and smoke runs.
+    pub fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            volume_per_spe: 256 << 10,
+            dma_elem_sizes: vec![128, 1024, 16384],
+            placements: 3,
+            seed: 0xCE11,
+        }
+    }
+
+    /// The paper-scale protocol (32 MiB per SPE, full sweep, 10 runs).
+    /// Slow: minutes of host time.
+    pub fn full() -> ExperimentConfig {
+        ExperimentConfig {
+            volume_per_spe: 32 << 20,
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+/// Runs every experiment and returns all figures in paper order.
+pub fn all_figures(
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> (Vec<Figure>, Vec<SpreadFigure>) {
+    let mut figures = Vec::new();
+    figures.extend(figure3(system));
+    figures.extend(figure4(system));
+    figures.extend(figure6(system));
+    figures.extend(figure8(system, cfg));
+    figures.push(section_4_2_2(system));
+    figures.push(figure10(system, cfg));
+    figures.extend(figure12(system, cfg));
+    figures.extend(figure15(system, cfg));
+    let mut spreads = Vec::new();
+    spreads.extend(figure13(system, cfg));
+    spreads.extend(figure16(system, cfg));
+    (figures, spreads)
+}

@@ -1,0 +1,123 @@
+//! PPE bandwidth experiments (paper Figures 3, 4, 6).
+
+use cellsim_ppe::{PpeKernelSpec, PpeOp};
+
+use crate::report::{Figure, Point, Series};
+use crate::CellSystem;
+
+const ELEM_SIZES: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// PPE↔L1 load/store/copy for 1 and 2 threads (Figure 3 a–c).
+///
+/// The buffer is a quarter of the L1 so that even the two-thread copy
+/// working set stays L1-resident, as the paper arranges.
+pub fn figure3(system: &CellSystem) -> Vec<Figure> {
+    let l1 = system.config().ppe.l1_bytes;
+    ppe_figures(system, "3", "PPE to 32KB L1 cache", l1 / 4)
+}
+
+/// PPE↔L2 load/store/copy for 1 and 2 threads (Figure 4 a–c).
+pub fn figure4(system: &CellSystem) -> Vec<Figure> {
+    let l2 = system.config().ppe.l2_bytes;
+    ppe_figures(system, "4", "PPE to 512KB L2 cache", l2 / 4)
+}
+
+/// PPE↔main-memory load/store/copy for 1 and 2 threads (Figure 6 a–c).
+pub fn figure6(system: &CellSystem) -> Vec<Figure> {
+    let l2 = system.config().ppe.l2_bytes;
+    ppe_figures(system, "6", "PPE to main memory", 16 * l2)
+}
+
+fn ppe_figures(system: &CellSystem, id: &str, target: &str, buffer: u64) -> Vec<Figure> {
+    let model = system.ppe_model();
+    [
+        (PpeOp::Load, "a", "Load"),
+        (PpeOp::Store, "b", "Store"),
+        (PpeOp::Copy, "c", "Copy"),
+    ]
+    .into_iter()
+    .map(|(op, sub, name)| {
+        let series = [1usize, 2]
+            .into_iter()
+            .map(|threads| Series {
+                label: format!("{threads} thread{}", if threads > 1 { "s" } else { "" }),
+                points: ELEM_SIZES
+                    .into_iter()
+                    .map(|elem| {
+                        let r = model
+                            .run(&PpeKernelSpec {
+                                op,
+                                elem_bytes: elem,
+                                buffer_bytes: buffer,
+                                threads,
+                            })
+                            .expect("experiment spec is valid");
+                        Point {
+                            x: format!("{elem} B"),
+                            gbps: r.bandwidth_gbps,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        Figure {
+            id: format!("{id}{sub}"),
+            title: format!("{target} — {name}"),
+            x_label: "element".into(),
+            series,
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_load_matches_paper_landmarks() {
+        let figs = figure3(&CellSystem::blade());
+        assert_eq!(figs.len(), 3);
+        let load = &figs[0];
+        assert_eq!(load.id, "3a");
+        // ≥8 B loads: ~16.8; 16 B no better; proportional below.
+        let v8 = load.value("1 thread", "8 B").unwrap();
+        let v16 = load.value("1 thread", "16 B").unwrap();
+        let v4 = load.value("1 thread", "4 B").unwrap();
+        assert!((v8 - 16.8).abs() < 0.3, "v8={v8}");
+        assert!((v16 - v8).abs() < 0.3);
+        assert!((v4 - 8.4).abs() < 0.3);
+    }
+
+    #[test]
+    fn figure4_and_6_loads_are_equal_and_low() {
+        let sys = CellSystem::blade();
+        let l2 = &figure4(&sys)[0];
+        let mem = &figure6(&sys)[0];
+        let a = l2.value("1 thread", "8 B").unwrap();
+        let b = mem.value("1 thread", "8 B").unwrap();
+        assert!(a < 7.0);
+        assert!((a - b).abs() / a < 0.05, "paper: L2 load == mem load");
+        // Two threads double it.
+        let a2 = l2.value("2 threads", "8 B").unwrap();
+        assert!((a2 / a - 2.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn figure6_stores_stay_under_six() {
+        let store = &figure6(&CellSystem::blade())[1];
+        for s in &store.series {
+            for p in &s.points {
+                assert!(p.gbps < 6.0, "{}: {}", s.label, p.gbps);
+            }
+        }
+    }
+
+    #[test]
+    fn every_subfigure_has_both_thread_series() {
+        for fig in figure3(&CellSystem::blade()) {
+            assert_eq!(fig.series.len(), 2);
+            assert_eq!(fig.series[0].points.len(), ELEM_SIZES.len());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! SPE↔memory DMA bandwidth (paper Figure 8).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::experiments::ExperimentConfig;
+use crate::report::{format_bytes, Figure, Point, Series};
+use crate::{CellSystem, Placement, SyncPolicy, TransferPlan};
+
+#[derive(Debug, Clone, Copy)]
+enum MemOp {
+    Get,
+    Put,
+    Copy,
+}
+
+/// SPE↔memory DMA-elem bandwidth for GET / PUT / GET+PUT with 1, 2, 4
+/// and 8 active SPEs (Figure 8 a–c).
+///
+/// Weak scaling: each SPE streams `volume_per_spe` through its own
+/// region; the reported bandwidth is the sum of per-SPE bandwidths, each
+/// over its own completion time (the per-SPE decrementer timing of the
+/// paper), averaged over random placements.
+pub fn figure8(system: &CellSystem, cfg: &ExperimentConfig) -> Vec<Figure> {
+    [
+        (MemOp::Get, "a", "GET"),
+        (MemOp::Put, "b", "PUT"),
+        (MemOp::Copy, "c", "GET+PUT"),
+    ]
+    .into_iter()
+    .map(|(op, sub, name)| {
+        let series = [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|n| Series {
+                label: format!("{n} SPE{}", if n > 1 { "s" } else { "" }),
+                points: cfg
+                    .dma_elem_sizes
+                    .iter()
+                    .map(|&elem| {
+                        let plan = mem_plan(op, n, cfg.volume_per_spe, elem);
+                        let mut rng = StdRng::seed_from_u64(cfg.seed);
+                        let mean = (0..cfg.placements)
+                            .map(|_| {
+                                let p = Placement::random(&mut rng);
+                                system.run(&p, &plan).sum_gbps
+                            })
+                            .sum::<f64>()
+                            / cfg.placements as f64;
+                        Point {
+                            x: format_bytes(u64::from(elem)),
+                            gbps: mean,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        Figure {
+            id: format!("8{sub}"),
+            title: format!("SPE to memory — {name}"),
+            x_label: "element".into(),
+            series,
+        }
+    })
+    .collect()
+}
+
+fn mem_plan(op: MemOp, spes: usize, volume: u64, elem: u32) -> TransferPlan {
+    let mut b = TransferPlan::builder();
+    for spe in 0..spes {
+        b = match op {
+            MemOp::Get => b.get_from_memory(spe, volume, elem, SyncPolicy::AfterAll),
+            MemOp::Put => b.put_to_memory(spe, volume, elem, SyncPolicy::AfterAll),
+            MemOp::Copy => b.copy_memory(spe, volume, elem, SyncPolicy::AfterAll),
+        };
+    }
+    b.build().expect("experiment plan is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            volume_per_spe: 256 << 10,
+            dma_elem_sizes: vec![16384],
+            placements: 2,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn figure8_reproduces_the_scaling_story() {
+        let figs = figure8(&CellSystem::blade(), &tiny());
+        assert_eq!(figs.len(), 3);
+        let get = &figs[0];
+        let one = get.value("1 SPE", "16 KB").unwrap();
+        let two = get.value("2 SPEs", "16 KB").unwrap();
+        let four = get.value("4 SPEs", "16 KB").unwrap();
+        // Paper: ~10 GB/s for one SPE; two or more use both banks; the
+        // two-bank aggregate peaks near 23.8.
+        assert!((8.0..12.0).contains(&one), "one={one}");
+        assert!(two > 14.0, "two={two}");
+        assert!(four > two, "four={four} two={two}");
+        assert!(four < 23.8);
+    }
+
+    #[test]
+    fn copy_counts_both_directions_of_traffic() {
+        let figs = figure8(&CellSystem::blade(), &tiny());
+        let copy_one = figs[2].value("1 SPE", "16 KB").unwrap();
+        // Single-SPE copy ≈ 10 GB/s of combined read+write traffic.
+        assert!((7.0..12.0).contains(&copy_one), "copy={copy_one}");
+    }
+}

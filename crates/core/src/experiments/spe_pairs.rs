@@ -1,0 +1,271 @@
+//! SPE↔SPE experiments: delayed sync, couples, cycles
+//! (paper Figures 10, 12, 13, 15, 16).
+
+use cellsim_kernel::stats::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::experiments::ExperimentConfig;
+use crate::report::{format_bytes, Figure, Point, Series, SpreadFigure};
+use crate::{CellSystem, Placement, SyncPolicy, TransferPlan};
+
+/// Which SPEs exchange with which.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pattern {
+    /// `n` SPEs form `n/2` active/passive couples: SPE 2k initiates a
+    /// simultaneous get+put with SPE 2k+1, which stays passive.
+    Couples,
+    /// All `n` SPEs are active: SPE k exchanges with SPE (k+1) mod n.
+    Cycle,
+}
+
+fn pattern_plan(
+    pattern: Pattern,
+    spes: usize,
+    volume: u64,
+    elem: u32,
+    list: bool,
+    sync: SyncPolicy,
+) -> TransferPlan {
+    let mut b = TransferPlan::builder();
+    match pattern {
+        Pattern::Couples => {
+            for pair in 0..spes / 2 {
+                let (a, p) = (2 * pair, 2 * pair + 1);
+                b = if list {
+                    b.exchange_with_list(a, p, volume, elem, sync)
+                } else {
+                    b.exchange_with(a, p, volume, elem, sync)
+                };
+            }
+        }
+        Pattern::Cycle => {
+            for spe in 0..spes {
+                let partner = (spe + 1) % spes;
+                b = if list {
+                    b.exchange_with_list(spe, partner, volume, elem, sync)
+                } else {
+                    b.exchange_with(spe, partner, volume, elem, sync)
+                };
+            }
+        }
+    }
+    b.build().expect("experiment plan is valid")
+}
+
+fn samples(system: &CellSystem, plan: &TransferPlan, placements: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..placements)
+        .map(|_| {
+            let p = Placement::random(&mut rng);
+            system.run(&p, plan).aggregate_gbps
+        })
+        .collect()
+}
+
+fn mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Delayed-synchronization experiment (Figure 10): one SPE exchanges with
+/// one partner, waiting for its tag group after every 1, 2, 4, … commands
+/// versus only once at the end.
+pub fn figure10(system: &CellSystem, cfg: &ExperimentConfig) -> Figure {
+    let policies: Vec<(String, SyncPolicy)> = [1u32, 2, 4, 8, 16]
+        .into_iter()
+        .map(|k| (format!("every {k}"), SyncPolicy::Every(k)))
+        .chain([("all".to_string(), SyncPolicy::AfterAll)])
+        .collect();
+    let series = policies
+        .into_iter()
+        .map(|(label, sync)| Series {
+            label,
+            points: cfg
+                .dma_elem_sizes
+                .iter()
+                .map(|&elem| {
+                    let plan =
+                        pattern_plan(Pattern::Couples, 2, cfg.volume_per_spe, elem, false, sync);
+                    let s = samples(system, &plan, cfg.placements, cfg.seed);
+                    Point {
+                        x: format_bytes(u64::from(elem)),
+                        gbps: mean(&s),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "10".into(),
+        title: "SPE to SPE — delayed DMA synchronization".into(),
+        x_label: "element".into(),
+        series,
+    }
+}
+
+/// Couples of SPEs (Figure 12): 1, 2 and 4 active/passive pairs,
+/// DMA-elem (a) and DMA-list (b).
+pub fn figure12(system: &CellSystem, cfg: &ExperimentConfig) -> Vec<Figure> {
+    pattern_figures(system, cfg, Pattern::Couples, "12", "Couples of SPEs")
+}
+
+/// Couples placement spread (Figure 13): min/median/mean/max over random
+/// placements for 4 couples (8 SPEs), DMA-elem (a) and DMA-list (b).
+pub fn figure13(system: &CellSystem, cfg: &ExperimentConfig) -> Vec<SpreadFigure> {
+    spread_figures(system, cfg, Pattern::Couples, "13", "4 couples of SPEs")
+}
+
+/// Cycle of SPEs (Figure 15): 2, 4 and 8 SPEs each exchanging with their
+/// logical neighbour, DMA-elem (a) and DMA-list (b).
+pub fn figure15(system: &CellSystem, cfg: &ExperimentConfig) -> Vec<Figure> {
+    pattern_figures(system, cfg, Pattern::Cycle, "15", "Cycle of SPEs")
+}
+
+/// Cycle placement spread (Figure 16): min/median/mean/max over random
+/// placements for the 8-SPE cycle, DMA-elem (a) and DMA-list (b).
+pub fn figure16(system: &CellSystem, cfg: &ExperimentConfig) -> Vec<SpreadFigure> {
+    spread_figures(system, cfg, Pattern::Cycle, "16", "Cycle of 8 SPEs")
+}
+
+fn pattern_figures(
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+    pattern: Pattern,
+    id: &str,
+    title: &str,
+) -> Vec<Figure> {
+    [(false, "a", "DMA-elem"), (true, "b", "DMA-list")]
+        .into_iter()
+        .map(|(list, sub, mode)| {
+            let series = [2usize, 4, 8]
+                .into_iter()
+                .map(|n| Series {
+                    label: format!("{n} SPEs"),
+                    points: cfg
+                        .dma_elem_sizes
+                        .iter()
+                        .map(|&elem| {
+                            let plan = pattern_plan(
+                                pattern,
+                                n,
+                                cfg.volume_per_spe,
+                                elem,
+                                list,
+                                SyncPolicy::AfterAll,
+                            );
+                            let s = samples(system, &plan, cfg.placements, cfg.seed);
+                            Point {
+                                x: format_bytes(u64::from(elem)),
+                                gbps: mean(&s),
+                            }
+                        })
+                        .collect(),
+                })
+                .collect();
+            Figure {
+                id: format!("{id}{sub}"),
+                title: format!("{title} — {mode}"),
+                x_label: "element".into(),
+                series,
+            }
+        })
+        .collect()
+}
+
+fn spread_figures(
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+    pattern: Pattern,
+    id: &str,
+    title: &str,
+) -> Vec<SpreadFigure> {
+    [(false, "a", "DMA-elem"), (true, "b", "DMA-list")]
+        .into_iter()
+        .map(|(list, sub, mode)| {
+            let rows = cfg
+                .dma_elem_sizes
+                .iter()
+                .map(|&elem| {
+                    let plan = pattern_plan(
+                        pattern,
+                        8,
+                        cfg.volume_per_spe,
+                        elem,
+                        list,
+                        SyncPolicy::AfterAll,
+                    );
+                    let s = samples(system, &plan, cfg.placements, cfg.seed);
+                    (
+                        format_bytes(u64::from(elem)),
+                        Summary::from_samples(&s).expect("non-empty samples"),
+                    )
+                })
+                .collect();
+            SpreadFigure {
+                id: format!("{id}{sub}"),
+                title: format!("{title} — {mode}"),
+                x_label: "element".into(),
+                rows,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            volume_per_spe: 256 << 10,
+            dma_elem_sizes: vec![128, 16384],
+            placements: 3,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn figure10_eager_sync_is_worst() {
+        let fig = figure10(&CellSystem::blade(), &tiny());
+        let eager = fig.value("every 1", "16 KB").unwrap();
+        let lazy = fig.value("all", "16 KB").unwrap();
+        assert!(eager < lazy, "eager={eager} lazy={lazy}");
+    }
+
+    #[test]
+    fn figure12_two_spes_near_peak_and_lists_flat() {
+        let figs = figure12(&CellSystem::blade(), &tiny());
+        let elem = &figs[0];
+        let list = &figs[1];
+        assert!(elem.value("2 SPEs", "16 KB").unwrap() > 28.0);
+        // DMA-elem collapses at 128 B; DMA-list stays near peak.
+        assert!(elem.value("2 SPEs", "128 B").unwrap() < 10.0);
+        assert!(list.value("2 SPEs", "128 B").unwrap() > 28.0);
+    }
+
+    #[test]
+    fn figure15_cycle_saturates_below_couples() {
+        let sys = CellSystem::blade();
+        let cfg = tiny();
+        let couples = figure12(&sys, &cfg);
+        let cycle = figure15(&sys, &cfg);
+        let c8 = couples[0].value("8 SPEs", "16 KB").unwrap();
+        let y8 = cycle[0].value("8 SPEs", "16 KB").unwrap();
+        assert!(
+            y8 < c8,
+            "paper: saturating the EIB is counterproductive: cycle={y8} couples={c8}"
+        );
+        // 2-SPE cycle achieves the 33.6 pair peak.
+        assert!(cycle[0].value("2 SPEs", "16 KB").unwrap() > 30.0);
+    }
+
+    #[test]
+    fn figure16_shows_placement_spread() {
+        let spread = figure16(&CellSystem::blade(), &tiny());
+        assert_eq!(spread.len(), 2);
+        assert!(spread[0].max_spread() > 1.0, "placements must matter");
+        for (_, s) in &spread[0].rows {
+            assert!(s.min <= s.median && s.median <= s.max);
+        }
+    }
+}

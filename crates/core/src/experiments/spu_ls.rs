@@ -1,0 +1,62 @@
+//! SPU↔Local-Store bandwidth (paper §4.2.2).
+
+use cellsim_spe::LsOp;
+
+use crate::report::{Figure, Point, Series};
+use crate::CellSystem;
+
+/// SPU↔LS load/store/copy bandwidth over element sizes 1–16 B.
+///
+/// The paper reports the 33.6 GB/s quadword peak and notes that the SPU
+/// ISA only supports 16-byte loads, so narrower accesses pay
+/// extract/merge overhead.
+pub fn section_4_2_2(system: &CellSystem) -> Figure {
+    let model = system.spu_ls_model();
+    let clock = system.config().clock;
+    let volume = 1u64 << 20;
+    let series = [
+        (LsOp::Load, "load"),
+        (LsOp::Store, "store"),
+        (LsOp::Copy, "copy"),
+    ]
+    .into_iter()
+    .map(|(op, label)| Series {
+        label: label.into(),
+        points: [1u32, 2, 4, 8, 16]
+            .into_iter()
+            .map(|elem| Point {
+                x: format!("{elem} B"),
+                gbps: model
+                    .bandwidth_gbps(&clock, op, elem, volume)
+                    .expect("element sizes are valid"),
+            })
+            .collect(),
+    })
+    .collect();
+    Figure {
+        id: "§4.2.2".into(),
+        title: "SPU to Local Store".into(),
+        x_label: "element".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadword_load_hits_peak() {
+        let fig = section_4_2_2(&CellSystem::blade());
+        let v = fig.value("load", "16 B").unwrap();
+        assert!((v - 33.6).abs() < 0.1, "v={v}");
+    }
+
+    #[test]
+    fn scalar_stores_lose_to_loads() {
+        let fig = section_4_2_2(&CellSystem::blade());
+        for elem in ["1 B", "2 B", "4 B", "8 B"] {
+            assert!(fig.value("store", elem).unwrap() < fig.value("load", elem).unwrap());
+        }
+    }
+}

@@ -1,0 +1,706 @@
+//! The full-machine discrete-event simulation binding MFCs, EIB and
+//! memory together.
+//!
+//! Every DMA command is unrolled by its MFC into ≤128-byte bus packets.
+//! Each packet's life is:
+//!
+//! 1. **Command phase** — a slot on the global command bus plus the snoop
+//!    latency.
+//! 2. **Source ready** — a DRAM read (GETs from memory), a bank-acceptance
+//!    check (PUTs to memory, which stall under write backpressure), or a
+//!    short Local-Store access (LS↔LS traffic).
+//! 3. **Data phase** — the EIB data arbiter grants a ring whose path
+//!    segments and end-point ports are free.
+//! 4. **Delivery** — payload arrives; the MFC retires the packet, freeing
+//!    an outstanding-budget slot, and (for memory PUTs) the DRAM write is
+//!    enqueued.
+
+use std::collections::VecDeque;
+
+use cellsim_eib::{CommandBus, Eib, EibStats, Element, FlowClass, Topology, TransferRequest};
+use cellsim_kernel::{Cycle, Model, Scheduler, Simulation};
+use cellsim_mem::{BankId, MemorySystem, Op};
+use cellsim_mfc::{DmaKind, EffectiveAddr, Issue, LsAddr, MfcEngine, PacketOut, PacketToken};
+
+use crate::config::CellConfig;
+use crate::data::MachineState;
+use crate::placement::Placement;
+use crate::plan::{Planned, SyncPolicy, TransferPlan};
+use crate::tracing::{FabricEvent, FabricTrace};
+
+/// Safety horizon: a fabric run that has not completed by this many bus
+/// cycles has deadlocked (a simulator bug).
+const MAX_CYCLES: u64 = 50_000_000_000;
+
+/// Measured outcome of one transfer plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricReport {
+    /// Bus cycles until the last payload byte was delivered.
+    pub cycles: u64,
+    /// Total payload bytes delivered (all SPEs, both directions).
+    pub total_bytes: u64,
+    /// Total bytes over the whole run's wall-clock, in GB/s.
+    pub aggregate_gbps: f64,
+    /// Sum of the per-SPE bandwidths, each measured over that SPE's own
+    /// completion time — the paper's weak-scaling accounting, where every
+    /// SPE times its own fixed-size transfer.
+    pub sum_gbps: f64,
+    /// Per-logical-SPE bytes delivered.
+    pub per_spe_bytes: Vec<u64>,
+    /// Per-logical-SPE completion time (cycle of its last delivery).
+    pub per_spe_cycles: Vec<u64>,
+    /// Per-logical-SPE bandwidth over that SPE's own completion time.
+    pub per_spe_gbps: Vec<f64>,
+    /// EIB occupancy counters.
+    pub eib: EibStats,
+    /// Bus packets moved.
+    pub packets: u64,
+}
+
+/// Events of the fabric simulation.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Feed and fire one SPE's MFC.
+    Pump(usize),
+    /// Command bus phase finished for a packet.
+    CmdDone(u32),
+    /// Packet's source data is available; request the data bus.
+    SrcReady(u32),
+    /// Re-check memory write acceptance for a backpressured PUT.
+    MemRetry(u32),
+    /// Re-run data arbitration.
+    EibKick,
+    /// Packet payload arrived at its destination.
+    Delivered(u32),
+    /// A memory PUT's DRAM write retired; the MFC slot frees now.
+    Retired(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PacketInfo {
+    spe: usize,
+    token: PacketToken,
+    kind: DmaKind,
+    bytes: u32,
+    ls: LsAddr,
+    ea: EffectiveAddr,
+    src: Element,
+    dst: Element,
+    class: FlowClass,
+    bank: Option<BankId>,
+}
+
+struct SpeCtx {
+    mfc: MfcEngine,
+    commands: VecDeque<Planned>,
+    sync: SyncPolicy,
+    issued_since_sync: u32,
+    waiting_sync: bool,
+    enqueue_ready: Cycle,
+    pump_scheduled: Option<Cycle>,
+    bytes: u64,
+    last_delivery: Cycle,
+}
+
+struct Fabric<'d> {
+    eib: Eib,
+    cmdbus: CommandBus,
+    mem: MemorySystem,
+    placement: Placement,
+    spes: Vec<SpeCtx>,
+    packets: Vec<PacketInfo>,
+    kick_scheduled: Option<Cycle>,
+    delivered_packets: u64,
+    /// Optional functional storage: when present, every delivered packet
+    /// copies real bytes.
+    data: Option<&'d mut MachineState>,
+    /// Optional event trace.
+    trace: Option<&'d mut FabricTrace>,
+}
+
+/// Copies a delivered packet's payload through the functional storage.
+fn apply_payload(data: &mut MachineState, info: &PacketInfo) {
+    let n = info.bytes as usize;
+    match (info.kind, info.ea) {
+        (DmaKind::Get, EffectiveAddr::Memory { region, offset }) => {
+            let bytes = data.read_region(region, offset, n);
+            data.local_store_mut(info.spe).write(info.ls.0, &bytes);
+        }
+        (
+            DmaKind::Get,
+            EffectiveAddr::LocalStore {
+                spe: target,
+                offset,
+            },
+        ) => {
+            let bytes = data
+                .local_store(usize::from(target))
+                .read(offset, n)
+                .to_vec();
+            data.local_store_mut(info.spe).write(info.ls.0, &bytes);
+        }
+        (DmaKind::Put, EffectiveAddr::Memory { region, offset }) => {
+            let bytes = data.local_store(info.spe).read(info.ls.0, n).to_vec();
+            data.write_region(region, offset, &bytes);
+        }
+        (
+            DmaKind::Put,
+            EffectiveAddr::LocalStore {
+                spe: target,
+                offset,
+            },
+        ) => {
+            let bytes = data.local_store(info.spe).read(info.ls.0, n).to_vec();
+            data.local_store_mut(usize::from(target))
+                .write(offset, &bytes);
+        }
+    }
+}
+
+impl Fabric<'_> {
+    fn spe_element(&self, logical: usize) -> Element {
+        Element::spe(self.placement.physical(logical))
+    }
+
+    fn bank_element(bank: BankId) -> Element {
+        match bank {
+            BankId::Local => Element::Mic,
+            BankId::Remote => Element::Ioif0,
+        }
+    }
+
+    fn schedule_pump(&mut self, spe: usize, at: Cycle, sched: &mut Scheduler<Ev>) {
+        let slot = &mut self.spes[spe].pump_scheduled;
+        if slot.is_none_or(|t| at < t) {
+            *slot = Some(at);
+            sched.schedule(at, Ev::Pump(spe));
+        }
+    }
+
+    fn pump(&mut self, spe: usize, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
+        // Feed queued commands into the MFC, honouring the sync policy.
+        loop {
+            let ctx = &mut self.spes[spe];
+            if ctx.waiting_sync {
+                if ctx.mfc.tags().any_pending() {
+                    break; // re-pumped on the next delivery
+                }
+                ctx.waiting_sync = false;
+                ctx.issued_since_sync = 0;
+            }
+            if ctx.commands.is_empty() || !ctx.mfc.has_space() {
+                break;
+            }
+            if ctx.enqueue_ready > now {
+                let at = ctx.enqueue_ready;
+                self.schedule_pump(spe, at, sched);
+                break;
+            }
+            let cmd = ctx.commands.pop_front().expect("checked non-empty");
+            let result = match cmd {
+                Planned::Elem(c) => ctx.mfc.enqueue(now, c),
+                Planned::List(l) => ctx.mfc.enqueue_list(now, l),
+            };
+            result.expect("plan-validated command rejected by MFC");
+            ctx.enqueue_ready = now + cfg.enqueue_cost;
+            ctx.issued_since_sync += 1;
+            if let SyncPolicy::Every(k) = ctx.sync {
+                if ctx.issued_since_sync >= k {
+                    ctx.waiting_sync = true;
+                }
+            }
+        }
+        // Fire packets until the MFC stalls or blocks.
+        loop {
+            match self.spes[spe].mfc.try_issue(now) {
+                Issue::Packet(p) => self.start_packet(spe, p, now, sched),
+                Issue::Stalled { retry_at } => {
+                    self.schedule_pump(spe, retry_at, sched);
+                    break;
+                }
+                Issue::Blocked | Issue::Idle => break,
+            }
+        }
+    }
+
+    fn start_packet(&mut self, spe: usize, p: PacketOut, now: Cycle, sched: &mut Scheduler<Ev>) {
+        let me = self.spe_element(spe);
+        let (src, dst, class, bank) = match p.ea {
+            EffectiveAddr::Memory { region, offset } => {
+                let bank = self.mem.bank_for(region, offset);
+                let elem = Self::bank_element(bank);
+                match p.kind {
+                    DmaKind::Get => (elem, me, FlowClass::MemRead, Some(bank)),
+                    DmaKind::Put => (me, elem, FlowClass::MfcOut, Some(bank)),
+                }
+            }
+            EffectiveAddr::LocalStore { spe: target, .. } => {
+                let telem = self.spe_element(usize::from(target));
+                match p.kind {
+                    // A get's data is read out of the *target's* LS.
+                    DmaKind::Get => (telem, me, FlowClass::LsRead, None),
+                    DmaKind::Put => (me, telem, FlowClass::MfcOut, None),
+                }
+            }
+        };
+        let id = u32::try_from(self.packets.len()).expect("packet id fits u32");
+        self.packets.push(PacketInfo {
+            spe,
+            token: p.token,
+            kind: p.kind,
+            bytes: p.bytes,
+            ls: p.ls,
+            ea: p.ea,
+            src,
+            dst,
+            class,
+            bank,
+        });
+        let cmd_done = self.cmdbus.issue(now);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.trace.record(now, FabricEvent::CommandIssued { spe });
+        }
+        sched.schedule(cmd_done, Ev::CmdDone(id));
+    }
+
+    fn on_cmd_done(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
+        let info = self.packets[id as usize];
+        match (info.kind, info.bank) {
+            (DmaKind::Get, Some(bank)) => {
+                let access = self.mem.submit(now, bank, Op::Read, info.bytes);
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.trace.record(
+                        now,
+                        FabricEvent::MemoryAccess {
+                            bank,
+                            bytes: info.bytes,
+                        },
+                    );
+                }
+                sched.schedule(access.data_ready, Ev::SrcReady(id));
+            }
+            (DmaKind::Put, Some(_)) => self.try_put_to_memory(id, now, sched),
+            // LS↔LS: a short Local-Store access at the data source.
+            (_, None) => sched.schedule(now + cfg.ls_access_latency, Ev::SrcReady(id)),
+        }
+    }
+
+    fn try_put_to_memory(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>) {
+        let info = self.packets[id as usize];
+        let bank = info.bank.expect("memory put has a bank");
+        if self.mem.can_accept(bank, now) {
+            self.submit_to_eib(id, now, sched);
+        } else {
+            let at = self.mem.next_accept_time(bank, now).max(now + 1);
+            sched.schedule(at, Ev::MemRetry(id));
+        }
+    }
+
+    fn submit_to_eib(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>) {
+        let info = self.packets[id as usize];
+        self.eib.submit(
+            now,
+            u64::from(id),
+            TransferRequest {
+                src: info.src,
+                dst: info.dst,
+                bytes: info.bytes,
+                class: info.class,
+            },
+        );
+        self.kick(now, sched);
+    }
+
+    fn kick(&mut self, now: Cycle, sched: &mut Scheduler<Ev>) {
+        for (token, grant) in self.eib.arbitrate(now) {
+            let id = u32::try_from(token).expect("token is a packet id");
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.trace.record(
+                    now,
+                    FabricEvent::Granted {
+                        ring: grant.ring,
+                        hops: grant.hops,
+                        bytes: self.packets[id as usize].bytes,
+                    },
+                );
+            }
+            sched.schedule(grant.delivered_at, Ev::Delivered(id));
+        }
+        if self.eib.has_pending() {
+            let at = self
+                .eib
+                .next_release_after(now)
+                .expect("pending transfers imply a future release");
+            if self.kick_scheduled.is_none_or(|t| at < t || t <= now) {
+                self.kick_scheduled = Some(at);
+                sched.schedule(at, Ev::EibKick);
+            }
+        }
+    }
+
+    fn on_delivered(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
+        let info = self.packets[id as usize];
+        if let Some(data) = self.data.as_deref_mut() {
+            apply_payload(data, &info);
+        }
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.trace.record(
+                now,
+                FabricEvent::Delivered {
+                    spe: info.spe,
+                    bytes: info.bytes,
+                },
+            );
+        }
+        if info.kind == DmaKind::Put {
+            if let Some(bank) = info.bank {
+                // The MFC slot is held until the write retires in DRAM —
+                // this is why the paper measures PUT ≈ GET ≈ 10 GB/s for
+                // a single SPE rather than fire-and-forget write speed.
+                let access = self.mem.submit(now, bank, Op::Write, info.bytes);
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.trace.record(
+                        now,
+                        FabricEvent::MemoryAccess {
+                            bank,
+                            bytes: info.bytes,
+                        },
+                    );
+                }
+                sched.schedule(access.data_ready, Ev::Retired(id));
+                return;
+            }
+        }
+        self.retire(id, now, sched, cfg);
+    }
+
+    fn retire(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
+        let info = self.packets[id as usize];
+        let ctx = &mut self.spes[info.spe];
+        ctx.mfc.packet_delivered(now, info.token);
+        ctx.bytes += u64::from(info.bytes);
+        ctx.last_delivery = now;
+        self.delivered_packets += 1;
+        // An outstanding slot freed: the MFC may issue again. Enqueue-side
+        // sync waits are also re-evaluated here.
+        self.pump(info.spe, now, sched, cfg);
+    }
+}
+
+struct FabricModel<'a, 'd> {
+    fabric: Fabric<'d>,
+    cfg: &'a CellConfig,
+}
+
+impl Model for FabricModel<'_, '_> {
+    type Event = Ev;
+    fn handle(&mut self, now: Cycle, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::Pump(spe) => {
+                if self.fabric.spes[spe].pump_scheduled == Some(now) {
+                    self.fabric.spes[spe].pump_scheduled = None;
+                }
+                self.fabric.pump(spe, now, sched, self.cfg);
+            }
+            Ev::CmdDone(id) => self.fabric.on_cmd_done(id, now, sched, self.cfg),
+            Ev::SrcReady(id) => self.fabric.submit_to_eib(id, now, sched),
+            Ev::MemRetry(id) => self.fabric.try_put_to_memory(id, now, sched),
+            Ev::EibKick => {
+                if self.fabric.kick_scheduled == Some(now) {
+                    self.fabric.kick_scheduled = None;
+                }
+                self.fabric.kick(now, sched);
+            }
+            Ev::Delivered(id) => self.fabric.on_delivered(id, now, sched, self.cfg),
+            Ev::Retired(id) => self.fabric.retire(id, now, sched, self.cfg),
+        }
+    }
+}
+
+/// Runs `plan` on the machine described by `cfg` under `placement`.
+///
+/// # Panics
+///
+/// Panics if the simulation exceeds its safety horizon or ends with work
+/// still queued — both are simulator bugs.
+pub(crate) fn run_plan(
+    cfg: &CellConfig,
+    placement: &Placement,
+    plan: &TransferPlan,
+    data: Option<&mut MachineState>,
+) -> FabricReport {
+    run_plan_traced(cfg, placement, plan, data, None)
+}
+
+pub(crate) fn run_plan_traced(
+    cfg: &CellConfig,
+    placement: &Placement,
+    plan: &TransferPlan,
+    data: Option<&mut MachineState>,
+    trace: Option<&mut FabricTrace>,
+) -> FabricReport {
+    let spes = plan
+        .scripts()
+        .iter()
+        .map(|script| SpeCtx {
+            mfc: MfcEngine::new(cfg.mfc),
+            commands: script.commands().iter().cloned().collect(),
+            sync: script.sync(),
+            issued_since_sync: 0,
+            waiting_sync: false,
+            enqueue_ready: Cycle::ZERO,
+            pump_scheduled: None,
+            bytes: 0,
+            last_delivery: Cycle::ZERO,
+        })
+        .collect();
+
+    let fabric = Fabric {
+        eib: Eib::new(Topology::cbe(), cfg.eib),
+        cmdbus: CommandBus::new(cfg.cmd_issue_interval, cfg.cmd_latency),
+        mem: MemorySystem::new(cfg.local_bank, cfg.remote_bank, cfg.numa),
+        placement: *placement,
+        spes,
+        packets: Vec::new(),
+        kick_scheduled: None,
+        delivered_packets: 0,
+        data,
+        trace,
+    };
+
+    let mut sim = Simulation::new(FabricModel { fabric, cfg });
+    for spe in plan.active_spes() {
+        sim.schedule(Cycle::ZERO, Ev::Pump(spe));
+    }
+    let end = sim.run_until(Cycle::new(MAX_CYCLES));
+    assert!(
+        end < Cycle::new(MAX_CYCLES),
+        "fabric exceeded its safety horizon"
+    );
+    let fabric = sim.into_model().fabric;
+    for (i, ctx) in fabric.spes.iter().enumerate() {
+        assert!(
+            ctx.commands.is_empty() && ctx.mfc.is_idle(),
+            "fabric finished with SPE{i} still busy (deadlock)"
+        );
+    }
+
+    let cycles = fabric
+        .spes
+        .iter()
+        .map(|s| s.last_delivery.as_u64())
+        .max()
+        .unwrap_or(0);
+    let per_spe_bytes: Vec<u64> = fabric.spes.iter().map(|s| s.bytes).collect();
+    let per_spe_cycles: Vec<u64> = fabric
+        .spes
+        .iter()
+        .map(|s| s.last_delivery.as_u64())
+        .collect();
+    let total_bytes: u64 = per_spe_bytes.iter().sum();
+    let per_spe_gbps: Vec<f64> = fabric
+        .spes
+        .iter()
+        .map(|s| cfg.clock.gbytes_per_sec(s.bytes, s.last_delivery.as_u64()))
+        .collect();
+    FabricReport {
+        cycles,
+        total_bytes,
+        aggregate_gbps: cfg.clock.gbytes_per_sec(total_bytes, cycles),
+        sum_gbps: per_spe_gbps.iter().sum(),
+        per_spe_bytes,
+        per_spe_cycles,
+        per_spe_gbps,
+        eib: *fabric.eib.stats(),
+        packets: fabric.delivered_packets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellSystem, SPE_COUNT};
+
+    fn system() -> CellSystem {
+        CellSystem::blade()
+    }
+
+    const MIB: u64 = 1 << 20;
+
+    #[test]
+    fn single_spe_get_is_latency_limited_near_ten() {
+        let plan = TransferPlan::builder()
+            .get_from_memory(0, 2 * MIB, 16 * 1024, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let r = system().run(&Placement::identity(), &plan);
+        assert_eq!(r.total_bytes, 2 * MIB);
+        assert!(
+            r.aggregate_gbps > 8.0 && r.aggregate_gbps < 12.5,
+            "paper: ~10 GB/s, got {}",
+            r.aggregate_gbps
+        );
+    }
+
+    #[test]
+    fn two_spes_use_both_banks_and_beat_one_bank() {
+        let mut b = TransferPlan::builder();
+        for spe in 0..2 {
+            b = b.get_from_memory(spe, 2 * MIB, 16 * 1024, SyncPolicy::AfterAll);
+        }
+        let r = system().run(&Placement::identity(), &b.build().unwrap());
+        // SPE0 streams the local bank (~10), SPE1 the 7 GB/s remote one.
+        assert!(
+            r.sum_gbps > 15.0,
+            "two banks should beat 16.8-ε of one: {}",
+            r.sum_gbps
+        );
+        assert!(r.per_spe_gbps[0] > r.per_spe_gbps[1]);
+    }
+
+    #[test]
+    fn pair_exchange_approaches_peak_for_large_elements() {
+        let plan = TransferPlan::builder()
+            .exchange_with(0, 1, 2 * MIB, 16 * 1024, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let r = system().run(&Placement::identity(), &plan);
+        // get+put concurrently: peak 33.6 GB/s; expect near-peak.
+        assert!(
+            r.aggregate_gbps > 26.0,
+            "paper: near 33.6 peak, got {}",
+            r.aggregate_gbps
+        );
+    }
+
+    #[test]
+    fn small_elements_collapse_dma_elem_bandwidth() {
+        let big = TransferPlan::builder()
+            .exchange_with(0, 1, MIB, 4096, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let small = TransferPlan::builder()
+            .exchange_with(0, 1, MIB / 4, 128, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let sys = system();
+        let rb = sys.run(&Placement::identity(), &big);
+        let rs = sys.run(&Placement::identity(), &small);
+        assert!(
+            rs.aggregate_gbps < rb.aggregate_gbps / 2.0,
+            "128 B elems must collapse: {} vs {}",
+            rs.aggregate_gbps,
+            rb.aggregate_gbps
+        );
+    }
+
+    #[test]
+    fn dma_list_stays_fast_for_small_elements() {
+        let sys = system();
+        let elem = TransferPlan::builder()
+            .exchange_with(0, 1, MIB / 4, 128, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let list = TransferPlan::builder()
+            .exchange_with_list(0, 1, MIB / 4, 128, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let re = sys.run(&Placement::identity(), &elem);
+        let rl = sys.run(&Placement::identity(), &list);
+        assert!(
+            rl.aggregate_gbps > 2.0 * re.aggregate_gbps,
+            "lists amortize startup: list={} elem={}",
+            rl.aggregate_gbps,
+            re.aggregate_gbps
+        );
+    }
+
+    #[test]
+    fn synchronizing_after_every_dma_hurts() {
+        let sys = system();
+        let eager = TransferPlan::builder()
+            .exchange_with(0, 1, MIB, 4096, SyncPolicy::Every(1))
+            .build()
+            .unwrap();
+        let lazy = TransferPlan::builder()
+            .exchange_with(0, 1, MIB, 4096, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let re = sys.run(&Placement::identity(), &eager);
+        let rl = sys.run(&Placement::identity(), &lazy);
+        assert!(
+            re.aggregate_gbps < rl.aggregate_gbps * 0.7,
+            "eager sync must drain the pipeline: {} vs {}",
+            re.aggregate_gbps,
+            rl.aggregate_gbps
+        );
+    }
+
+    #[test]
+    fn put_and_get_have_similar_memory_bandwidth() {
+        let sys = system();
+        let get = TransferPlan::builder()
+            .get_from_memory(0, 2 * MIB, 16 * 1024, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let put = TransferPlan::builder()
+            .put_to_memory(0, 2 * MIB, 16 * 1024, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let rg = sys.run(&Placement::identity(), &get);
+        let rp = sys.run(&Placement::identity(), &put);
+        let ratio = rp.aggregate_gbps / rg.aggregate_gbps;
+        assert!((0.7..=1.4).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn report_accounts_every_byte_per_spe() {
+        let mut b = TransferPlan::builder();
+        for spe in 0..4 {
+            b = b.get_from_memory(spe, MIB, 4096, SyncPolicy::AfterAll);
+        }
+        let r = system().run(&Placement::identity(), &b.build().unwrap());
+        for spe in 0..4 {
+            assert_eq!(r.per_spe_bytes[spe], MIB);
+            assert!(r.per_spe_gbps[spe] > 0.0);
+        }
+        for spe in 4..SPE_COUNT {
+            assert_eq!(r.per_spe_bytes[spe], 0);
+            assert_eq!(r.per_spe_gbps[spe], 0.0);
+        }
+        assert_eq!(r.total_bytes, 4 * MIB);
+        // 1 MiB / 128 B = 8192 packets per SPE.
+        assert_eq!(r.packets, 4 * 8192);
+    }
+
+    #[test]
+    fn placement_changes_results_but_not_totals() {
+        let mut b = TransferPlan::builder();
+        for spe in 0..SPE_COUNT {
+            let partner = (spe + 1) % SPE_COUNT;
+            b = b.exchange_with(spe, partner, MIB / 2, 4096, SyncPolicy::AfterAll);
+        }
+        let plan = b.build().unwrap();
+        let sys = system();
+        let id = sys.run(&Placement::identity(), &plan);
+        let rev = sys.run(
+            &Placement::from_mapping([7, 6, 5, 4, 3, 2, 1, 0]).unwrap(),
+            &plan,
+        );
+        assert_eq!(id.total_bytes, rev.total_bytes);
+        assert!(id.aggregate_gbps > 0.0 && rev.aggregate_gbps > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let plan = TransferPlan::builder()
+            .exchange_with(0, 1, MIB / 2, 2048, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let sys = system();
+        let a = sys.run(&Placement::identity(), &plan);
+        let b = sys.run(&Placement::identity(), &plan);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.aggregate_gbps, b.aggregate_gbps);
+    }
+}

@@ -1,0 +1,57 @@
+//! Full-machine Cell Broadband Engine bandwidth simulator.
+//!
+//! `cellsim-core` assembles the component models — the EIB
+//! ([`cellsim_eib`]), the per-SPE MFC DMA engines ([`cellsim_mfc`]), the
+//! dual-bank XDR memory ([`cellsim_mem`]), the PPE pipeline
+//! ([`cellsim_ppe`]) and the SPU/Local-Store model ([`cellsim_spe`]) —
+//! into one simulated blade, and implements every experiment of
+//! *“Performance Analysis of Cell Broadband Engine for High Memory
+//! Bandwidth Applications”* (ISPASS 2007) on top of it.
+//!
+//! The central types are:
+//!
+//! * [`CellConfig`] / [`CellSystem`] — a configured machine;
+//! * [`Placement`] — a logical→physical SPE mapping (the runtime decides
+//!   this on real hardware; the paper samples ten random placements);
+//! * [`TransferPlan`] / [`SpeScript`] — per-SPE DMA programs, including
+//!   DMA-elem vs DMA-list and the tag-synchronization policy;
+//! * [`FabricReport`] — the measured bandwidths and fabric statistics;
+//! * [`experiments`] — one constructor per paper figure;
+//! * [`report::Figure`] — rendered result tables.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cellsim_core::{CellSystem, Placement, SyncPolicy, TransferPlan};
+//!
+//! // An out-of-the-box 2.1 GHz blade.
+//! let system = CellSystem::blade();
+//! // One SPE streams 1 MiB from main memory in 16 KiB DMA-elem chunks.
+//! let plan = TransferPlan::builder()
+//!     .get_from_memory(0, 1 << 20, 16 * 1024, SyncPolicy::AfterAll)
+//!     .build()?;
+//! let report = system.run(&Placement::identity(), &plan);
+//! // A single SPE is latency-limited well below the 16.8 GB/s bank peak.
+//! assert!(report.aggregate_gbps > 7.0 && report.aggregate_gbps < 13.0);
+//! # Ok::<(), cellsim_core::PlanError>(())
+//! ```
+
+mod config;
+mod data;
+mod fabric;
+mod placement;
+mod plan;
+mod tracing;
+
+pub mod experiments;
+pub mod report;
+
+pub use config::{CellConfig, CellSystem};
+pub use data::{MachineState, REGION_STRIDE};
+pub use fabric::FabricReport;
+pub use placement::Placement;
+pub use plan::{PlanError, Planned, SpeScript, SyncPolicy, TransferPlan, TransferPlanBuilder};
+pub use tracing::{FabricEvent, FabricTrace};
+
+/// Number of SPEs on a CBE.
+pub const SPE_COUNT: usize = 8;

@@ -1,0 +1,139 @@
+//! Logical→physical SPE placement.
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::SPE_COUNT;
+
+/// A mapping from the logical SPE numbers a program sees to the physical
+/// SPE positions on the EIB ring.
+///
+/// On the paper's blade, `libspe 1.1` offered no control over (or even
+/// visibility into) this mapping, so every experiment was run ten times to
+/// sample different placements; the spread between the best and worst
+/// placement is the subject of the paper's Figures 13 and 16.
+///
+/// ```
+/// use cellsim_core::Placement;
+/// let p = Placement::identity();
+/// assert_eq!(p.physical(3), 3);
+/// let q = Placement::from_mapping([7, 6, 5, 4, 3, 2, 1, 0]).unwrap();
+/// assert_eq!(q.physical(0), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    logical_to_physical: [u8; SPE_COUNT],
+}
+
+impl Placement {
+    /// Logical SPE *i* runs on physical SPE *i*.
+    pub fn identity() -> Placement {
+        Placement {
+            logical_to_physical: [0, 1, 2, 3, 4, 5, 6, 7],
+        }
+    }
+
+    /// A uniformly random permutation — one simulated `spe_create_thread`
+    /// lottery draw.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Placement {
+        let mut map = [0u8, 1, 2, 3, 4, 5, 6, 7];
+        map.shuffle(rng);
+        Placement {
+            logical_to_physical: map,
+        }
+    }
+
+    /// Builds a placement from an explicit mapping.
+    ///
+    /// Returns `None` unless `map` is a permutation of `0..8`.
+    pub fn from_mapping(map: [u8; SPE_COUNT]) -> Option<Placement> {
+        let mut seen = [false; SPE_COUNT];
+        for &p in &map {
+            let slot = seen.get_mut(usize::from(p))?;
+            if *slot {
+                return None;
+            }
+            *slot = true;
+        }
+        Some(Placement {
+            logical_to_physical: map,
+        })
+    }
+
+    /// The physical SPE that logical SPE `logical` runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= 8`.
+    pub fn physical(&self, logical: usize) -> u8 {
+        self.logical_to_physical[logical]
+    }
+
+    /// The full mapping, indexed by logical SPE.
+    pub fn mapping(&self) -> &[u8; SPE_COUNT] {
+        &self.logical_to_physical
+    }
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Placement::identity()
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "placement[")?;
+        for (i, p) in self.logical_to_physical.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{i}→{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_maps_straight_through() {
+        let p = Placement::identity();
+        for i in 0..SPE_COUNT {
+            assert_eq!(p.physical(i), i as u8);
+        }
+    }
+
+    #[test]
+    fn random_is_a_permutation_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = Placement::random(&mut rng);
+        let mut seen = [false; SPE_COUNT];
+        for i in 0..SPE_COUNT {
+            seen[p.physical(i) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Determinism under the same seed.
+        let mut rng2 = StdRng::seed_from_u64(42);
+        assert_eq!(p, Placement::random(&mut rng2));
+    }
+
+    #[test]
+    fn from_mapping_rejects_non_permutations() {
+        assert!(Placement::from_mapping([0, 1, 2, 3, 4, 5, 6, 6]).is_none());
+        assert!(Placement::from_mapping([0, 1, 2, 3, 4, 5, 6, 8]).is_none());
+        assert!(Placement::from_mapping([1, 0, 3, 2, 5, 4, 7, 6]).is_some());
+    }
+
+    #[test]
+    fn display_mentions_every_lane() {
+        let s = Placement::identity().to_string();
+        assert!(s.contains("0→0") && s.contains("7→7"));
+    }
+}

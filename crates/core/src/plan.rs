@@ -1,0 +1,838 @@
+//! Per-SPE DMA programs: what each SPE transfers, and how it synchronizes.
+
+use std::error::Error;
+use std::fmt;
+
+use cellsim_mem::RegionId;
+use cellsim_mfc::{
+    DmaCommand, DmaError, DmaKind, DmaListCommand, EffectiveAddr, LsAddr, TagId, LOCAL_STORE_BYTES,
+};
+
+use crate::SPE_COUNT;
+
+/// The Local Store window each script cycles its DMA buffers through.
+/// Half the LS: the other half is left to "code" and to incoming traffic
+/// from partners, mirroring how the paper's micro-benchmarks are laid out.
+pub(crate) const LS_WINDOW: u32 = LOCAL_STORE_BYTES / 2;
+
+/// When the SPU waits for its outstanding DMAs (the paper's Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Enqueue everything, wait once at the end — the paper's rule for
+    /// maximum bandwidth.
+    AfterAll,
+    /// Wait for the tag group to quiesce after every `n` commands;
+    /// `Every(1)` is the worst case the paper plots.
+    Every(u32),
+}
+
+/// One queued unit of work: a DMA-elem command or a DMA-list command.
+#[derive(Debug, Clone)]
+pub enum Planned {
+    /// A single-chunk command.
+    Elem(DmaCommand),
+    /// A list command.
+    List(DmaListCommand),
+}
+
+impl Planned {
+    /// Payload bytes this unit will move.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Planned::Elem(c) => u64::from(c.bytes()),
+            Planned::List(l) => l.total_bytes(),
+        }
+    }
+}
+
+/// The DMA program of one logical SPE.
+#[derive(Debug, Clone, Default)]
+pub struct SpeScript {
+    pub(crate) commands: Vec<Planned>,
+    pub(crate) sync: Option<SyncPolicy>,
+}
+
+impl SpeScript {
+    /// Queued commands, in program order.
+    pub fn commands(&self) -> &[Planned] {
+        &self.commands
+    }
+
+    /// The script's synchronization policy ([`SyncPolicy::AfterAll`] when
+    /// unset).
+    pub fn sync(&self) -> SyncPolicy {
+        self.sync.unwrap_or(SyncPolicy::AfterAll)
+    }
+
+    /// Total payload bytes across the whole script.
+    pub fn total_bytes(&self) -> u64 {
+        self.commands.iter().map(Planned::bytes).sum()
+    }
+
+    /// Whether this SPE has no work.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+}
+
+/// A full-machine transfer plan: one script per logical SPE.
+#[derive(Debug, Clone, Default)]
+pub struct TransferPlan {
+    scripts: Vec<SpeScript>,
+}
+
+impl TransferPlan {
+    /// Starts building a plan.
+    pub fn builder() -> TransferPlanBuilder {
+        TransferPlanBuilder::new()
+    }
+
+    /// Scripts indexed by logical SPE (always [`SPE_COUNT`] entries).
+    pub fn scripts(&self) -> &[SpeScript] {
+        &self.scripts
+    }
+
+    /// Logical SPEs that have work.
+    pub fn active_spes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.scripts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, _)| i)
+    }
+
+    /// Total payload bytes across all SPEs.
+    pub fn total_bytes(&self) -> u64 {
+        self.scripts.iter().map(SpeScript::total_bytes).sum()
+    }
+
+    /// The main-memory region logical SPE `spe` streams *from* (GET).
+    pub fn get_region(spe: usize) -> RegionId {
+        RegionId(spe as u32)
+    }
+
+    /// The main-memory region logical SPE `spe` streams *to* (PUT). Lands
+    /// on the same bank parity as [`TransferPlan::get_region`] under the
+    /// default round-robin NUMA policy.
+    pub fn put_region(spe: usize) -> RegionId {
+        RegionId((2 * SPE_COUNT + spe) as u32)
+    }
+
+    /// The destination region of a GET+PUT copy: a different region on
+    /// the same bank as [`TransferPlan::get_region`] (the benchmark
+    /// allocates each SPE's source and destination on its own NUMA node).
+    /// Copy thus loads each bank with reads *and* writes, and the
+    /// aggregate across SPEs approaches the 23.8 GB/s two-bank peak the
+    /// paper reports.
+    pub fn copy_dst_region(spe: usize) -> RegionId {
+        RegionId((SPE_COUNT + spe) as u32)
+    }
+}
+
+/// Why a plan could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// Logical SPE index out of 0..8.
+    BadSpe(usize),
+    /// A stream's partner equals the streaming SPE.
+    SelfPartner(usize),
+    /// `total_bytes` is not a multiple of `elem_bytes`.
+    NotElemMultiple {
+        /// Requested total.
+        total: u64,
+        /// Requested element size.
+        elem: u32,
+    },
+    /// The underlying DMA command was invalid.
+    Dma(DmaError),
+    /// The plan has no work at all.
+    EmptyPlan,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::BadSpe(s) => write!(f, "logical SPE {s} out of range 0..8"),
+            PlanError::SelfPartner(s) => write!(f, "SPE {s} cannot stream to itself"),
+            PlanError::NotElemMultiple { total, elem } => {
+                write!(f, "total {total} is not a multiple of element size {elem}")
+            }
+            PlanError::Dma(e) => write!(f, "invalid DMA command: {e}"),
+            PlanError::EmptyPlan => write!(f, "plan has no work"),
+        }
+    }
+}
+
+impl Error for PlanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlanError::Dma(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DmaError> for PlanError {
+    fn from(e: DmaError) -> Self {
+        PlanError::Dma(e)
+    }
+}
+
+/// Builder for [`TransferPlan`]; methods chain and the first error is
+/// reported by [`TransferPlanBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct TransferPlanBuilder {
+    scripts: Vec<SpeScript>,
+    err: Option<PlanError>,
+}
+
+impl Default for TransferPlanBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TransferPlanBuilder {
+    /// An empty builder.
+    pub fn new() -> TransferPlanBuilder {
+        TransferPlanBuilder {
+            scripts: vec![SpeScript::default(); SPE_COUNT],
+            err: None,
+        }
+    }
+
+    /// Finishes the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error any chained method produced, or
+    /// [`PlanError::EmptyPlan`] if nothing was added.
+    pub fn build(self) -> Result<TransferPlan, PlanError> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        if self.scripts.iter().all(SpeScript::is_empty) {
+            return Err(PlanError::EmptyPlan);
+        }
+        Ok(TransferPlan {
+            scripts: self.scripts,
+        })
+    }
+
+    /// Sets the synchronization policy of `spe`'s script.
+    pub fn sync_policy(mut self, spe: usize, sync: SyncPolicy) -> Self {
+        if self.err.is_none() {
+            if spe >= SPE_COUNT {
+                self.err = Some(PlanError::BadSpe(spe));
+            } else {
+                self.scripts[spe].sync = Some(sync);
+            }
+        }
+        self
+    }
+
+    /// SPE `spe` GETs `total_bytes` from its main-memory region in
+    /// `elem_bytes` DMA-elem chunks.
+    pub fn get_from_memory(
+        self,
+        spe: usize,
+        total_bytes: u64,
+        elem_bytes: u32,
+        sync: SyncPolicy,
+    ) -> Self {
+        self.memory_stream(spe, DmaKind::Get, total_bytes, elem_bytes, sync, false)
+    }
+
+    /// SPE `spe` PUTs `total_bytes` to its main-memory region in
+    /// `elem_bytes` DMA-elem chunks.
+    pub fn put_to_memory(
+        self,
+        spe: usize,
+        total_bytes: u64,
+        elem_bytes: u32,
+        sync: SyncPolicy,
+    ) -> Self {
+        self.memory_stream(spe, DmaKind::Put, total_bytes, elem_bytes, sync, false)
+    }
+
+    /// Memory→LS→memory copy: alternating GET (from the SPE's get region)
+    /// and PUT (to its put region) — the paper's GET+PUT experiment.
+    pub fn copy_memory(
+        mut self,
+        spe: usize,
+        total_bytes: u64,
+        elem_bytes: u32,
+        sync: SyncPolicy,
+    ) -> Self {
+        if self.err.is_some() {
+            return self;
+        }
+        if let Err(e) = self.check_stream(spe, total_bytes, elem_bytes) {
+            self.err = Some(e);
+            return self;
+        }
+        let count = total_bytes / u64::from(elem_bytes);
+        for j in 0..count {
+            let ls = ls_slot(j, elem_bytes);
+            let ea_off = j * u64::from(elem_bytes);
+            // Each LS slot gets its own tag chain, and every command in
+            // the chain is fenced: the put waits for the get that filled
+            // the slot, and a later get waits for the put that drained it
+            // — real double-buffered copy code (mfc_getf/mfc_putf).
+            let chain = chain_tag(j);
+            for (kind, region) in [
+                (DmaKind::Get, TransferPlan::get_region(spe)),
+                (DmaKind::Put, TransferPlan::copy_dst_region(spe)),
+            ] {
+                let ea = EffectiveAddr::Memory {
+                    region,
+                    offset: ea_off,
+                };
+                match DmaCommand::new(kind, ls, ea, elem_bytes, chain) {
+                    Ok(cmd) => self.scripts[spe]
+                        .commands
+                        .push(Planned::Elem(cmd.with_fence())),
+                    Err(e) => {
+                        self.err = Some(e.into());
+                        return self;
+                    }
+                }
+            }
+        }
+        self.scripts[spe].sync.get_or_insert(sync);
+        self
+    }
+
+    /// SPE `spe` GETs from `partner`'s Local Store in DMA-elem chunks.
+    pub fn get_from_spe(
+        self,
+        spe: usize,
+        partner: usize,
+        total_bytes: u64,
+        elem_bytes: u32,
+        sync: SyncPolicy,
+    ) -> Self {
+        self.ls_stream(
+            spe,
+            partner,
+            DmaKind::Get,
+            total_bytes,
+            elem_bytes,
+            sync,
+            false,
+        )
+    }
+
+    /// SPE `spe` PUTs into `partner`'s Local Store in DMA-elem chunks.
+    pub fn put_to_spe(
+        self,
+        spe: usize,
+        partner: usize,
+        total_bytes: u64,
+        elem_bytes: u32,
+        sync: SyncPolicy,
+    ) -> Self {
+        self.ls_stream(
+            spe,
+            partner,
+            DmaKind::Put,
+            total_bytes,
+            elem_bytes,
+            sync,
+            false,
+        )
+    }
+
+    /// Simultaneous read and write with `partner` (alternating GET and PUT
+    /// of `total_bytes` each) — the paper's SPE↔SPE experiments.
+    pub fn exchange_with(
+        mut self,
+        spe: usize,
+        partner: usize,
+        total_bytes: u64,
+        elem_bytes: u32,
+        sync: SyncPolicy,
+    ) -> Self {
+        if self.err.is_some() {
+            return self;
+        }
+        if let Err(e) = self.check_pair(spe, partner, total_bytes, elem_bytes) {
+            self.err = Some(e);
+            return self;
+        }
+        let count = total_bytes / u64::from(elem_bytes);
+        for j in 0..count {
+            let ls = ls_slot(j, elem_bytes);
+            for kind in [DmaKind::Get, DmaKind::Put] {
+                let ea = partner_ea(partner, j, elem_bytes, kind);
+                match DmaCommand::new(kind, ls, ea, elem_bytes, tag()) {
+                    Ok(cmd) => self.scripts[spe].commands.push(Planned::Elem(cmd)),
+                    Err(e) => {
+                        self.err = Some(e.into());
+                        return self;
+                    }
+                }
+            }
+        }
+        self.scripts[spe].sync.get_or_insert(sync);
+        self
+    }
+
+    /// DMA-list variant of [`TransferPlanBuilder::get_from_memory`].
+    pub fn get_from_memory_list(
+        self,
+        spe: usize,
+        total_bytes: u64,
+        elem_bytes: u32,
+        sync: SyncPolicy,
+    ) -> Self {
+        self.memory_stream(spe, DmaKind::Get, total_bytes, elem_bytes, sync, true)
+    }
+
+    /// DMA-list variant of [`TransferPlanBuilder::put_to_memory`].
+    pub fn put_to_memory_list(
+        self,
+        spe: usize,
+        total_bytes: u64,
+        elem_bytes: u32,
+        sync: SyncPolicy,
+    ) -> Self {
+        self.memory_stream(spe, DmaKind::Put, total_bytes, elem_bytes, sync, true)
+    }
+
+    /// DMA-list variant of [`TransferPlanBuilder::exchange_with`]:
+    /// alternating GETL and PUTL list commands.
+    pub fn exchange_with_list(
+        mut self,
+        spe: usize,
+        partner: usize,
+        total_bytes: u64,
+        elem_bytes: u32,
+        sync: SyncPolicy,
+    ) -> Self {
+        if self.err.is_some() {
+            return self;
+        }
+        if let Err(e) = self.check_pair(spe, partner, total_bytes, elem_bytes) {
+            self.err = Some(e);
+            return self;
+        }
+        let per_list = elems_per_list(elem_bytes);
+        let total_elems = total_bytes / u64::from(elem_bytes);
+        let mut done = 0u64;
+        while done < total_elems {
+            let n = per_list.min((total_elems - done) as usize);
+            for kind in [DmaKind::Get, DmaKind::Put] {
+                let base = partner_ea(partner, done, elem_bytes, kind);
+                match DmaListCommand::contiguous(kind, LsAddr(0), base, elem_bytes, n, tag()) {
+                    Ok(cmd) => self.scripts[spe].commands.push(Planned::List(cmd)),
+                    Err(e) => {
+                        self.err = Some(e.into());
+                        return self;
+                    }
+                }
+            }
+            done += n as u64;
+        }
+        self.scripts[spe].sync.get_or_insert(sync);
+        self
+    }
+
+    fn memory_stream(
+        mut self,
+        spe: usize,
+        kind: DmaKind,
+        total_bytes: u64,
+        elem_bytes: u32,
+        sync: SyncPolicy,
+        list: bool,
+    ) -> Self {
+        if self.err.is_some() {
+            return self;
+        }
+        if let Err(e) = self.check_stream(spe, total_bytes, elem_bytes) {
+            self.err = Some(e);
+            return self;
+        }
+        let region = match kind {
+            DmaKind::Get => TransferPlan::get_region(spe),
+            DmaKind::Put => TransferPlan::put_region(spe),
+        };
+        let result = if list {
+            push_list_stream(
+                &mut self.scripts[spe],
+                kind,
+                region_ea(region, 0),
+                total_bytes,
+                elem_bytes,
+            )
+        } else {
+            push_elem_stream(
+                &mut self.scripts[spe],
+                kind,
+                region_ea(region, 0),
+                total_bytes,
+                elem_bytes,
+            )
+        };
+        if let Err(e) = result {
+            self.err = Some(e);
+            return self;
+        }
+        self.scripts[spe].sync.get_or_insert(sync);
+        self
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ls_stream(
+        mut self,
+        spe: usize,
+        partner: usize,
+        kind: DmaKind,
+        total_bytes: u64,
+        elem_bytes: u32,
+        sync: SyncPolicy,
+        list: bool,
+    ) -> Self {
+        if self.err.is_some() {
+            return self;
+        }
+        if let Err(e) = self.check_pair(spe, partner, total_bytes, elem_bytes) {
+            self.err = Some(e);
+            return self;
+        }
+        let base = partner_ea(partner, 0, elem_bytes, kind);
+        let result = if list {
+            push_list_stream(&mut self.scripts[spe], kind, base, total_bytes, elem_bytes)
+        } else {
+            push_elem_stream(&mut self.scripts[spe], kind, base, total_bytes, elem_bytes)
+        };
+        if let Err(e) = result {
+            self.err = Some(e);
+            return self;
+        }
+        self.scripts[spe].sync.get_or_insert(sync);
+        self
+    }
+
+    /// Queues one GET of an arbitrary block (any valid DMA size ≤
+    /// region bounds), split into ≤16 KB commands on a rotating Local
+    /// Store window. The building block for task runtimes.
+    pub fn get_block(self, spe: usize, region: RegionId, offset: u64, bytes: u64) -> Self {
+        self.block(spe, DmaKind::Get, region, offset, bytes)
+    }
+
+    /// Queues one PUT of an arbitrary block (see
+    /// [`TransferPlanBuilder::get_block`]).
+    pub fn put_block(self, spe: usize, region: RegionId, offset: u64, bytes: u64) -> Self {
+        self.block(spe, DmaKind::Put, region, offset, bytes)
+    }
+
+    fn block(
+        mut self,
+        spe: usize,
+        kind: DmaKind,
+        region: RegionId,
+        offset: u64,
+        bytes: u64,
+    ) -> Self {
+        if self.err.is_some() {
+            return self;
+        }
+        if spe >= SPE_COUNT {
+            self.err = Some(PlanError::BadSpe(spe));
+            return self;
+        }
+        let mut done = 0u64;
+        while done < bytes {
+            let chunk = (bytes - done).min(u64::from(cellsim_mfc::MAX_DMA_BYTES)) as u32;
+            let ls = ls_slot((offset + done) / 16, 16);
+            let ea = EffectiveAddr::Memory {
+                region,
+                offset: offset + done,
+            };
+            match DmaCommand::new(kind, ls, ea, chunk, tag()) {
+                Ok(cmd) => self.scripts[spe].commands.push(Planned::Elem(cmd)),
+                Err(e) => {
+                    self.err = Some(e.into());
+                    return self;
+                }
+            }
+            done += u64::from(chunk);
+        }
+        self.scripts[spe].sync.get_or_insert(SyncPolicy::AfterAll);
+        self
+    }
+
+    fn check_stream(&self, spe: usize, total: u64, elem: u32) -> Result<(), PlanError> {
+        if spe >= SPE_COUNT {
+            return Err(PlanError::BadSpe(spe));
+        }
+        if elem == 0 || !total.is_multiple_of(u64::from(elem)) {
+            return Err(PlanError::NotElemMultiple { total, elem });
+        }
+        Ok(())
+    }
+
+    fn check_pair(
+        &self,
+        spe: usize,
+        partner: usize,
+        total: u64,
+        elem: u32,
+    ) -> Result<(), PlanError> {
+        self.check_stream(spe, total, elem)?;
+        if partner >= SPE_COUNT {
+            return Err(PlanError::BadSpe(partner));
+        }
+        if partner == spe {
+            return Err(PlanError::SelfPartner(spe));
+        }
+        Ok(())
+    }
+}
+
+fn tag() -> TagId {
+    TagId::new(0).expect("tag 0 valid")
+}
+
+/// One of 32 rotating tag chains used by fenced copy pipelines.
+fn chain_tag(j: u64) -> TagId {
+    TagId::new((j % 32) as u8).expect("mod 32 is a valid tag")
+}
+
+/// Rotating Local Store slot for the `j`-th element of a stream.
+fn ls_slot(j: u64, elem_bytes: u32) -> LsAddr {
+    LsAddr(((j * u64::from(elem_bytes)) % u64::from(LS_WINDOW)) as u32)
+}
+
+/// EA inside the partner's Local Store for element `j`. GETs read from the
+/// partner's outgoing window (first half); PUTs land in its incoming
+/// window (second half) so the two directions never alias.
+fn partner_ea(partner: usize, j: u64, elem_bytes: u32, kind: DmaKind) -> EffectiveAddr {
+    let base = match kind {
+        DmaKind::Get => 0,
+        DmaKind::Put => LS_WINDOW,
+    };
+    EffectiveAddr::LocalStore {
+        spe: partner as u8,
+        offset: base + ((j * u64::from(elem_bytes)) % u64::from(LS_WINDOW)) as u32,
+    }
+}
+
+fn region_ea(region: RegionId, offset: u64) -> EffectiveAddr {
+    EffectiveAddr::Memory { region, offset }
+}
+
+fn push_elem_stream(
+    script: &mut SpeScript,
+    kind: DmaKind,
+    base: EffectiveAddr,
+    total_bytes: u64,
+    elem_bytes: u32,
+) -> Result<(), PlanError> {
+    let count = total_bytes / u64::from(elem_bytes);
+    for j in 0..count {
+        let ls = ls_slot(j, elem_bytes);
+        let ea = match base {
+            EffectiveAddr::Memory { region, .. } => region_ea(region, j * u64::from(elem_bytes)),
+            // `base`'s offset is the window start (0 or LS_WINDOW).
+            EffectiveAddr::LocalStore { spe, offset } => EffectiveAddr::LocalStore {
+                spe,
+                offset: offset + ((j * u64::from(elem_bytes)) % u64::from(LS_WINDOW)) as u32,
+            },
+        };
+        let cmd = DmaCommand::new(kind, ls, ea, elem_bytes, tag())?;
+        script.commands.push(Planned::Elem(cmd));
+    }
+    Ok(())
+}
+
+/// How many elements fit one list command: bounded by the hardware's 2048
+/// and by the Local Store window the payload packs into.
+fn elems_per_list(elem_bytes: u32) -> usize {
+    let by_ls = (LS_WINDOW / elem_bytes).max(1) as usize;
+    by_ls.min(cellsim_mfc::MAX_LIST_ELEMENTS)
+}
+
+fn push_list_stream(
+    script: &mut SpeScript,
+    kind: DmaKind,
+    base: EffectiveAddr,
+    total_bytes: u64,
+    elem_bytes: u32,
+) -> Result<(), PlanError> {
+    let per_list = elems_per_list(elem_bytes);
+    let total_elems = total_bytes / u64::from(elem_bytes);
+    let mut done = 0u64;
+    while done < total_elems {
+        let n = per_list.min((total_elems - done) as usize);
+        let ea = match base {
+            EffectiveAddr::Memory { region, .. } => region_ea(region, done * u64::from(elem_bytes)),
+            ls @ EffectiveAddr::LocalStore { .. } => ls,
+        };
+        let cmd = DmaListCommand::contiguous(kind, LsAddr(0), ea, elem_bytes, n, tag())?;
+        script.commands.push(Planned::List(cmd));
+        done += n as u64;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_get_builds_expected_commands() {
+        let plan = TransferPlan::builder()
+            .get_from_memory(0, 4096, 1024, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let script = &plan.scripts()[0];
+        assert_eq!(script.commands().len(), 4);
+        assert_eq!(script.total_bytes(), 4096);
+        assert_eq!(plan.total_bytes(), 4096);
+        assert_eq!(plan.active_spes().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn copy_alternates_get_and_put() {
+        let plan = TransferPlan::builder()
+            .copy_memory(2, 2048, 1024, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let cmds = plan.scripts()[2].commands();
+        assert_eq!(cmds.len(), 4);
+        let kinds: Vec<_> = cmds
+            .iter()
+            .map(|p| match p {
+                Planned::Elem(c) => c.kind(),
+                Planned::List(_) => panic!("elem expected"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![DmaKind::Get, DmaKind::Put, DmaKind::Get, DmaKind::Put]
+        );
+        // Copy moves 2x the buffer.
+        assert_eq!(plan.total_bytes(), 4096);
+    }
+
+    #[test]
+    fn exchange_uses_disjoint_partner_windows() {
+        let plan = TransferPlan::builder()
+            .exchange_with(0, 1, 4096, 2048, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        for p in plan.scripts()[0].commands() {
+            let Planned::Elem(c) = p else { panic!() };
+            let EffectiveAddr::LocalStore { spe, offset } = c.ea() else {
+                panic!("LS target expected")
+            };
+            assert_eq!(spe, 1);
+            match c.kind() {
+                DmaKind::Get => assert!(offset < LS_WINDOW),
+                DmaKind::Put => assert!(offset >= LS_WINDOW),
+            }
+        }
+    }
+
+    #[test]
+    fn list_streams_chunk_within_hardware_limits() {
+        let plan = TransferPlan::builder()
+            .get_from_memory_list(0, 1 << 20, 128, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        for p in plan.scripts()[0].commands() {
+            let Planned::List(l) = p else {
+                panic!("list expected")
+            };
+            assert!(l.elements().len() <= cellsim_mfc::MAX_LIST_ELEMENTS);
+            assert!(l.total_bytes() <= u64::from(LS_WINDOW));
+        }
+        assert_eq!(plan.total_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn ls_slots_wrap_and_stay_aligned() {
+        // Enough elements to wrap the 128 KiB window.
+        let plan = TransferPlan::builder()
+            .get_from_memory(0, 1 << 20, 16 * 1024, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        for p in plan.scripts()[0].commands() {
+            let Planned::Elem(c) = p else { panic!() };
+            assert!(c.ls().0 + c.bytes() <= LOCAL_STORE_BYTES);
+            assert_eq!(c.ls().0 % 16, 0);
+        }
+    }
+
+    #[test]
+    fn errors_surface_at_build() {
+        assert_eq!(
+            TransferPlan::builder().build().unwrap_err(),
+            PlanError::EmptyPlan
+        );
+        assert_eq!(
+            TransferPlan::builder()
+                .get_from_memory(9, 1024, 128, SyncPolicy::AfterAll)
+                .build()
+                .unwrap_err(),
+            PlanError::BadSpe(9)
+        );
+        assert_eq!(
+            TransferPlan::builder()
+                .get_from_memory(0, 1000, 128, SyncPolicy::AfterAll)
+                .build()
+                .unwrap_err(),
+            PlanError::NotElemMultiple {
+                total: 1000,
+                elem: 128
+            }
+        );
+        assert_eq!(
+            TransferPlan::builder()
+                .exchange_with(3, 3, 1024, 128, SyncPolicy::AfterAll)
+                .build()
+                .unwrap_err(),
+            PlanError::SelfPartner(3)
+        );
+        // Invalid DMA size (not 1/2/4/8 or a multiple of 16) propagates
+        // from the MFC validator.
+        assert!(matches!(
+            TransferPlan::builder()
+                .get_from_memory(0, 72, 72, SyncPolicy::AfterAll)
+                .build()
+                .unwrap_err(),
+            PlanError::Dma(DmaError::InvalidSize(72))
+        ));
+    }
+
+    #[test]
+    fn sync_policy_recorded_per_script() {
+        let plan = TransferPlan::builder()
+            .get_from_memory(0, 1024, 128, SyncPolicy::Every(2))
+            .get_from_memory(1, 1024, 128, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        assert_eq!(plan.scripts()[0].sync(), SyncPolicy::Every(2));
+        assert_eq!(plan.scripts()[1].sync(), SyncPolicy::AfterAll);
+    }
+
+    #[test]
+    fn regions_are_disjoint_per_spe_and_direction() {
+        let mut seen = std::collections::HashSet::new();
+        for spe in 0..SPE_COUNT {
+            assert!(seen.insert(TransferPlan::get_region(spe)));
+            assert!(seen.insert(TransferPlan::put_region(spe)));
+        }
+        for spe in 0..SPE_COUNT {
+            // Copy destinations may alias other SPEs' copy destinations'
+            // parity but never a get/put region of the same SPE.
+            assert_ne!(
+                TransferPlan::copy_dst_region(spe),
+                TransferPlan::get_region(spe)
+            );
+        }
+    }
+}

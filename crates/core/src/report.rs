@@ -1,0 +1,305 @@
+//! Result tables: figures, series, and placement-spread summaries.
+//!
+//! Every experiment in [`crate::experiments`] renders into one of two
+//! shapes, matching the paper's plots:
+//!
+//! * [`Figure`] — bandwidth (GB/s) versus a swept parameter, one
+//!   [`Series`] per configuration (e.g. "2 SPEs", "1 thread");
+//! * [`SpreadFigure`] — min/median/mean/max over random SPE placements
+//!   per swept parameter (the paper's Figures 13 and 16).
+
+use std::fmt;
+
+use cellsim_kernel::stats::Summary;
+
+/// One plotted point: a swept-parameter label and a bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// The x value, already formatted ("128 B", "2 threads", …).
+    pub x: String,
+    /// Bandwidth in GB/s.
+    pub gbps: f64,
+}
+
+/// One curve of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label ("2 SPEs", "load 1 thread", …).
+    pub label: String,
+    /// Points in sweep order.
+    pub points: Vec<Point>,
+}
+
+/// A reproduced figure: bandwidth versus a swept parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Paper identifier ("3a", "8c", "15b", "§4.2.2", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Name of the swept parameter.
+    pub x_label: String,
+    /// The curves. Every series must cover the same x values, in order.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Bandwidth at (`series_label`, `x`), if present — convenient for
+    /// assertions.
+    pub fn value(&self, series_label: &str, x: &str) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.label == series_label)?
+            .points
+            .iter()
+            .find(|p| p.x == x)
+            .map(|p| p.gbps)
+    }
+}
+
+impl fmt::Display for Figure {
+    /// Renders an aligned text table: rows are x values, columns series.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure {} — {} (GB/s)", self.id, self.title)?;
+        let xs: Vec<&str> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.x.as_str()).collect())
+            .unwrap_or_default();
+        let x_width = xs
+            .iter()
+            .map(|x| x.len())
+            .chain([self.x_label.len()])
+            .max()
+            .unwrap_or(8);
+        let widths: Vec<usize> = self.series.iter().map(|s| s.label.len().max(7)).collect();
+        write!(f, "  {:<x_width$}", self.x_label)?;
+        for (s, w) in self.series.iter().zip(&widths) {
+            write!(f, "  {:>w$}", s.label)?;
+        }
+        writeln!(f)?;
+        for (row, x) in xs.iter().enumerate() {
+            write!(f, "  {x:<x_width$}")?;
+            for (s, w) in self.series.iter().zip(&widths) {
+                match s.points.get(row) {
+                    Some(p) => write!(f, "  {:>w$.2}", p.gbps)?,
+                    None => write!(f, "  {:>w$}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A placement-sensitivity figure: per x value, the min/median/mean/max
+/// bandwidth over random logical→physical SPE placements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpreadFigure {
+    /// Paper identifier ("13a", "16b", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Name of the swept parameter.
+    pub x_label: String,
+    /// One summary row per swept value.
+    pub rows: Vec<(String, Summary)>,
+}
+
+impl SpreadFigure {
+    /// The largest max−min spread across rows — the headline
+    /// placement-sensitivity number.
+    pub fn max_spread(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|(_, s)| s.spread())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for SpreadFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure {} — {} (GB/s over placements)",
+            self.id, self.title
+        )?;
+        let x_width = self
+            .rows
+            .iter()
+            .map(|(x, _)| x.len())
+            .chain([self.x_label.len()])
+            .max()
+            .unwrap_or(8);
+        writeln!(
+            f,
+            "  {:<x_width$}  {:>8}  {:>8}  {:>8}  {:>8}",
+            self.x_label, "min", "median", "mean", "max"
+        )?;
+        for (x, s) in &self.rows {
+            writeln!(
+                f,
+                "  {x:<x_width$}  {:>8.2}  {:>8.2}  {:>8.2}  {:>8.2}",
+                s.min, s.median, s.mean, s.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Figure {
+    /// Renders the figure as CSV: header `x,<series...>`, one row per
+    /// swept value. Ready for any plotting tool.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.label);
+        }
+        out.push('\n');
+        let rows = self.series.first().map_or(0, |s| s.points.len());
+        for row in 0..rows {
+            out.push_str(&self.series[0].points[row].x);
+            for s in &self.series {
+                out.push(',');
+                match s.points.get(row) {
+                    Some(p) => out.push_str(&format!("{:.4}", p.gbps)),
+                    None => out.push_str(""),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl SpreadFigure {
+    /// Renders the spread figure as CSV with min/median/mean/max columns.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("{},min,median,mean,max\n", self.x_label);
+        for (x, s) in &self.rows {
+            out.push_str(&format!(
+                "{x},{:.4},{:.4},{:.4},{:.4}\n",
+                s.min, s.median, s.mean, s.max
+            ));
+        }
+        out
+    }
+}
+
+/// Formats a byte count the way the paper labels its x axes.
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= 1024 && bytes.is_multiple_of(1024) {
+        format!("{} KB", bytes / 1024)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        Figure {
+            id: "t1".into(),
+            title: "test".into(),
+            x_label: "elem".into(),
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    points: vec![
+                        Point {
+                            x: "128 B".into(),
+                            gbps: 1.5,
+                        },
+                        Point {
+                            x: "1 KB".into(),
+                            gbps: 3.25,
+                        },
+                    ],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![
+                        Point {
+                            x: "128 B".into(),
+                            gbps: 2.0,
+                        },
+                        Point {
+                            x: "1 KB".into(),
+                            gbps: 4.0,
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn value_lookup_finds_cells() {
+        let fig = sample_figure();
+        assert_eq!(fig.value("a", "1 KB"), Some(3.25));
+        assert_eq!(fig.value("b", "128 B"), Some(2.0));
+        assert_eq!(fig.value("c", "128 B"), None);
+        assert_eq!(fig.value("a", "2 KB"), None);
+    }
+
+    #[test]
+    fn figure_renders_all_cells() {
+        let text = sample_figure().to_string();
+        assert!(text.contains("Figure t1"));
+        assert!(text.contains("128 B"));
+        assert!(text.contains("3.25"));
+        assert!(text.contains("4.00"));
+    }
+
+    #[test]
+    fn spread_figure_renders_and_spreads() {
+        let fig = SpreadFigure {
+            id: "t2".into(),
+            title: "spread".into(),
+            x_label: "elem".into(),
+            rows: vec![(
+                "1 KB".into(),
+                Summary::from_samples(&[1.0, 5.0, 3.0]).unwrap(),
+            )],
+        };
+        assert_eq!(fig.max_spread(), 4.0);
+        let text = fig.to_string();
+        assert!(text.contains("median"));
+        assert!(text.contains("5.00"));
+    }
+
+    #[test]
+    fn csv_round_trips_structure() {
+        let csv = sample_figure().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("elem,a,b"));
+        assert_eq!(lines.next(), Some("128 B,1.5000,2.0000"));
+        assert_eq!(lines.next(), Some("1 KB,3.2500,4.0000"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn spread_csv_has_summary_columns() {
+        let fig = SpreadFigure {
+            id: "t3".into(),
+            title: "spread".into(),
+            x_label: "elem".into(),
+            rows: vec![("2 KB".into(), Summary::from_samples(&[2.0, 4.0]).unwrap())],
+        };
+        let csv = fig.to_csv();
+        assert!(csv.starts_with("elem,min,median,mean,max\n"));
+        assert!(csv.contains("2 KB,2.0000,3.0000,3.0000,4.0000"));
+    }
+
+    #[test]
+    fn byte_formatting_matches_paper_axes() {
+        assert_eq!(format_bytes(128), "128 B");
+        assert_eq!(format_bytes(1024), "1 KB");
+        assert_eq!(format_bytes(16384), "16 KB");
+        assert_eq!(format_bytes(100), "100 B");
+    }
+}

@@ -1,0 +1,234 @@
+//! Fabric tracing: what the machine did, cycle by cycle.
+//!
+//! [`crate::CellSystem::run_traced`] records a [`FabricTrace`]: one event
+//! per packet phase (command issue, memory access, ring grant, delivery).
+//! The analysis methods turn that into the quantities an architect asks
+//! for — a throughput timeline, per-ring grant shares, per-SPE delivery
+//! breakdowns — without re-running the simulation.
+
+use cellsim_eib::RingId;
+use cellsim_kernel::trace::Trace;
+use cellsim_kernel::{Cycle, MachineClock};
+use cellsim_mem::BankId;
+
+/// One traced fabric occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricEvent {
+    /// An MFC put a packet on the command bus.
+    CommandIssued {
+        /// Initiating logical SPE.
+        spe: usize,
+    },
+    /// A DRAM access was queued.
+    MemoryAccess {
+        /// Which bank served it.
+        bank: BankId,
+        /// Payload size.
+        bytes: u32,
+    },
+    /// The data arbiter granted a ring.
+    Granted {
+        /// Ring carrying the packet.
+        ring: RingId,
+        /// Path length.
+        hops: usize,
+        /// Payload size.
+        bytes: u32,
+    },
+    /// A payload arrived at its destination.
+    Delivered {
+        /// Initiating logical SPE.
+        spe: usize,
+        /// Payload size.
+        bytes: u32,
+    },
+}
+
+/// A recorded fabric run.
+#[derive(Debug, Clone, Default)]
+pub struct FabricTrace {
+    pub(crate) trace: Trace<FabricEvent>,
+}
+
+impl FabricTrace {
+    /// An empty trace with the default capacity.
+    pub fn new() -> FabricTrace {
+        FabricTrace::default()
+    }
+
+    /// The raw events, in time order.
+    pub fn events(&self) -> &[cellsim_kernel::trace::TraceEvent<FabricEvent>] {
+        self.trace.events()
+    }
+
+    /// Events that arrived after the trace filled.
+    pub fn dropped(&self) -> u64 {
+        self.trace.dropped()
+    }
+
+    /// Delivered-bytes throughput (GB/s) per `bucket_cycles` window —
+    /// the time-resolved version of the experiment's single number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_cycles` is zero.
+    pub fn throughput_timeline(
+        &self,
+        clock: &MachineClock,
+        bucket_cycles: u64,
+    ) -> Vec<(Cycle, f64)> {
+        assert!(bucket_cycles > 0, "bucket must be non-zero");
+        let mut buckets: Vec<u64> = Vec::new();
+        for e in self.trace.events() {
+            if let FabricEvent::Delivered { bytes, .. } = e.kind {
+                let idx = (e.at.as_u64() / bucket_cycles) as usize;
+                if buckets.len() <= idx {
+                    buckets.resize(idx + 1, 0);
+                }
+                buckets[idx] += u64::from(bytes);
+            }
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| {
+                (
+                    Cycle::new(i as u64 * bucket_cycles),
+                    clock.gbytes_per_sec(b, bucket_cycles),
+                )
+            })
+            .collect()
+    }
+
+    /// Bytes granted per ring: how evenly the arbiter spread the load.
+    pub fn ring_shares(&self) -> Vec<(RingId, u64)> {
+        let mut shares: Vec<(RingId, u64)> = Vec::new();
+        for e in self.trace.events() {
+            if let FabricEvent::Granted { ring, bytes, .. } = e.kind {
+                match shares.iter_mut().find(|(r, _)| *r == ring) {
+                    Some((_, b)) => *b += u64::from(bytes),
+                    None => shares.push((ring, u64::from(bytes))),
+                }
+            }
+        }
+        shares.sort_by_key(|&(r, _)| r);
+        shares
+    }
+
+    /// Mean hop count over all grants — the placement-quality metric.
+    pub fn mean_hops(&self) -> f64 {
+        let (sum, n) = self
+            .trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FabricEvent::Granted { hops, .. } => Some(hops as u64),
+                _ => None,
+            })
+            .fold((0u64, 0u64), |(s, n), h| (s + h, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Delivered bytes per logical SPE.
+    pub fn per_spe_bytes(&self) -> Vec<(usize, u64)> {
+        let mut out: Vec<(usize, u64)> = Vec::new();
+        for e in self.trace.events() {
+            if let FabricEvent::Delivered { spe, bytes } = e.kind {
+                match out.iter_mut().find(|(s, _)| *s == spe) {
+                    Some((_, b)) => *b += u64::from(bytes),
+                    None => out.push((spe, u64::from(bytes))),
+                }
+            }
+        }
+        out.sort_by_key(|&(s, _)| s);
+        out
+    }
+
+    /// Bytes served per memory bank.
+    pub fn bank_bytes(&self) -> Vec<(BankId, u64)> {
+        let mut out: Vec<(BankId, u64)> = Vec::new();
+        for e in self.trace.events() {
+            if let FabricEvent::MemoryAccess { bank, bytes } = e.kind {
+                match out.iter_mut().find(|(b, _)| *b == bank) {
+                    Some((_, acc)) => *acc += u64::from(bytes),
+                    None => out.push((bank, u64::from(bytes))),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellSystem, Placement, SyncPolicy, TransferPlan};
+
+    fn traced_run() -> FabricTrace {
+        let sys = CellSystem::blade();
+        let plan = TransferPlan::builder()
+            .get_from_memory(0, 256 << 10, 16 * 1024, SyncPolicy::AfterAll)
+            .get_from_memory(1, 256 << 10, 16 * 1024, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let (_, trace) = sys.run_traced(&Placement::identity(), &plan);
+        trace
+    }
+
+    #[test]
+    fn trace_captures_every_packet_phase() {
+        let trace = traced_run();
+        let events = trace.events();
+        let count =
+            |pred: fn(&FabricEvent) -> bool| events.iter().filter(|e| pred(&e.kind)).count();
+        // 512 KiB / 128 B = 4096 packets, each with one of each phase.
+        assert_eq!(
+            count(|k| matches!(k, FabricEvent::CommandIssued { .. })),
+            4096
+        );
+        assert_eq!(count(|k| matches!(k, FabricEvent::Delivered { .. })), 4096);
+        assert_eq!(count(|k| matches!(k, FabricEvent::Granted { .. })), 4096);
+        assert_eq!(trace.dropped(), 0);
+    }
+
+    #[test]
+    fn timeline_integrates_to_total_bytes() {
+        let trace = traced_run();
+        let clock = MachineClock::default();
+        let bucket = 1000;
+        let timeline = trace.throughput_timeline(&clock, bucket);
+        assert!(!timeline.is_empty());
+        let total: f64 = timeline
+            .iter()
+            .map(|(_, gbps)| gbps * clock.seconds(bucket) * 1e9)
+            .sum();
+        assert!((total - 512.0 * 1024.0).abs() < 1.0, "total={total}");
+    }
+
+    #[test]
+    fn banks_split_the_two_spe_load() {
+        let trace = traced_run();
+        let banks = trace.bank_bytes();
+        assert_eq!(banks.len(), 2, "round-robin regions use both banks");
+        for (_, bytes) in banks {
+            assert_eq!(bytes, 256 << 10);
+        }
+    }
+
+    #[test]
+    fn per_spe_accounting_matches_the_plan() {
+        let trace = traced_run();
+        assert_eq!(trace.per_spe_bytes(), vec![(0, 256 << 10), (1, 256 << 10)]);
+    }
+
+    #[test]
+    fn mean_hops_is_positive_and_small() {
+        let trace = traced_run();
+        let h = trace.mean_hops();
+        assert!((1.0..=6.0).contains(&h), "h={h}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the EIB: routing invariants and arbitration
+//! liveness/conservation.
+
+use cellsim_eib::{Eib, EibConfig, Element, FlowClass, RingOccupancy, Topology, TransferRequest};
+use cellsim_kernel::Cycle;
+use proptest::prelude::*;
+
+fn element() -> impl Strategy<Value = Element> {
+    prop_oneof![
+        Just(Element::Ppe),
+        (0u8..8).prop_map(Element::Spe),
+        Just(Element::Mic),
+        Just(Element::Ioif0),
+        Just(Element::Ioif1),
+    ]
+}
+
+fn distinct_pair() -> impl Strategy<Value = (Element, Element)> {
+    (element(), element()).prop_filter("distinct", |(a, b)| a != b)
+}
+
+proptest! {
+    /// Routing invariants on the production topology: at most halfway,
+    /// segment count equals hop count, and CW/CCW hops sum to the ring.
+    #[test]
+    fn routes_are_shortest_and_consistent((a, b) in distinct_pair()) {
+        let t = Topology::cbe();
+        let routes = t.routes(a, b);
+        prop_assert!(!routes.is_empty());
+        prop_assert!(routes[0].hops == t.distance(a, b));
+        for r in &routes {
+            prop_assert!(r.hops >= 1 && r.hops <= 6);
+            prop_assert_eq!(r.segments.count_ones() as usize, r.hops);
+        }
+        // Reverse direction has the same shortest distance.
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+    }
+
+    /// Opposite routes (a→b clockwise vs b→a counter-clockwise) cover the
+    /// same wire segments.
+    #[test]
+    fn reverse_route_uses_the_same_segments((a, b) in distinct_pair()) {
+        let t = Topology::cbe();
+        let fwd = &t.routes(a, b)[0];
+        let back = t
+            .routes(b, a)
+            .into_iter()
+            .find(|r| r.hops == fwd.hops && r.direction != fwd.direction);
+        if let Some(back) = back {
+            prop_assert_eq!(back.segments, fwd.segments);
+        }
+    }
+
+    /// Pipelined staggered segment order visits exactly the mask, in hop
+    /// order.
+    #[test]
+    fn segments_in_order_covers_the_mask((a, b) in distinct_pair()) {
+        let t = Topology::cbe();
+        for route in t.routes(a, b) {
+            let mut mask = 0u32;
+            let mut last_k = None;
+            for (k, seg) in route.segments_in_order() {
+                if let Some(prev) = last_k {
+                    prop_assert_eq!(k, prev + 1);
+                }
+                last_k = Some(k);
+                mask |= 1 << seg;
+            }
+            prop_assert_eq!(mask, route.segments);
+        }
+    }
+
+    /// Liveness + conservation: every submitted transfer is eventually
+    /// granted exactly once, under either occupancy model, and the total
+    /// granted bytes match.
+    #[test]
+    fn arbitration_grants_everything_once(
+        pairs in proptest::collection::vec(distinct_pair(), 1..40),
+        pipelined in any::<bool>(),
+    ) {
+        let cfg = EibConfig {
+            occupancy: if pipelined {
+                RingOccupancy::Pipelined
+            } else {
+                RingOccupancy::CircuitHold
+            },
+            ..EibConfig::default()
+        };
+        let mut eib = Eib::new(Topology::cbe(), cfg);
+        for (i, &(src, dst)) in pairs.iter().enumerate() {
+            eib.submit(
+                Cycle::ZERO,
+                i as u64,
+                TransferRequest { src, dst, bytes: 128, class: FlowClass::MfcOut },
+            );
+        }
+        let mut now = Cycle::ZERO;
+        let mut tokens = Vec::new();
+        let mut rounds = 0;
+        loop {
+            for (tok, grant) in eib.arbitrate(now) {
+                prop_assert!(grant.start >= now);
+                prop_assert!(grant.delivered_at >= grant.wire_done);
+                tokens.push(tok);
+            }
+            if !eib.has_pending() {
+                break;
+            }
+            now = eib.next_release_after(now).expect("pending implies release");
+            rounds += 1;
+            prop_assert!(rounds < 10_000, "arbitration did not converge");
+        }
+        tokens.sort_unstable();
+        let expected: Vec<u64> = (0..pairs.len() as u64).collect();
+        prop_assert_eq!(tokens, expected);
+        prop_assert_eq!(eib.stats().grants, pairs.len() as u64);
+        prop_assert_eq!(eib.stats().bytes, 128 * pairs.len() as u64);
+    }
+}

@@ -1,0 +1,235 @@
+//! Generic discrete-event simulation engine.
+
+use crate::{Cycle, EventQueue};
+
+/// A simulated system driven by events.
+///
+/// Implementors own all mutable state of the machine being simulated; the
+/// engine owns time. [`Model::handle`] receives each event in time order
+/// together with a [`Scheduler`] used to enqueue follow-up events.
+///
+/// See the [crate-level example](crate) for a complete simulation.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Processes one event at simulated time `now`.
+    fn handle(&mut self, now: Cycle, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Handle used by a [`Model`] to schedule future events.
+///
+/// Events pushed during one `handle` call are committed to the queue after
+/// the call returns; scheduling in the past is a bug and panics.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: Cycle,
+    pending: Vec<(Cycle, E)>,
+}
+
+impl<E> Scheduler<E> {
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time: a
+    /// discrete-event simulation must never travel backwards.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        self.pending.push((at, event));
+    }
+
+    /// Schedules `event` `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        let at = self.now + delay;
+        self.pending.push((at, event));
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+}
+
+/// The engine: an event queue plus a [`Model`].
+///
+/// Construct with [`Simulation::new`], seed initial events with
+/// [`Simulation::schedule`], then call [`Simulation::run`] (to exhaustion)
+/// or [`Simulation::run_until`].
+pub struct Simulation<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: Cycle,
+    processed: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation at time zero around `model`.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            now: Cycle::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules an initial event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule(&mut self, at: Cycle, event: M::Event) {
+        assert!(at >= self.now, "event scheduled in the past");
+        self.queue.push(at, event);
+    }
+
+    /// Runs until the event queue is empty. Returns the final time.
+    pub fn run(&mut self) -> Cycle {
+        self.run_until(Cycle::new(u64::MAX))
+    }
+
+    /// Runs until the queue is empty or the next event is after `limit`.
+    ///
+    /// Events *at* `limit` are processed. Returns the current time, which is
+    /// the time of the last processed event (or the starting time if nothing
+    /// ran).
+    pub fn run_until(&mut self, limit: Cycle) -> Cycle {
+        while let Some(at) = self.queue.peek_time() {
+            if at > limit {
+                break;
+            }
+            let (at, event) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(at >= self.now, "event queue returned stale event");
+            self.now = at;
+            self.processed += 1;
+            let mut sched = Scheduler {
+                now: at,
+                pending: Vec::new(),
+            };
+            self.model.handle(at, event, &mut sched);
+            for (t, e) in sched.pending {
+                self.queue.push(t, e);
+            }
+        }
+        self.now
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model (for instrumenting between phases).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation and returns the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+impl<M: Model> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Chain {
+        hops: u32,
+        done_at: Option<Cycle>,
+    }
+
+    enum Ev {
+        Hop,
+        Done,
+    }
+
+    impl Model for Chain {
+        type Event = Ev;
+        fn handle(&mut self, now: Cycle, event: Ev, sched: &mut Scheduler<Ev>) {
+            match event {
+                Ev::Hop => {
+                    self.hops += 1;
+                    if self.hops == 5 {
+                        sched.schedule_in(3, Ev::Done);
+                    } else {
+                        sched.schedule(now + 2, Ev::Hop);
+                    }
+                }
+                Ev::Done => self.done_at = Some(now),
+            }
+        }
+    }
+
+    #[test]
+    fn chained_events_advance_time() {
+        let mut sim = Simulation::new(Chain {
+            hops: 0,
+            done_at: None,
+        });
+        sim.schedule(Cycle::ZERO, Ev::Hop);
+        let end = sim.run();
+        assert_eq!(sim.model().hops, 5);
+        // Hops at 0,2,4,6,8; done at 11.
+        assert_eq!(sim.model().done_at, Some(Cycle::new(11)));
+        assert_eq!(end, Cycle::new(11));
+        assert_eq!(sim.events_processed(), 6);
+    }
+
+    #[test]
+    fn run_until_stops_at_limit_inclusive() {
+        let mut sim = Simulation::new(Chain {
+            hops: 0,
+            done_at: None,
+        });
+        sim.schedule(Cycle::ZERO, Ev::Hop);
+        sim.run_until(Cycle::new(4));
+        // Events at 0, 2, 4 processed; 6 pending.
+        assert_eq!(sim.model().hops, 3);
+        assert_eq!(sim.now(), Cycle::new(4));
+        sim.run();
+        assert_eq!(sim.model().hops, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, now: Cycle, _: (), sched: &mut Scheduler<()>) {
+                if now > Cycle::ZERO {
+                    sched.schedule(Cycle::ZERO, ());
+                }
+            }
+        }
+        let mut sim = Simulation::new(Bad);
+        sim.schedule(Cycle::new(5), ());
+        sim.run();
+    }
+}

@@ -1,0 +1,191 @@
+//! Measurement helpers: bandwidth meters and run summaries.
+//!
+//! The ISPASS 2007 paper reports, for every SPE experiment, the minimum,
+//! maximum, median and average bandwidth over ten runs with different
+//! logical→physical SPE placements. [`Summary`] implements exactly that
+//! reduction; [`BandwidthMeter`] accumulates bytes between two time stamps.
+
+use std::fmt;
+
+use crate::{Cycle, MachineClock};
+
+/// Accumulates transferred bytes over a time window.
+///
+/// ```
+/// use cellsim_kernel::{Cycle, MachineClock};
+/// use cellsim_kernel::stats::BandwidthMeter;
+///
+/// let mut m = BandwidthMeter::starting_at(Cycle::new(100));
+/// m.add_bytes(1 << 20);
+/// m.finish(Cycle::new(100 + 65_536));
+/// let gbps = m.gbytes_per_sec(&MachineClock::default());
+/// assert!(gbps > 16.0 && gbps < 17.0); // 16 B/cycle ≈ 16.8 GB/s
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BandwidthMeter {
+    bytes: u64,
+    start: Cycle,
+    end: Option<Cycle>,
+}
+
+impl BandwidthMeter {
+    /// A meter whose window opens at `start`.
+    pub fn starting_at(start: Cycle) -> Self {
+        BandwidthMeter {
+            bytes: 0,
+            start,
+            end: None,
+        }
+    }
+
+    /// Records `bytes` transferred.
+    pub fn add_bytes(&mut self, bytes: u64) {
+        self.bytes += bytes;
+    }
+
+    /// Closes the window at `end`. May be called repeatedly; the last call
+    /// wins (useful when "the last completion" closes the window).
+    pub fn finish(&mut self, end: Cycle) {
+        self.end = Some(end);
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Window length in bus cycles; zero if the window was never closed.
+    pub fn elapsed(&self) -> u64 {
+        self.end.map_or(0, |e| e.saturating_since(self.start))
+    }
+
+    /// Sustained bandwidth in GB/s under `clock`. Returns 0.0 for an
+    /// unclosed or empty window.
+    pub fn gbytes_per_sec(&self, clock: &MachineClock) -> f64 {
+        clock.gbytes_per_sec(self.bytes, self.elapsed())
+    }
+}
+
+/// Min / max / median / mean of a set of bandwidth samples.
+///
+/// The median of an even-sized set is the mean of the two middle samples.
+///
+/// ```
+/// use cellsim_kernel::stats::Summary;
+/// let s = Summary::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 3.0);
+/// assert_eq!(s.median, 2.0);
+/// assert_eq!(s.mean, 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Middle sample (mean of the two middle samples for even counts).
+    pub median: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of samples reduced.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Reduces `samples`; returns `None` for an empty slice or if any
+    /// sample is NaN.
+    pub fn from_samples(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() || samples.iter().any(|s| s.is_nan()) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        Some(Summary {
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+            mean,
+            count: n,
+        })
+    }
+
+    /// Max minus min: the placement-sensitivity spread the paper discusses
+    /// in Figures 13 and 16.
+    pub fn spread(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {:.2} / med {:.2} / mean {:.2} / max {:.2} (n={})",
+            self.min, self.median, self.mean, self.max, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_measures_bytes_over_window() {
+        let mut m = BandwidthMeter::starting_at(Cycle::new(10));
+        m.add_bytes(160);
+        m.finish(Cycle::new(20));
+        assert_eq!(m.bytes(), 160);
+        assert_eq!(m.elapsed(), 10);
+        // 16 B/cycle at 1.05 GHz = 16.8 GB/s.
+        let gbps = m.gbytes_per_sec(&MachineClock::default());
+        assert!((gbps - 16.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfinished_meter_reports_zero() {
+        let mut m = BandwidthMeter::starting_at(Cycle::ZERO);
+        m.add_bytes(1000);
+        assert_eq!(m.elapsed(), 0);
+        assert_eq!(m.gbytes_per_sec(&MachineClock::default()), 0.0);
+    }
+
+    #[test]
+    fn summary_even_count_medians_between() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 10.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.spread(), 9.0);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(Summary::from_samples(&[]).is_none());
+        assert!(Summary::from_samples(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples(&[5.5]).unwrap();
+        assert_eq!(s.min, 5.5);
+        assert_eq!(s.max, 5.5);
+        assert_eq!(s.median, 5.5);
+        assert_eq!(s.mean, 5.5);
+        assert_eq!(s.spread(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Summary::from_samples(&[1.0, 2.0]).unwrap();
+        assert!(!format!("{s}").is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Bounded event tracing.
+//!
+//! Simulations can record typed events for later analysis. The trace is
+//! bounded: once `capacity` events are stored, further events are counted
+//! but dropped, so tracing a pathological run cannot exhaust memory.
+
+use crate::Cycle;
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent<K> {
+    /// When the event happened.
+    pub at: Cycle,
+    /// What happened.
+    pub kind: K,
+}
+
+/// A bounded, append-only event trace.
+///
+/// ```
+/// use cellsim_kernel::trace::Trace;
+/// use cellsim_kernel::Cycle;
+///
+/// let mut t: Trace<&str> = Trace::with_capacity(2);
+/// t.record(Cycle::new(1), "a");
+/// t.record(Cycle::new(2), "b");
+/// t.record(Cycle::new(3), "c"); // over capacity: counted, not stored
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace<K> {
+    events: Vec<TraceEvent<K>>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<K> Trace<K> {
+    /// Default capacity: one million events (~tens of MB).
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// A trace with the default capacity.
+    pub fn new() -> Trace<K> {
+        Trace::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A trace holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Trace<K> {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (or counts it as dropped when full).
+    pub fn record(&mut self, at: Cycle, kind: K) {
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent { at, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Stored events, in record order (which is time order when the
+    /// producer is a discrete-event simulation).
+    pub fn events(&self) -> &[TraceEvent<K>] {
+        &self.events
+    }
+
+    /// Stored event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that arrived after the trace filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates events in `[from, to)`.
+    pub fn window(&self, from: Cycle, to: Cycle) -> impl Iterator<Item = &TraceEvent<K>> {
+        self.events
+            .iter()
+            .filter(move |e| e.at >= from && e.at < to)
+    }
+}
+
+impl<K> Default for Trace<K> {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_windows() {
+        let mut t = Trace::new();
+        for i in 0..10u64 {
+            t.record(Cycle::new(i * 10), i);
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.dropped(), 0);
+        let mid: Vec<u64> = t
+            .window(Cycle::new(20), Cycle::new(50))
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(mid, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..10 {
+            t.record(Cycle::new(i), ());
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _: Trace<()> = Trace::with_capacity(0);
+    }
+}

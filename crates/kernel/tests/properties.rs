@@ -1,0 +1,71 @@
+//! Property tests for the simulation kernel.
+
+use cellsim_kernel::stats::Summary;
+use cellsim_kernel::{Cycle, EventQueue, MachineClock};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue delivers events exactly as a stable sort by time
+    /// would.
+    #[test]
+    fn queue_matches_stable_sort(times in proptest::collection::vec(0u64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Cycle::new(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort_by_key(|&(t, _)| t); // stable: FIFO within a cycle
+        let actual: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_u64(), e))).collect();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Popping never goes backwards in time.
+    #[test]
+    fn queue_time_is_monotone(times in proptest::collection::vec(0u64..500, 1..100)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(Cycle::new(t), ());
+        }
+        let mut last = Cycle::ZERO;
+        while let Some((t, ())) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Summary agrees with a straightforward reference computation.
+    #[test]
+    fn summary_matches_reference(samples in proptest::collection::vec(0.0f64..1000.0, 1..50)) {
+        let s = Summary::from_samples(&samples).unwrap();
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert_eq!(s.min, min);
+        prop_assert_eq!(s.max, max);
+        prop_assert!((s.mean - mean).abs() < 1e-9);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert_eq!(s.count, samples.len());
+        prop_assert!(s.spread() >= 0.0);
+    }
+
+    /// Bandwidth conversion round-trips with seconds().
+    #[test]
+    fn bandwidth_is_consistent_with_seconds(bytes in 1u64..1_000_000, cycles in 1u64..1_000_000) {
+        let clk = MachineClock::default();
+        let direct = clk.gbytes_per_sec(bytes, cycles);
+        let via_seconds = bytes as f64 / clk.seconds(cycles) / 1e9;
+        prop_assert!((direct - via_seconds).abs() < 1e-9);
+    }
+
+    /// CPU→bus cycle conversion never loses work (always rounds up).
+    #[test]
+    fn cpu_to_bus_rounds_up(cpu in 0u64..1_000_000) {
+        let clk = MachineClock::default();
+        let bus = clk.cpu_to_bus_cycles(cpu);
+        prop_assert!(bus * 2 >= cpu);
+        prop_assert!(bus.saturating_sub(1) * 2 < cpu || cpu == 0);
+    }
+}

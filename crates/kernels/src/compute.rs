@@ -1,0 +1,91 @@
+//! SPU arithmetic rates.
+
+use cellsim_kernel::MachineClock;
+
+/// Floating-point precision of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 32-bit: the SPU's 4-wide SIMD pipe retires 4 FLOPs per cycle.
+    Single,
+    /// 64-bit: the first-generation CBE retires one DP operation every
+    /// seven cycles.
+    Double,
+}
+
+/// The SPU's arithmetic throughput model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpuComputeModel {
+    clock: MachineClock,
+    /// Single-precision FLOPs per SPU cycle (4 on the CBE).
+    pub sp_flops_per_cycle: f64,
+    /// Double-precision FLOPs per SPU cycle (1/7 on the CBE).
+    pub dp_flops_per_cycle: f64,
+}
+
+impl SpuComputeModel {
+    /// The production CBE rates under `clock`.
+    pub fn new(clock: MachineClock) -> SpuComputeModel {
+        SpuComputeModel {
+            clock,
+            sp_flops_per_cycle: 4.0,
+            dp_flops_per_cycle: 1.0 / 7.0,
+        }
+    }
+
+    /// FLOPs per SPU cycle at `precision`.
+    pub fn flops_per_cycle(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Single => self.sp_flops_per_cycle,
+            Precision::Double => self.dp_flops_per_cycle,
+        }
+    }
+
+    /// Peak GFLOP/s of `spes` SPUs at `precision`.
+    pub fn gflops_peak(&self, precision: Precision, spes: usize) -> f64 {
+        self.flops_per_cycle(precision) * self.clock.cpu_hz() * spes as f64 / 1e9
+    }
+
+    /// Peak single-precision GFLOP/s of `spes` SPUs.
+    pub fn sp_gflops_peak(&self, spes: usize) -> f64 {
+        self.gflops_peak(Precision::Single, spes)
+    }
+
+    /// CPU cycles to execute `flops` FLOPs on one SPU.
+    pub fn cycles_for(&self, precision: Precision, flops: f64) -> f64 {
+        flops / self.flops_per_cycle(precision)
+    }
+}
+
+impl Default for SpuComputeModel {
+    fn default() -> Self {
+        SpuComputeModel::new(MachineClock::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sp_peak_matches_the_paper_headline() {
+        let m = SpuComputeModel::default();
+        // 4 FLOPs x 2.1 GHz = 8.4 GFLOP/s per SPU; the paper quotes
+        // 16.8 per SPE counting fused multiply-adds as two.
+        assert!((m.sp_gflops_peak(1) - 8.4).abs() < 1e-9);
+        assert!((m.sp_gflops_peak(8) - 67.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_is_twenty_eight_times_slower() {
+        let m = SpuComputeModel::default();
+        let ratio = m.sp_gflops_peak(1) / m.gflops_peak(Precision::Double, 1);
+        assert!((ratio - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_invert_the_rate() {
+        let m = SpuComputeModel::default();
+        assert_eq!(m.cycles_for(Precision::Single, 400.0), 100.0);
+        assert_eq!(m.cycles_for(Precision::Double, 10.0), 70.0);
+    }
+}

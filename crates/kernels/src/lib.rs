@@ -1,0 +1,41 @@
+//! Small-kernel performance estimation on the simulated Cell BE.
+//!
+//! The ISPASS 2007 paper closes with: *"In the near future, we plan to
+//! use this experience to evaluate small kernels (scalar product, matrix
+//! by vector, matrix product, streaming benchmarks…)"*. This crate is
+//! that evaluation, built on the measured fabric rather than on paper
+//! peaks:
+//!
+//! * [`SpuComputeModel`] — the SPU's arithmetic rates: 4 single-precision
+//!   FLOPs per CPU cycle (8.4 GFLOP/s at 2.1 GHz), but only one
+//!   double-precision operation every seven cycles — the imbalance
+//!   Williams et al. and Dongarra's keynote discuss.
+//! * [`KernelSpec`] — a streaming kernel described by its arithmetic
+//!   intensity, block size and traffic pattern.
+//! * [`KernelRunner`] — estimates sustained GFLOP/s for N SPEs by
+//!   *simulating* the kernel's DMA traffic on the fabric (double-buffered,
+//!   so communication overlaps compute) and taking the roofline minimum
+//!   of the measured bandwidth term and the compute term.
+//!
+//! # Example
+//!
+//! ```
+//! use cellsim_core::CellSystem;
+//! use cellsim_kernels::{KernelRunner, KernelSpec};
+//!
+//! let system = CellSystem::blade();
+//! let runner = KernelRunner::new(&system);
+//! let dot = KernelSpec::dot_product();
+//! let est = runner.estimate(&dot, 4);
+//! // The scalar product is memory-bound on any number of SPEs.
+//! assert!(est.is_memory_bound());
+//! assert!(est.gflops < runner.compute_model().sp_gflops_peak(4));
+//! ```
+
+mod compute;
+mod runner;
+mod spec;
+
+pub use compute::{Precision, SpuComputeModel};
+pub use runner::{roofline_figure, Bound, KernelEstimate, KernelRunner};
+pub use spec::{KernelSpec, Traffic};

@@ -1,0 +1,261 @@
+//! The roofline estimator: measured fabric bandwidth × intensity versus
+//! SPU compute.
+
+use cellsim_core::report::{Figure, Point, Series};
+use cellsim_core::{CellSystem, Placement, SyncPolicy, TransferPlan};
+
+use crate::compute::SpuComputeModel;
+use crate::spec::{KernelSpec, Traffic};
+
+/// Which term of the roofline binds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// The fabric cannot feed the SPUs fast enough.
+    Memory,
+    /// The SPU pipes are the limit.
+    Compute,
+}
+
+/// A kernel performance estimate for one machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelEstimate {
+    /// Kernel name.
+    pub name: String,
+    /// Active SPEs.
+    pub spes: usize,
+    /// Sustained GFLOP/s (the roofline minimum).
+    pub gflops: f64,
+    /// The measured fabric bandwidth feeding the kernel, GB/s.
+    pub bandwidth_gbps: f64,
+    /// The aggregate SPU compute peak at the kernel's precision, GFLOP/s.
+    pub compute_peak_gflops: f64,
+    /// Which term binds.
+    pub bound: Bound,
+}
+
+impl KernelEstimate {
+    /// Whether the kernel is starved by the fabric.
+    pub fn is_memory_bound(&self) -> bool {
+        self.bound == Bound::Memory
+    }
+}
+
+/// Estimates kernel performance by *running* the kernel's DMA traffic on
+/// the simulated fabric.
+///
+/// Double buffering is assumed (the paper's rule): communication fully
+/// overlaps compute, so sustained performance is
+/// `min(bandwidth × intensity, compute peak)`.
+#[derive(Debug)]
+pub struct KernelRunner<'a> {
+    system: &'a CellSystem,
+    compute: SpuComputeModel,
+    volume_per_spe: u64,
+}
+
+impl<'a> KernelRunner<'a> {
+    /// A runner over `system` with the default measurement volume.
+    pub fn new(system: &'a CellSystem) -> KernelRunner<'a> {
+        KernelRunner {
+            system,
+            compute: SpuComputeModel::new(system.config().clock),
+            volume_per_spe: 2 << 20,
+        }
+    }
+
+    /// Overrides the per-SPE traffic volume used for the bandwidth
+    /// measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volume` is zero.
+    pub fn with_volume(mut self, volume: u64) -> KernelRunner<'a> {
+        assert!(volume > 0, "volume must be non-zero");
+        self.volume_per_spe = volume;
+        self
+    }
+
+    /// The compute model in use.
+    pub fn compute_model(&self) -> &SpuComputeModel {
+        &self.compute
+    }
+
+    /// Measures the fabric bandwidth available to `spec`'s traffic
+    /// pattern on `spes` SPEs (GB/s of *input* stream).
+    pub fn measure_bandwidth(&self, spec: &KernelSpec, spes: usize) -> f64 {
+        assert!((1..=8).contains(&spes), "1..=8 SPEs");
+        let elem = spec.block_bytes;
+        let volume = self.volume_per_spe / u64::from(elem) * u64::from(elem);
+        let volume = volume.max(u64::from(elem));
+        let mut b = TransferPlan::builder();
+        match spec.traffic {
+            Traffic::StreamIn => {
+                for spe in 0..spes {
+                    b = b.get_from_memory(spe, volume, elem, SyncPolicy::AfterAll);
+                }
+            }
+            Traffic::StreamInOut => {
+                for spe in 0..spes {
+                    b = b.copy_memory(spe, volume, elem, SyncPolicy::AfterAll);
+                }
+            }
+            Traffic::Pipeline => {
+                b = b.get_from_memory(0, volume, elem, SyncPolicy::AfterAll);
+                for spe in 1..spes {
+                    b = b.put_to_spe(spe - 1, spe, volume, elem, SyncPolicy::AfterAll);
+                }
+            }
+        }
+        let plan = b.build().expect("kernel traffic plans are valid");
+        let report = self.system.run(&Placement::identity(), &plan);
+        match spec.traffic {
+            // Copy reports read+write traffic; the useful stream is half.
+            Traffic::StreamInOut => report.sum_gbps / 2.0,
+            Traffic::StreamIn => report.sum_gbps,
+            // A pipeline's useful rate is its ingest rate.
+            Traffic::Pipeline => {
+                let clock = self.system.config().clock;
+                volume as f64 / clock.seconds(report.cycles) / 1e9
+            }
+        }
+    }
+
+    /// The full roofline estimate for `spec` on `spes` SPEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= spes <= 8`.
+    pub fn estimate(&self, spec: &KernelSpec, spes: usize) -> KernelEstimate {
+        let bandwidth_gbps = self.measure_bandwidth(spec, spes);
+        let memory_term = bandwidth_gbps * spec.flops_per_byte;
+        let compute_peak_gflops = self.compute.gflops_peak(spec.precision, spes);
+        let (gflops, bound) = if memory_term <= compute_peak_gflops {
+            (memory_term, Bound::Memory)
+        } else {
+            (compute_peak_gflops, Bound::Compute)
+        };
+        KernelEstimate {
+            name: spec.name.clone(),
+            spes,
+            gflops,
+            bandwidth_gbps,
+            compute_peak_gflops,
+            bound,
+        }
+    }
+}
+
+/// Renders the paper-kernel estimates as a figure (GFLOP/s; one series
+/// per kernel, swept over SPE counts).
+pub fn roofline_figure(system: &CellSystem) -> Figure {
+    let runner = KernelRunner::new(system);
+    let mut kernels = KernelSpec::paper_kernels();
+    kernels.push(KernelSpec::matrix_multiply(64).in_double_precision());
+    let series = kernels
+        .iter()
+        .map(|spec| Series {
+            label: spec.name.clone(),
+            points: [1usize, 2, 4, 8]
+                .into_iter()
+                .map(|spes| {
+                    let est = runner.estimate(spec, spes);
+                    Point {
+                        x: format!("{spes}"),
+                        gbps: est.gflops, // GFLOP/s in this figure
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "K1".into(),
+        title: "small-kernel roofline (GFLOP/s, not GB/s)".into(),
+        x_label: "SPEs".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner_system() -> CellSystem {
+        CellSystem::blade()
+    }
+
+    #[test]
+    fn dot_product_is_memory_bound_everywhere() {
+        let sys = runner_system();
+        let runner = KernelRunner::new(&sys).with_volume(512 << 10);
+        for spes in [1, 4, 8] {
+            let est = runner.estimate(&KernelSpec::dot_product(), spes);
+            assert!(est.is_memory_bound(), "{spes} SPEs: {est:?}");
+            // 0.25 flops/byte x ~10-23 GB/s: single digits of GFLOP/s.
+            assert!(est.gflops < 7.0, "{est:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_is_compute_bound() {
+        let sys = runner_system();
+        let runner = KernelRunner::new(&sys).with_volume(512 << 10);
+        let est = runner.estimate(&KernelSpec::matrix_multiply(64), 8);
+        assert_eq!(est.bound, Bound::Compute);
+        assert!((est.gflops - 67.2).abs() < 1e-6, "{est:?}");
+    }
+
+    #[test]
+    fn double_precision_flips_gemm_to_compute_starved() {
+        let sys = runner_system();
+        let runner = KernelRunner::new(&sys).with_volume(512 << 10);
+        let sp = runner.estimate(&KernelSpec::matrix_multiply(64), 8);
+        let dp = runner.estimate(&KernelSpec::matrix_multiply(64).in_double_precision(), 8);
+        // Dongarra's point: DP is ~28x slower, so do the bulk in SP.
+        assert!(
+            dp.gflops < sp.gflops / 20.0,
+            "sp={} dp={}",
+            sp.gflops,
+            dp.gflops
+        );
+    }
+
+    #[test]
+    fn more_spes_never_reduce_kernel_performance() {
+        let sys = runner_system();
+        let runner = KernelRunner::new(&sys).with_volume(256 << 10);
+        let triad = KernelSpec::stream_triad();
+        let g1 = runner.estimate(&triad, 1).gflops;
+        let g4 = runner.estimate(&triad, 4).gflops;
+        assert!(g4 > g1, "g1={g1} g4={g4}");
+    }
+
+    #[test]
+    fn estimates_expose_their_terms() {
+        let sys = runner_system();
+        let runner = KernelRunner::new(&sys).with_volume(256 << 10);
+        let est = runner.estimate(&KernelSpec::matrix_vector(), 2);
+        assert!(est.bandwidth_gbps > 0.0);
+        assert!(est.compute_peak_gflops > 0.0);
+        assert!(est.gflops <= est.compute_peak_gflops + 1e-9);
+        assert!(est.gflops <= est.bandwidth_gbps * 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn roofline_figure_covers_all_kernels() {
+        let sys = runner_system();
+        let fig = roofline_figure(&sys);
+        assert_eq!(fig.series.len(), 5);
+        assert!(fig.value("dot product", "8").unwrap() > 0.0);
+        // GEMM at 8 SPEs hits the SP compute peak.
+        let gemm = fig.value("matrix multiply (b=64)", "8").unwrap();
+        assert!((gemm - 67.2).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn too_many_spes_rejected() {
+        let sys = runner_system();
+        let runner = KernelRunner::new(&sys);
+        let _ = runner.estimate(&KernelSpec::dot_product(), 9);
+    }
+}

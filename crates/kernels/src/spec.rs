@@ -1,0 +1,137 @@
+//! Kernel descriptors: the paper's "small kernels".
+
+use crate::compute::Precision;
+
+/// The DMA traffic pattern a kernel's inner loop generates per block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Traffic {
+    /// Streams input from memory only (results stay in registers/LS),
+    /// e.g. a reduction.
+    StreamIn,
+    /// Streams input from memory and writes results back, e.g. triad.
+    StreamInOut,
+    /// Passes blocks SPE→SPE along a software pipeline (only the head
+    /// reads memory).
+    Pipeline,
+}
+
+/// A streaming kernel, described by the quantities that decide its
+/// performance on a bandwidth-limited machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    /// Human name.
+    pub name: String,
+    /// Useful FLOPs per byte *moved from memory* (arithmetic intensity).
+    pub flops_per_byte: f64,
+    /// Arithmetic precision.
+    pub precision: Precision,
+    /// DMA block size (bytes) the implementation streams with; the
+    /// paper's rules say ≥1 KB, ideally 16 KB.
+    pub block_bytes: u32,
+    /// Traffic pattern.
+    pub traffic: Traffic,
+}
+
+impl KernelSpec {
+    /// Scalar (dot) product `Σ xᵢ·yᵢ`: 2 FLOPs per 8 input bytes.
+    pub fn dot_product() -> KernelSpec {
+        KernelSpec {
+            name: "dot product".into(),
+            flops_per_byte: 0.25,
+            precision: Precision::Single,
+            block_bytes: 16 * 1024,
+            traffic: Traffic::StreamIn,
+        }
+    }
+
+    /// STREAM triad `aᵢ = bᵢ + s·cᵢ`: 2 FLOPs per 12 bytes moved.
+    pub fn stream_triad() -> KernelSpec {
+        KernelSpec {
+            name: "stream triad".into(),
+            flops_per_byte: 2.0 / 12.0,
+            precision: Precision::Single,
+            block_bytes: 16 * 1024,
+            traffic: Traffic::StreamInOut,
+        }
+    }
+
+    /// Matrix–vector product `y = A·x` with the vector resident in LS:
+    /// 2 FLOPs per 4 bytes of streamed matrix.
+    pub fn matrix_vector() -> KernelSpec {
+        KernelSpec {
+            name: "matrix-vector".into(),
+            flops_per_byte: 0.5,
+            precision: Precision::Single,
+            block_bytes: 16 * 1024,
+            traffic: Traffic::StreamIn,
+        }
+    }
+
+    /// Blocked matrix multiply with `b×b` tiles resident in LS: each
+    /// streamed tile of `4b²` bytes contributes `2b³` FLOPs, i.e. `b/2`
+    /// FLOPs per byte.
+    pub fn matrix_multiply(tile: u32) -> KernelSpec {
+        assert!(tile > 0, "tile must be non-zero");
+        KernelSpec {
+            name: format!("matrix multiply (b={tile})"),
+            flops_per_byte: f64::from(tile) / 2.0,
+            precision: Precision::Single,
+            block_bytes: (4 * tile * tile).min(16 * 1024),
+            traffic: Traffic::StreamInOut,
+        }
+    }
+
+    /// Double-precision variant of this kernel (same traffic, the slow
+    /// DP pipe).
+    pub fn in_double_precision(mut self) -> KernelSpec {
+        self.precision = Precision::Double;
+        self.name.push_str(" (DP)");
+        // Same FLOP count but each element is twice the bytes.
+        self.flops_per_byte /= 2.0;
+        self
+    }
+
+    /// The four kernels the paper names.
+    pub fn paper_kernels() -> Vec<KernelSpec> {
+        vec![
+            KernelSpec::dot_product(),
+            KernelSpec::stream_triad(),
+            KernelSpec::matrix_vector(),
+            KernelSpec::matrix_multiply(64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensities_are_correct() {
+        assert_eq!(KernelSpec::dot_product().flops_per_byte, 0.25);
+        assert_eq!(KernelSpec::matrix_vector().flops_per_byte, 0.5);
+        assert_eq!(KernelSpec::matrix_multiply(64).flops_per_byte, 32.0);
+        assert!((KernelSpec::stream_triad().flops_per_byte - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dp_variant_halves_intensity() {
+        let sp = KernelSpec::dot_product();
+        let dp = KernelSpec::dot_product().in_double_precision();
+        assert_eq!(dp.precision, Precision::Double);
+        assert_eq!(dp.flops_per_byte, sp.flops_per_byte / 2.0);
+        assert!(dp.name.contains("DP"));
+    }
+
+    #[test]
+    fn gemm_block_size_respects_dma_limit() {
+        let k = KernelSpec::matrix_multiply(128);
+        assert!(k.block_bytes <= 16 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn zero_tile_rejected() {
+        let _ = KernelSpec::matrix_multiply(0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Memory subsystem of the simulated Cell blade.
+//!
+//! The ISPASS 2007 machine is a dual-Cell blade with 256 MB of XDR DRAM per
+//! chip. With `maxcpus=2` only the first chip computes, but both banks stay
+//! reachable: the **local** bank sits behind the Memory Interface
+//! Controller (16.8 GB/s peak at the 2.1 GHz part's bus clock) and the
+//! **remote** bank behind the coherent I/O interface (IOIF0/BIF, ≈7 GB/s).
+//! Which regions land on which bank — the NUMA placement — is exactly what
+//! lets two or more SPEs exceed a single bank's peak in the paper's
+//! Figure 8.
+//!
+//! This crate provides:
+//!
+//! * [`XdrBank`] — a latency/throughput queue model of one XDR DRAM bank
+//!   with refresh and read↔write turnaround penalties.
+//! * [`MemorySystem`] — both banks plus the [`NumaPolicy`] region map.
+//! * [`SparseMemory`] — an optional functional byte store so examples can
+//!   move real data, allocated lazily in 4 KiB chunks.
+//!
+//! # Example
+//!
+//! ```
+//! use cellsim_kernel::Cycle;
+//! use cellsim_mem::{BankId, MemorySystem, Op};
+//!
+//! let mut mem = MemorySystem::blade();
+//! let access = mem.submit(Cycle::ZERO, BankId::Local, Op::Read, 128);
+//! // 128 B at 16 B/cycle occupies the bank for 8 cycles; data arrives
+//! // after the pipelined access latency.
+//! assert_eq!(access.service_done, Cycle::new(8));
+//! assert!(access.data_ready > access.service_done);
+//! ```
+
+mod bank;
+mod numa;
+mod storage;
+mod system;
+
+pub use bank::{Access, BankConfig, BankStats, Op, XdrBank};
+pub use numa::{NumaPolicy, RegionId};
+pub use storage::SparseMemory;
+pub use system::{BankId, MemorySystem};

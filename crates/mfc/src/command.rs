@@ -1,0 +1,366 @@
+//! DMA commands and the CBE validity rules.
+
+use std::error::Error;
+use std::fmt;
+
+use cellsim_mem::RegionId;
+
+use crate::tag::TagId;
+use crate::{LOCAL_STORE_BYTES, MAX_DMA_BYTES};
+
+/// Direction of a DMA transfer, from the initiating SPE's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaKind {
+    /// Effective address → Local Store (`mfc_get`).
+    Get,
+    /// Local Store → effective address (`mfc_put`).
+    Put,
+}
+
+/// An offset inside the initiating SPE's Local Store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LsAddr(pub u32);
+
+/// A 64-bit effective address, resolved to its target.
+///
+/// On real hardware this is a flat address; the simulator keeps the
+/// *meaning* (which region of main memory, or which SPE's memory-mapped
+/// Local Store) so routing needs no page tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffectiveAddr {
+    /// Byte `offset` of an allocated main-memory region.
+    Memory {
+        /// The region (one per experiment buffer).
+        region: RegionId,
+        /// Byte offset within the region.
+        offset: u64,
+    },
+    /// Byte `offset` of a (logical) SPE's Local Store.
+    LocalStore {
+        /// Logical SPE index (0–7).
+        spe: u8,
+        /// Offset within that Local Store.
+        offset: u32,
+    },
+}
+
+impl EffectiveAddr {
+    /// The byte offset used for alignment checks.
+    pub fn offset(&self) -> u64 {
+        match *self {
+            EffectiveAddr::Memory { offset, .. } => offset,
+            EffectiveAddr::LocalStore { offset, .. } => u64::from(offset),
+        }
+    }
+
+    /// Returns this address advanced by `bytes`.
+    pub fn advanced(&self, bytes: u64) -> EffectiveAddr {
+        match *self {
+            EffectiveAddr::Memory { region, offset } => EffectiveAddr::Memory {
+                region,
+                offset: offset + bytes,
+            },
+            EffectiveAddr::LocalStore { spe, offset } => EffectiveAddr::LocalStore {
+                spe,
+                offset: offset + u32::try_from(bytes).expect("LS offset overflow"),
+            },
+        }
+    }
+}
+
+/// Why a DMA command was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaError {
+    /// Size is not 1, 2, 4, 8 or a multiple of 16.
+    InvalidSize(u32),
+    /// Size exceeds the 16 KB single-command limit.
+    TooLarge(u32),
+    /// Size is zero.
+    Empty,
+    /// LS or EA not naturally aligned, or quadword offsets differ.
+    Misaligned {
+        /// Local-store offset of the offending command.
+        ls: u32,
+        /// Effective-address offset of the offending command.
+        ea: u64,
+        /// The transfer size whose alignment rule was violated.
+        bytes: u32,
+    },
+    /// The transfer runs past the end of the 256 KB Local Store.
+    LocalStoreOverrun,
+    /// The 16-entry MFC command queue is full.
+    QueueFull,
+    /// A DMA list had no elements or more than 2048.
+    BadListLength(usize),
+    /// Logical SPE index out of range.
+    BadSpe(u8),
+    /// A tag value outside 0..32.
+    BadTag(u8),
+}
+
+impl fmt::Display for DmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmaError::InvalidSize(b) => {
+                write!(f, "transfer size {b} is not 1, 2, 4, 8 or a multiple of 16")
+            }
+            DmaError::TooLarge(b) => write!(f, "transfer size {b} exceeds the 16 KB limit"),
+            DmaError::Empty => write!(f, "transfer size is zero"),
+            DmaError::Misaligned { ls, ea, bytes } => write!(
+                f,
+                "misaligned {bytes}-byte transfer (ls={ls:#x}, ea={ea:#x})"
+            ),
+            DmaError::LocalStoreOverrun => write!(f, "transfer overruns the 256 KB local store"),
+            DmaError::QueueFull => write!(f, "MFC command queue is full"),
+            DmaError::BadListLength(n) => {
+                write!(f, "DMA list has {n} elements; must be 1..=2048")
+            }
+            DmaError::BadSpe(s) => write!(f, "logical SPE index {s} out of range"),
+            DmaError::BadTag(t) => write!(f, "tag {t} out of range 0..32"),
+        }
+    }
+}
+
+impl Error for DmaError {}
+
+/// A single-chunk DMA command (`mfc_get` / `mfc_put`): the paper's
+/// "DMA-elem".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaCommand {
+    kind: DmaKind,
+    ls: LsAddr,
+    ea: EffectiveAddr,
+    bytes: u32,
+    tag: TagId,
+    fence: bool,
+}
+
+impl DmaCommand {
+    /// Validates and creates a command.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DmaError`] if the size or alignment violates the CBE
+    /// rules (see [`DmaCommand::validate`]) or the transfer overruns the
+    /// Local Store.
+    pub fn new(
+        kind: DmaKind,
+        ls: LsAddr,
+        ea: EffectiveAddr,
+        bytes: u32,
+        tag: TagId,
+    ) -> Result<DmaCommand, DmaError> {
+        Self::validate(ls, &ea, bytes)?;
+        Ok(DmaCommand {
+            kind,
+            ls,
+            ea,
+            bytes,
+            tag,
+            fence: false,
+        })
+    }
+
+    /// Marks this command *fenced* (`mfc_getf`/`mfc_putf`): it will not
+    /// begin transferring until every earlier command in the same tag
+    /// group has completed. This is how real CBE code orders a put after
+    /// the get that produced its data without a blocking wait.
+    pub fn with_fence(mut self) -> DmaCommand {
+        self.fence = true;
+        self
+    }
+
+    /// Whether this command is fenced against its tag group.
+    pub fn fence(&self) -> bool {
+        self.fence
+    }
+
+    /// Checks the CBE transfer rules without constructing a command:
+    ///
+    /// * size is 1, 2, 4, 8, or a multiple of 16, and ≤16 KB;
+    /// * sub-quadword transfers are naturally aligned and LS/EA agree in
+    ///   their low four bits;
+    /// * quadword-multiple transfers are 16-byte aligned on both sides;
+    /// * the LS range stays inside the 256 KB Local Store.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`DmaError`] for the first rule violated.
+    pub fn validate(ls: LsAddr, ea: &EffectiveAddr, bytes: u32) -> Result<(), DmaError> {
+        if bytes == 0 {
+            return Err(DmaError::Empty);
+        }
+        if bytes > MAX_DMA_BYTES {
+            return Err(DmaError::TooLarge(bytes));
+        }
+        let small = matches!(bytes, 1 | 2 | 4 | 8);
+        if !small && !bytes.is_multiple_of(16) {
+            return Err(DmaError::InvalidSize(bytes));
+        }
+        let ea_off = ea.offset();
+        let ls_off = u64::from(ls.0);
+        let align = if small { u64::from(bytes) } else { 16 };
+        let misaligned = !ls_off.is_multiple_of(align)
+            || !ea_off.is_multiple_of(align)
+            || (small && (ls_off & 15) != (ea_off & 15));
+        if misaligned {
+            return Err(DmaError::Misaligned {
+                ls: ls.0,
+                ea: ea_off,
+                bytes,
+            });
+        }
+        if let EffectiveAddr::LocalStore { spe, offset } = *ea {
+            if spe >= 8 {
+                return Err(DmaError::BadSpe(spe));
+            }
+            if u64::from(offset) + u64::from(bytes) > u64::from(LOCAL_STORE_BYTES) {
+                return Err(DmaError::LocalStoreOverrun);
+            }
+        }
+        if u64::from(ls.0) + u64::from(bytes) > u64::from(LOCAL_STORE_BYTES) {
+            return Err(DmaError::LocalStoreOverrun);
+        }
+        Ok(())
+    }
+
+    /// The transfer direction.
+    pub fn kind(&self) -> DmaKind {
+        self.kind
+    }
+
+    /// The Local Store side of the transfer.
+    pub fn ls(&self) -> LsAddr {
+        self.ls
+    }
+
+    /// The effective-address side of the transfer.
+    pub fn ea(&self) -> EffectiveAddr {
+        self.ea
+    }
+
+    /// Transfer size in bytes.
+    pub fn bytes(&self) -> u32 {
+        self.bytes
+    }
+
+    /// The tag group this command completes under.
+    pub fn tag(&self) -> TagId {
+        self.tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(offset: u64) -> EffectiveAddr {
+        EffectiveAddr::Memory {
+            region: RegionId(0),
+            offset,
+        }
+    }
+
+    fn tag() -> TagId {
+        TagId::new(0).unwrap()
+    }
+
+    #[test]
+    fn valid_sizes_accepted() {
+        for bytes in [1u32, 2, 4, 8, 16, 128, 1024, 16384] {
+            assert!(
+                DmaCommand::new(DmaKind::Get, LsAddr(0), mem(0), bytes, tag()).is_ok(),
+                "size {bytes} should be valid"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_sizes_rejected() {
+        for bytes in [3u32, 5, 12, 17, 100] {
+            assert_eq!(
+                DmaCommand::new(DmaKind::Get, LsAddr(0), mem(0), bytes, tag()),
+                Err(DmaError::InvalidSize(bytes))
+            );
+        }
+        assert_eq!(
+            DmaCommand::new(DmaKind::Get, LsAddr(0), mem(0), 0, tag()),
+            Err(DmaError::Empty)
+        );
+        assert_eq!(
+            DmaCommand::new(DmaKind::Get, LsAddr(0), mem(0), 16400, tag()),
+            Err(DmaError::TooLarge(16400))
+        );
+    }
+
+    #[test]
+    fn natural_alignment_enforced_for_small() {
+        // 8-byte transfer at an unaligned LS offset.
+        assert!(matches!(
+            DmaCommand::new(DmaKind::Get, LsAddr(4), mem(4), 8, tag()),
+            Err(DmaError::Misaligned { .. })
+        ));
+        // Aligned but quadword offsets differ.
+        assert!(matches!(
+            DmaCommand::new(DmaKind::Get, LsAddr(8), mem(16), 8, tag()),
+            Err(DmaError::Misaligned { .. })
+        ));
+        // Same quadword offset: fine.
+        assert!(DmaCommand::new(DmaKind::Get, LsAddr(8), mem(24), 8, tag()).is_ok());
+    }
+
+    #[test]
+    fn quadword_alignment_enforced_for_large() {
+        assert!(matches!(
+            DmaCommand::new(DmaKind::Put, LsAddr(8), mem(0), 128, tag()),
+            Err(DmaError::Misaligned { .. })
+        ));
+        assert!(DmaCommand::new(DmaKind::Put, LsAddr(16), mem(32), 128, tag()).is_ok());
+    }
+
+    #[test]
+    fn local_store_bounds_enforced() {
+        assert_eq!(
+            DmaCommand::new(
+                DmaKind::Get,
+                LsAddr(LOCAL_STORE_BYTES - 64),
+                mem(0),
+                128,
+                tag()
+            ),
+            Err(DmaError::LocalStoreOverrun)
+        );
+        let remote = EffectiveAddr::LocalStore {
+            spe: 1,
+            offset: LOCAL_STORE_BYTES - 64,
+        };
+        assert_eq!(
+            DmaCommand::new(DmaKind::Get, LsAddr(0), remote, 128, tag()),
+            Err(DmaError::LocalStoreOverrun)
+        );
+    }
+
+    #[test]
+    fn bad_spe_index_rejected() {
+        let remote = EffectiveAddr::LocalStore { spe: 9, offset: 0 };
+        assert_eq!(
+            DmaCommand::new(DmaKind::Get, LsAddr(0), remote, 128, tag()),
+            Err(DmaError::BadSpe(9))
+        );
+    }
+
+    #[test]
+    fn advanced_moves_both_address_kinds() {
+        assert_eq!(mem(100).advanced(28).offset(), 128);
+        let ls = EffectiveAddr::LocalStore { spe: 2, offset: 64 };
+        assert_eq!(ls.advanced(64).offset(), 128);
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = DmaError::InvalidSize(3);
+        assert!(e.to_string().contains('3'));
+        let e = DmaError::QueueFull;
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests for the MFC: validation rules, unroll conservation,
+//! and tag accounting.
+
+use cellsim_kernel::Cycle;
+use cellsim_mem::RegionId;
+use cellsim_mfc::{
+    DmaCommand, DmaKind, DmaListCommand, EffectiveAddr, Issue, LsAddr, MfcConfig, MfcEngine, TagId,
+    LOCAL_STORE_BYTES, MAX_DMA_BYTES,
+};
+use proptest::prelude::*;
+
+fn mem_ea() -> impl Strategy<Value = EffectiveAddr> {
+    (0u64..1 << 24).prop_map(|offset| EffectiveAddr::Memory {
+        region: RegionId(0),
+        offset,
+    })
+}
+
+/// Reference implementation of the CBE size/alignment predicate,
+/// deliberately written in the naive style so it stays independent of
+/// the production code.
+#[allow(clippy::manual_is_multiple_of)]
+fn reference_valid(ls: u32, ea: u64, bytes: u32) -> bool {
+    let size_ok = matches!(bytes, 1 | 2 | 4 | 8) || (bytes > 0 && bytes % 16 == 0);
+    if !size_ok || bytes > MAX_DMA_BYTES {
+        return false;
+    }
+    let align = if bytes < 16 { u64::from(bytes) } else { 16 };
+    if u64::from(ls) % align != 0 || ea % align != 0 {
+        return false;
+    }
+    if bytes < 16 && (u64::from(ls) & 15) != (ea & 15) {
+        return false;
+    }
+    u64::from(ls) + u64::from(bytes) <= u64::from(LOCAL_STORE_BYTES)
+}
+
+proptest! {
+    /// The validator agrees with the reference predicate on arbitrary
+    /// inputs.
+    #[test]
+    fn validation_matches_reference(
+        ls in 0u32..LOCAL_STORE_BYTES,
+        ea_off in 0u64..1 << 20,
+        bytes in 0u32..20_000,
+    ) {
+        let ea = EffectiveAddr::Memory { region: RegionId(0), offset: ea_off };
+        let ours = DmaCommand::validate(LsAddr(ls), &ea, bytes).is_ok();
+        prop_assert_eq!(ours, reference_valid(ls, ea_off, bytes));
+    }
+
+    /// Unrolling conserves bytes, never emits oversized packets, and
+    /// covers the effective-address range contiguously.
+    #[test]
+    fn unroll_conserves_and_aligns(
+        bytes_16 in 1u32..=1024,   // transfer size in 16-byte units
+        ea in mem_ea(),
+        budget in 1usize..16,
+    ) {
+        let bytes = bytes_16 * 16;
+        let ea = EffectiveAddr::Memory {
+            region: RegionId(0),
+            offset: ea.offset() & !15, // respect quadword alignment
+        };
+        let Ok(cmd) = DmaCommand::new(DmaKind::Get, LsAddr(0), ea, bytes, TagId::new(0).unwrap())
+        else {
+            // Only possible failure left is LS overrun; not generated here.
+            return Ok(());
+        };
+        let cfg = MfcConfig {
+            max_outstanding_packets: budget,
+            command_startup: 0,
+            ..MfcConfig::default()
+        };
+        let mut mfc = MfcEngine::new(cfg);
+        mfc.enqueue(Cycle::ZERO, cmd).unwrap();
+
+        let mut now = Cycle::ZERO;
+        let mut total = 0u64;
+        let mut next_ea = ea.offset();
+        loop {
+            match mfc.try_issue(now) {
+                Issue::Packet(p) => {
+                    prop_assert!(p.bytes <= 128);
+                    prop_assert_eq!(p.ea.offset(), next_ea, "contiguous EA coverage");
+                    // A packet never crosses a 128-byte EA boundary.
+                    let start_blk = p.ea.offset() / 128;
+                    let end_blk = (p.ea.offset() + u64::from(p.bytes) - 1) / 128;
+                    prop_assert_eq!(start_blk, end_blk);
+                    next_ea += u64::from(p.bytes);
+                    total += u64::from(p.bytes);
+                    mfc.packet_delivered(now, p.token);
+                    now += 1;
+                }
+                Issue::Stalled { retry_at } => {
+                    prop_assert!(retry_at > now, "stalls must make progress");
+                    now = retry_at;
+                }
+                Issue::Blocked => prop_assert!(false, "eager delivery never blocks"),
+                Issue::Idle => break,
+            }
+        }
+        prop_assert_eq!(total, u64::from(bytes));
+        prop_assert!(mfc.is_idle());
+        prop_assert_eq!(mfc.stats().bytes_delivered, u64::from(bytes));
+    }
+
+    /// List commands conserve bytes across every element and complete
+    /// their tag exactly once.
+    #[test]
+    fn list_unroll_conserves(
+        elem_16 in 1u32..=64,
+        count in 1usize..32,
+    ) {
+        let elem = elem_16 * 16;
+        prop_assume!(u64::from(elem) * count as u64 <= u64::from(LOCAL_STORE_BYTES));
+        let tag = TagId::new(7).unwrap();
+        let list = DmaListCommand::contiguous(
+            DmaKind::Put,
+            LsAddr(0),
+            EffectiveAddr::Memory { region: RegionId(1), offset: 0 },
+            elem,
+            count,
+            tag,
+        )
+        .unwrap();
+        let expected = list.total_bytes();
+        let mut mfc = MfcEngine::new(MfcConfig::default());
+        mfc.enqueue_list(Cycle::ZERO, list).unwrap();
+        prop_assert!(mfc.tags().is_pending(tag));
+
+        let mut now = Cycle::ZERO;
+        let mut total = 0u64;
+        loop {
+            match mfc.try_issue(now) {
+                Issue::Packet(p) => {
+                    total += u64::from(p.bytes);
+                    mfc.packet_delivered(now, p.token);
+                    now += 1;
+                }
+                Issue::Stalled { retry_at } => now = retry_at,
+                _ => break,
+            }
+        }
+        prop_assert_eq!(total, expected);
+        prop_assert!(!mfc.tags().is_pending(tag));
+    }
+
+    /// The outstanding budget is never exceeded, whatever the command mix.
+    #[test]
+    fn outstanding_budget_is_hard(
+        sizes in proptest::collection::vec(1u32..=32, 1..10),
+        budget in 1usize..8,
+    ) {
+        let cfg = MfcConfig {
+            max_outstanding_packets: budget,
+            command_startup: 0,
+            ..MfcConfig::default()
+        };
+        let mut mfc = MfcEngine::new(cfg);
+        let mut ls = 0u32;
+        for (i, &s16) in sizes.iter().enumerate() {
+            let bytes = s16 * 128;
+            let cmd = DmaCommand::new(
+                DmaKind::Get,
+                LsAddr(ls),
+                EffectiveAddr::Memory { region: RegionId(0), offset: u64::from(ls) },
+                bytes.min(MAX_DMA_BYTES),
+                TagId::new((i % 32) as u8).unwrap(),
+            )
+            .unwrap();
+            ls += bytes.min(MAX_DMA_BYTES);
+            if !mfc.has_space() {
+                break;
+            }
+            mfc.enqueue(Cycle::ZERO, cmd).unwrap();
+        }
+        // Issue without delivering: must stop at the budget.
+        let mut now = Cycle::ZERO;
+        let mut in_flight = Vec::new();
+        loop {
+            match mfc.try_issue(now) {
+                Issue::Packet(p) => {
+                    in_flight.push(p.token);
+                    prop_assert!(in_flight.len() <= budget);
+                    now += 1;
+                }
+                Issue::Stalled { retry_at } => now = retry_at,
+                Issue::Blocked | Issue::Idle => break,
+            }
+        }
+        // Each command is >= 1 packet, so with any work queued the engine
+        // fills its whole budget before blocking.
+        prop_assert!(!in_flight.is_empty());
+        if mfc.stats().commands as usize >= budget {
+            prop_assert_eq!(in_flight.len(), budget);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Model of the Cell BE **Power Processor Element** (PPE).
+//!
+//! The PPE is a 2-way SMT, in-order PowerPC core with a 32 KB write-through
+//! L1 and a 512 KB L2, both with 128-byte lines. The ISPASS 2007 paper
+//! streams load/store/copy kernels over buffers sized to each level of the
+//! hierarchy (its Figures 3, 4 and 6). The measured behaviour is governed
+//! by a handful of structural limits, all modelled here:
+//!
+//! * **Issue**: one scalar load or store per CPU cycle per thread (halved
+//!   when both SMT threads run); VMX 16-byte loads sustain only one every
+//!   two cycles, which is why 16 B loads are no faster than 8 B.
+//! * **Line refill**: a thread's L1 misses are serviced at most one line
+//!   per recycle interval, *independent of where the line comes from* —
+//!   the reason the paper finds L2-resident and memory-resident load
+//!   bandwidth identical, and the reason two threads double it.
+//! * **Store gather**: the write-through L1 sends every store to the L2
+//!   store-gather queue, which drains one line per interval per thread and
+//!   lets the core run a bounded number of lines ahead.
+//! * **L2→memory write queue**: a single shared drain, far slower — the
+//!   paper's "memory store under 6 GB/s".
+//!
+//! # Example
+//!
+//! ```
+//! use cellsim_ppe::{PpeKernelSpec, PpeModel, PpeOp};
+//!
+//! let model = PpeModel::default();
+//! let r = model.run(&PpeKernelSpec {
+//!     op: PpeOp::Load,
+//!     elem_bytes: 8,
+//!     buffer_bytes: 16 * 1024, // L1-resident
+//!     threads: 1,
+//! })?;
+//! // One 8-byte load per 2.1 GHz cycle = 16.8 GB/s.
+//! assert!((r.bandwidth_gbps - 16.8).abs() < 0.1);
+//! # Ok::<(), cellsim_ppe::PpeError>(())
+//! ```
+
+mod model;
+
+pub use model::{CacheLevel, PpeConfig, PpeError, PpeKernelSpec, PpeModel, PpeOp, PpeRunResult};

@@ -1,0 +1,454 @@
+//! The per-line PPU pipeline simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use cellsim_kernel::MachineClock;
+
+/// The streamed micro-benchmark operation (paper Figures 3/4/6 a–c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PpeOp {
+    /// Stream reads over one buffer.
+    Load,
+    /// Stream writes over one buffer.
+    Store,
+    /// Read one buffer, write a second; bandwidth counts both directions.
+    Copy,
+}
+
+/// Where a kernel's working set resides after the warm-up lap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CacheLevel {
+    /// Fits in the 32 KB L1.
+    L1,
+    /// Fits in the 512 KB L2.
+    L2,
+    /// Streams from main memory.
+    Memory,
+}
+
+impl fmt::Display for CacheLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheLevel::L1 => write!(f, "L1"),
+            CacheLevel::L2 => write!(f, "L2"),
+            CacheLevel::Memory => write!(f, "memory"),
+        }
+    }
+}
+
+/// Structural parameters of the PPE. Times are **CPU** cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PpeConfig {
+    /// L1 data-cache capacity (32 KB).
+    pub l1_bytes: u64,
+    /// L2 capacity (512 KB).
+    pub l2_bytes: u64,
+    /// Cache-line size (128 B on both levels).
+    pub line_bytes: u32,
+    /// Issue cost of a scalar (≤8 B) load.
+    pub scalar_load_issue: u64,
+    /// Issue cost of a VMX 16 B load (2: the measured "16 B no better
+    /// than 8 B" effect).
+    pub vmx_load_issue: u64,
+    /// Issue cost of a scalar store.
+    pub scalar_store_issue: u64,
+    /// Issue cost of a VMX 16 B store.
+    pub vmx_store_issue: u64,
+    /// Per-thread line-refill recycle: minimum CPU cycles between L1 line
+    /// fills, wherever the data comes from.
+    pub reload_recycle: u64,
+    /// Per-thread store-gather drain: CPU cycles per line written to L2.
+    pub store_drain_l2: u64,
+    /// Shared L2→memory write drain: CPU cycles per line written to DRAM.
+    pub store_drain_mem: u64,
+    /// Lines of stores the core may run ahead of the drain.
+    pub store_gather_entries: u64,
+}
+
+impl Default for PpeConfig {
+    fn default() -> Self {
+        PpeConfig {
+            l1_bytes: 32 * 1024,
+            l2_bytes: 512 * 1024,
+            line_bytes: 128,
+            scalar_load_issue: 1,
+            vmx_load_issue: 2,
+            scalar_store_issue: 1,
+            vmx_store_issue: 1,
+            reload_recycle: 56,
+            store_drain_l2: 28,
+            store_drain_mem: 100,
+            store_gather_entries: 8,
+        }
+    }
+}
+
+/// One micro-benchmark configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PpeKernelSpec {
+    /// Load, store or copy.
+    pub op: PpeOp,
+    /// Access granularity: 1, 2, 4, 8 or 16 bytes.
+    pub elem_bytes: u32,
+    /// Bytes traversed per thread (each thread owns an independent
+    /// buffer — the paper's weak-scaling protocol).
+    pub buffer_bytes: u64,
+    /// Active SMT threads: 1 or 2.
+    pub threads: usize,
+}
+
+/// Result of running a kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpeRunResult {
+    /// Wall-clock CPU cycles for the slowest thread.
+    pub cpu_cycles: u64,
+    /// Bytes counted toward bandwidth (copy counts both directions).
+    pub bytes_moved: u64,
+    /// Aggregate sustained bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Residency level implied by the total footprint.
+    pub level: CacheLevel,
+}
+
+/// Why a kernel specification was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PpeError {
+    /// Element size is not 1, 2, 4, 8 or 16.
+    BadElementSize(u32),
+    /// Thread count is not 1 or 2 (the PPU is 2-way SMT).
+    BadThreadCount(usize),
+    /// Zero-length buffer.
+    EmptyBuffer,
+}
+
+impl fmt::Display for PpeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpeError::BadElementSize(b) => {
+                write!(f, "element size {b} is not 1, 2, 4, 8 or 16")
+            }
+            PpeError::BadThreadCount(t) => write!(f, "thread count {t} is not 1 or 2"),
+            PpeError::EmptyBuffer => write!(f, "buffer must be non-empty"),
+        }
+    }
+}
+
+impl Error for PpeError {}
+
+/// The PPE pipeline model. See the [crate-level docs](crate) for the
+/// structures it captures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpeModel {
+    cfg: PpeConfig,
+    clock: MachineClock,
+}
+
+impl Default for PpeModel {
+    fn default() -> Self {
+        PpeModel::new(PpeConfig::default(), MachineClock::default())
+    }
+}
+
+impl PpeModel {
+    /// Builds a model with explicit structural parameters.
+    pub fn new(cfg: PpeConfig, clock: MachineClock) -> PpeModel {
+        PpeModel { cfg, clock }
+    }
+
+    /// The structural parameters in use.
+    pub fn config(&self) -> &PpeConfig {
+        &self.cfg
+    }
+
+    /// The residency level of `spec`'s total footprint (buffers for every
+    /// thread, two per thread for copy), assuming a warm cache.
+    pub fn level_for(&self, spec: &PpeKernelSpec) -> CacheLevel {
+        let per_thread = match spec.op {
+            PpeOp::Copy => 2 * spec.buffer_bytes,
+            _ => spec.buffer_bytes,
+        };
+        let footprint = per_thread * spec.threads as u64;
+        if footprint <= self.cfg.l1_bytes {
+            CacheLevel::L1
+        } else if footprint <= self.cfg.l2_bytes {
+            CacheLevel::L2
+        } else {
+            CacheLevel::Memory
+        }
+    }
+
+    /// Runs one streaming kernel to completion and reports its bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PpeError`] for an invalid element size, thread count,
+    /// or empty buffer.
+    pub fn run(&self, spec: &PpeKernelSpec) -> Result<PpeRunResult, PpeError> {
+        if !matches!(spec.elem_bytes, 1 | 2 | 4 | 8 | 16) {
+            return Err(PpeError::BadElementSize(spec.elem_bytes));
+        }
+        if !matches!(spec.threads, 1 | 2) {
+            return Err(PpeError::BadThreadCount(spec.threads));
+        }
+        if spec.buffer_bytes == 0 {
+            return Err(PpeError::EmptyBuffer);
+        }
+
+        let level = self.level_for(spec);
+        let line = u64::from(self.cfg.line_bytes);
+        let lines = spec.buffer_bytes.div_ceil(line);
+        let elems_per_line = line / u64::from(spec.elem_bytes.min(self.cfg.line_bytes));
+
+        // Per-instruction issue costs, inflated by SMT sharing.
+        let smt = spec.threads as u64;
+        let load_issue = if spec.elem_bytes == 16 {
+            self.cfg.vmx_load_issue
+        } else {
+            self.cfg.scalar_load_issue
+        } * smt;
+        let store_issue = if spec.elem_bytes == 16 {
+            self.cfg.vmx_store_issue
+        } else {
+            self.cfg.scalar_store_issue
+        } * smt;
+
+        let issue_per_line = match spec.op {
+            PpeOp::Load => elems_per_line * load_issue,
+            PpeOp::Store => elems_per_line * store_issue,
+            PpeOp::Copy => elems_per_line * (load_issue + store_issue),
+        };
+
+        let loads_miss_l1 = level != CacheLevel::L1 && spec.op != PpeOp::Store;
+        let stores_present = spec.op != PpeOp::Load;
+        // Per-thread store drain for cache-resident targets; shared for
+        // memory-resident ones.
+        let drain_interval = match level {
+            CacheLevel::Memory => self.cfg.store_drain_mem,
+            _ => self.cfg.store_drain_l2,
+        };
+        let drain_shared = level == CacheLevel::Memory;
+
+        // Per-thread state.
+        let mut t = vec![0u64; spec.threads];
+        let mut reload_next = vec![0u64; spec.threads];
+        let mut drain_done = vec![std::collections::VecDeque::<u64>::new(); spec.threads];
+        let mut shared_drain_tail = 0u64;
+
+        for _line in 0..lines {
+            for th in 0..spec.threads {
+                // Instruction issue for this line.
+                let mut line_end = t[th] + issue_per_line;
+                // Line refill gate for miss streams.
+                if loads_miss_l1 {
+                    line_end = line_end.max(reload_next[th]);
+                    reload_next[th] = line_end + self.cfg.reload_recycle;
+                }
+                if stores_present {
+                    // The store-gather queue drains this line...
+                    let prev_tail = if drain_shared {
+                        shared_drain_tail
+                    } else {
+                        *drain_done[th].back().unwrap_or(&0)
+                    };
+                    let done = prev_tail.max(line_end) + drain_interval;
+                    if drain_shared {
+                        shared_drain_tail = done;
+                    }
+                    let q = &mut drain_done[th];
+                    q.push_back(done);
+                    // ...and the core may only run a bounded number of
+                    // lines ahead of it.
+                    while q.len() as u64 > self.cfg.store_gather_entries {
+                        let oldest = q.pop_front().expect("non-empty");
+                        line_end = line_end.max(oldest);
+                    }
+                }
+                t[th] = line_end;
+            }
+        }
+
+        // The run ends when the slowest thread finishes and its stores
+        // have drained.
+        let mut end = 0u64;
+        for th in 0..spec.threads {
+            let drained = drain_done[th].back().copied().unwrap_or(0);
+            end = end.max(t[th]).max(drained);
+        }
+
+        let per_thread_bytes = match spec.op {
+            PpeOp::Copy => 2 * spec.buffer_bytes,
+            _ => spec.buffer_bytes,
+        };
+        let bytes_moved = per_thread_bytes * spec.threads as u64;
+        let seconds = end as f64 / self.clock.cpu_hz();
+        Ok(PpeRunResult {
+            cpu_cycles: end,
+            bytes_moved,
+            bandwidth_gbps: bytes_moved as f64 / seconds / 1e9,
+            level,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(op: PpeOp, elem: u32, buffer: u64, threads: usize) -> PpeRunResult {
+        PpeModel::default()
+            .run(&PpeKernelSpec {
+                op,
+                elem_bytes: elem,
+                buffer_bytes: buffer,
+                threads,
+            })
+            .unwrap()
+    }
+
+    const L1_BUF: u64 = 16 * 1024;
+    const L2_BUF: u64 = 256 * 1024;
+    const MEM_BUF: u64 = 8 * 1024 * 1024;
+
+    #[test]
+    fn l1_load_8b_hits_half_link_peak() {
+        let r = run(PpeOp::Load, 8, L1_BUF, 1);
+        assert_eq!(r.level, CacheLevel::L1);
+        assert!((r.bandwidth_gbps - 16.8).abs() < 0.2, "{r:?}");
+    }
+
+    #[test]
+    fn l1_load_16b_no_better_than_8b() {
+        let r8 = run(PpeOp::Load, 8, L1_BUF, 1);
+        let r16 = run(PpeOp::Load, 16, L1_BUF, 1);
+        assert!((r8.bandwidth_gbps - r16.bandwidth_gbps).abs() < 0.2);
+    }
+
+    #[test]
+    fn l1_load_scales_with_element_size() {
+        let b4 = run(PpeOp::Load, 4, L1_BUF, 1).bandwidth_gbps;
+        let b2 = run(PpeOp::Load, 2, L1_BUF, 1).bandwidth_gbps;
+        let b1 = run(PpeOp::Load, 1, L1_BUF, 1).bandwidth_gbps;
+        assert!((b4 - 8.4).abs() < 0.2, "b4={b4}");
+        assert!((b2 - 4.2).abs() < 0.2, "b2={b2}");
+        assert!((b1 - 2.1).abs() < 0.2, "b1={b1}");
+    }
+
+    #[test]
+    fn l1_store_is_slower_than_l1_load() {
+        let load = run(PpeOp::Load, 16, L1_BUF, 1).bandwidth_gbps;
+        let store = run(PpeOp::Store, 16, L1_BUF, 1).bandwidth_gbps;
+        assert!(store < load, "write-through drain must bind stores");
+        assert!(store > 8.0, "store should still be near the drain rate");
+    }
+
+    #[test]
+    fn l2_load_is_much_slower_and_doubles_with_smt() {
+        let one = run(PpeOp::Load, 8, L2_BUF, 1).bandwidth_gbps;
+        let two = run(PpeOp::Load, 8, L2_BUF, 2).bandwidth_gbps;
+        assert!(one < 6.0, "one={one}");
+        assert!(
+            (two / one - 2.0).abs() < 0.1,
+            "SMT should double: {two}/{one}"
+        );
+    }
+
+    #[test]
+    fn l2_store_is_about_twice_l2_load_single_thread() {
+        let load = run(PpeOp::Load, 16, L2_BUF, 1).bandwidth_gbps;
+        let store = run(PpeOp::Store, 16, L2_BUF, 1).bandwidth_gbps;
+        let ratio = store / load;
+        assert!((1.6..=2.4).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn memory_load_equals_l2_load() {
+        let l2 = run(PpeOp::Load, 8, L2_BUF, 1).bandwidth_gbps;
+        let mem = run(PpeOp::Load, 8, MEM_BUF, 1).bandwidth_gbps;
+        assert!(
+            (l2 - mem).abs() / l2 < 0.05,
+            "the paper finds these equal: l2={l2} mem={mem}"
+        );
+    }
+
+    #[test]
+    fn memory_store_and_copy_stay_under_six() {
+        for op in [PpeOp::Store, PpeOp::Copy] {
+            for threads in [1, 2] {
+                let bw = run(op, 16, MEM_BUF, threads).bandwidth_gbps;
+                assert!(bw < 6.0, "{op:?} x{threads} = {bw}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_store_is_much_slower_than_l2_store() {
+        let l2 = run(PpeOp::Store, 16, L2_BUF, 1).bandwidth_gbps;
+        let mem = run(PpeOp::Store, 16, MEM_BUF, 1).bandwidth_gbps;
+        assert!(mem < l2 / 2.0, "l2={l2} mem={mem}");
+    }
+
+    #[test]
+    fn copy_counts_both_directions() {
+        let r = run(PpeOp::Copy, 8, L1_BUF, 1);
+        assert_eq!(r.bytes_moved, 2 * L1_BUF);
+        // Half of the 33.6 GB/s L1 link peak, as the paper reports.
+        assert!((r.bandwidth_gbps - 16.8).abs() < 0.3, "{r:?}");
+    }
+
+    #[test]
+    fn copy_16b_beats_copy_8b() {
+        let b8 = run(PpeOp::Copy, 8, L1_BUF, 1).bandwidth_gbps;
+        let b16 = run(PpeOp::Copy, 16, L1_BUF, 1).bandwidth_gbps;
+        assert!(b16 > b8 * 1.1, "b8={b8} b16={b16}");
+    }
+
+    #[test]
+    fn level_classification_counts_footprint() {
+        let m = PpeModel::default();
+        let spec = |op, buffer, threads| PpeKernelSpec {
+            op,
+            elem_bytes: 8,
+            buffer_bytes: buffer,
+            threads,
+        };
+        assert_eq!(m.level_for(&spec(PpeOp::Load, 16 << 10, 1)), CacheLevel::L1);
+        // Two threads' buffers exceed L1 together.
+        assert_eq!(m.level_for(&spec(PpeOp::Load, 24 << 10, 2)), CacheLevel::L2);
+        // Copy doubles the footprint.
+        assert_eq!(m.level_for(&spec(PpeOp::Copy, 24 << 10, 1)), CacheLevel::L2);
+        assert_eq!(
+            m.level_for(&spec(PpeOp::Load, 4 << 20, 1)),
+            CacheLevel::Memory
+        );
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let m = PpeModel::default();
+        let base = PpeKernelSpec {
+            op: PpeOp::Load,
+            elem_bytes: 8,
+            buffer_bytes: 1024,
+            threads: 1,
+        };
+        assert_eq!(
+            m.run(&PpeKernelSpec {
+                elem_bytes: 3,
+                ..base
+            }),
+            Err(PpeError::BadElementSize(3))
+        );
+        assert_eq!(
+            m.run(&PpeKernelSpec { threads: 3, ..base }),
+            Err(PpeError::BadThreadCount(3))
+        );
+        assert_eq!(
+            m.run(&PpeKernelSpec {
+                buffer_bytes: 0,
+                ..base
+            }),
+            Err(PpeError::EmptyBuffer)
+        );
+    }
+}

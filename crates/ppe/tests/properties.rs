@@ -1,0 +1,119 @@
+//! Property tests for the PPE pipeline model.
+
+use cellsim_ppe::{CacheLevel, PpeKernelSpec, PpeModel, PpeOp};
+use proptest::prelude::*;
+
+fn elem() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(1u32), Just(2), Just(4), Just(8), Just(16)]
+}
+
+fn op() -> impl Strategy<Value = PpeOp> {
+    prop_oneof![Just(PpeOp::Load), Just(PpeOp::Store), Just(PpeOp::Copy)]
+}
+
+proptest! {
+    /// Bandwidth is monotone non-decreasing in element size for any op,
+    /// level and thread count.
+    #[test]
+    fn bandwidth_monotone_in_element_size(
+        op in op(),
+        threads in 1usize..=2,
+        buffer_kib in prop_oneof![Just(8u64), Just(128), Just(4096)],
+    ) {
+        let model = PpeModel::default();
+        let mut prev = 0.0f64;
+        for e in [1u32, 2, 4, 8, 16] {
+            let r = model.run(&PpeKernelSpec {
+                op,
+                elem_bytes: e,
+                buffer_bytes: buffer_kib << 10,
+                threads,
+            }).unwrap();
+            prop_assert!(r.bandwidth_gbps >= prev * 0.999,
+                "{:?} {}B: {} < {}", op, e, r.bandwidth_gbps, prev);
+            prev = r.bandwidth_gbps;
+        }
+    }
+
+    /// Two threads never aggregate slower than one at the same residency
+    /// level. (Across a level boundary the weak-scaled footprint can
+    /// legitimately fall out of a cache — e.g. two 257 KiB store streams
+    /// spill the L2 — so the buffers here pin the level.)
+    #[test]
+    fn smt_never_hurts_at_fixed_level(
+        op in op(),
+        e in elem(),
+        buffer_kib in prop_oneof![Just(4u64), Just(64), Just(2048)],
+    ) {
+        let model = PpeModel::default();
+        let run = |threads| {
+            let r = model.run(&PpeKernelSpec {
+                op,
+                elem_bytes: e,
+                buffer_bytes: buffer_kib << 10,
+                threads,
+            }).unwrap();
+            (r.level, r.bandwidth_gbps)
+        };
+        let (l1, one) = run(1);
+        let (l2, two) = run(2);
+        prop_assume!(l1 == l2);
+        prop_assert!(two >= one * 0.98, "{} threads... {} vs {}", 2, two, one);
+    }
+
+    /// Closer cache levels are never slower for loads.
+    #[test]
+    fn cache_levels_order_load_bandwidth(e in elem(), threads in 1usize..=2) {
+        let model = PpeModel::default();
+        let run = |buffer: u64| model.run(&PpeKernelSpec {
+            op: PpeOp::Load,
+            elem_bytes: e,
+            buffer_bytes: buffer,
+            threads,
+        }).unwrap();
+        let l1 = run(8 << 10);
+        let l2 = run(128 << 10);
+        let mem = run(4 << 20);
+        prop_assert_eq!(l1.level, CacheLevel::L1);
+        prop_assert_eq!(l2.level, CacheLevel::L2);
+        prop_assert_eq!(mem.level, CacheLevel::Memory);
+        prop_assert!(l1.bandwidth_gbps >= l2.bandwidth_gbps * 0.999);
+        prop_assert!(l2.bandwidth_gbps >= mem.bandwidth_gbps * 0.999);
+    }
+
+    /// Cycle counts scale linearly with buffer size (streaming kernels
+    /// have no super-linear effects).
+    #[test]
+    fn cycles_scale_linearly(op in op(), e in elem()) {
+        let model = PpeModel::default();
+        let run = |buffer: u64| model.run(&PpeKernelSpec {
+            op,
+            elem_bytes: e,
+            buffer_bytes: buffer,
+            threads: 1,
+        }).unwrap().cpu_cycles;
+        // Same residency level for both sizes (both memory-resident).
+        let base = run(2 << 20);
+        let double = run(4 << 20);
+        let ratio = double as f64 / base as f64;
+        prop_assert!((ratio - 2.0).abs() < 0.05, "ratio={}", ratio);
+    }
+
+    /// The model never reports more bandwidth than the 33.6 GB/s L1 link.
+    #[test]
+    fn bandwidth_respects_the_link_peak(
+        op in op(),
+        e in elem(),
+        threads in 1usize..=2,
+        buffer_kib in 4u64..1024,
+    ) {
+        let model = PpeModel::default();
+        let r = model.run(&PpeKernelSpec {
+            op,
+            elem_bytes: e,
+            buffer_bytes: buffer_kib << 10,
+            threads,
+        }).unwrap();
+        prop_assert!(r.bandwidth_gbps <= 33.6 + 1e-9, "{}", r.bandwidth_gbps);
+    }
+}

@@ -1,0 +1,47 @@
+//! A CellSs-style task runtime model on the simulated Cell BE.
+//!
+//! The paper's related work discusses CellSs (Bellens et al.): a
+//! programming model where the programmer writes *tasks* and a runtime
+//! schedules them onto SPEs, moving their operands by DMA. The paper
+//! closes by noting that its bandwidth results "would be very useful in
+//! optimizing the runtime library used in such programming model" — this
+//! crate is that application.
+//!
+//! * [`Task`] — inputs, outputs (memory blocks) and a FLOP count;
+//! * [`StreamRuntime`] — schedules tasks over N SPEs (least-loaded
+//!   first), runs the *actual DMA traffic* of the whole job through the
+//!   simulated fabric (so contention between SPEs is real, not a
+//!   formula), overlaps communication with compute per the double-
+//!   buffering rule, and reports the predicted makespan;
+//! * [`RuntimeReport`] — per-SPE communication/compute occupancy and the
+//!   binding resource.
+//!
+//! # Example
+//!
+//! ```
+//! use cellsim_core::CellSystem;
+//! use cellsim_runtime::{StreamRuntime, Task};
+//!
+//! let system = CellSystem::blade();
+//! let runtime = StreamRuntime::new(&system, 4);
+//! // 64 independent tasks, each streaming 64 KiB in and 16 KiB out
+//! // with 100 kFLOP of work.
+//! let tasks: Vec<Task> = (0..64)
+//!     .map(|i| Task::new(format!("t{i}"))
+//!         .input(64 << 10)
+//!         .output(16 << 10)
+//!         .flops(100_000.0))
+//!     .collect();
+//! let report = runtime.execute(&tasks)?;
+//! assert_eq!(report.tasks, 64);
+//! assert!(report.makespan_cycles > 0);
+//! # Ok::<(), cellsim_runtime::RuntimeError>(())
+//! ```
+
+mod report;
+mod runtime;
+mod task;
+
+pub use report::{LaneUsage, RuntimeReport};
+pub use runtime::{RuntimeError, StreamRuntime};
+pub use task::Task;

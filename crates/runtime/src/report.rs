@@ -1,0 +1,127 @@
+//! Runtime execution reports.
+
+use std::fmt;
+
+/// Occupancy of one SPE lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneUsage {
+    /// Logical SPE index.
+    pub spe: usize,
+    /// Tasks executed on this lane.
+    pub tasks: usize,
+    /// Bus cycles the lane's DMA traffic needed (measured on the fabric,
+    /// with all lanes contending).
+    pub comm_cycles: u64,
+    /// Bus cycles of SPU compute assigned to the lane.
+    pub comp_cycles: u64,
+}
+
+impl LaneUsage {
+    /// With double buffering, the lane finishes when the slower of its
+    /// two overlapped activities does.
+    pub fn busy_cycles(&self) -> u64 {
+        self.comm_cycles.max(self.comp_cycles)
+    }
+
+    /// Whether the fabric (rather than the SPU) bounds this lane.
+    pub fn is_memory_bound(&self) -> bool {
+        self.comm_cycles >= self.comp_cycles
+    }
+}
+
+/// Outcome of executing a task set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeReport {
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Active SPE lanes.
+    pub lanes: Vec<LaneUsage>,
+    /// Predicted completion time in bus cycles (slowest lane).
+    pub makespan_cycles: u64,
+    /// Sustained useful GFLOP/s over the makespan.
+    pub gflops: f64,
+    /// Total payload bytes the job moved.
+    pub total_bytes: u64,
+}
+
+impl RuntimeReport {
+    /// Tasks per second at the simulated clock.
+    pub fn tasks_per_second(&self, bus_hz: f64) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        self.tasks as f64 * bus_hz / self.makespan_cycles as f64
+    }
+
+    /// Lanes whose DMA traffic, not compute, is the limit.
+    pub fn memory_bound_lanes(&self) -> usize {
+        self.lanes.iter().filter(|l| l.is_memory_bound()).count()
+    }
+}
+
+impl fmt::Display for RuntimeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} tasks over {} lanes: makespan {} cycles, {:.2} GFLOP/s",
+            self.tasks,
+            self.lanes.len(),
+            self.makespan_cycles,
+            self.gflops
+        )?;
+        for l in &self.lanes {
+            writeln!(
+                f,
+                "  SPE{} : {:>3} tasks  comm {:>9}  comp {:>9}  bound: {}",
+                l.spe,
+                l.tasks,
+                l.comm_cycles,
+                l.comp_cycles,
+                if l.is_memory_bound() {
+                    "memory"
+                } else {
+                    "compute"
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_usage_overlaps_comm_and_comp() {
+        let l = LaneUsage {
+            spe: 0,
+            tasks: 3,
+            comm_cycles: 100,
+            comp_cycles: 40,
+        };
+        assert_eq!(l.busy_cycles(), 100);
+        assert!(l.is_memory_bound());
+    }
+
+    #[test]
+    fn report_rates_and_rendering() {
+        let r = RuntimeReport {
+            tasks: 10,
+            lanes: vec![LaneUsage {
+                spe: 0,
+                tasks: 10,
+                comm_cycles: 1000,
+                comp_cycles: 2000,
+            }],
+            makespan_cycles: 2000,
+            gflops: 1.5,
+            total_bytes: 4096,
+        };
+        // 10 tasks / (2000 cycles / 1.05e9 Hz)
+        let tps = r.tasks_per_second(1.05e9);
+        assert!((tps - 5.25e6).abs() < 1.0);
+        assert_eq!(r.memory_bound_lanes(), 0);
+        assert!(r.to_string().contains("compute"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Task descriptors.
+
+use cellsim_kernels::Precision;
+
+/// One schedulable unit of work: operand blocks plus a FLOP count.
+///
+/// Blocks are sized in bytes; the runtime allocates them in per-lane
+/// memory regions and splits them into valid DMA commands. Sizes must be
+/// multiples of 16 bytes (the CBE's quadword rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    name: String,
+    inputs: Vec<u64>,
+    outputs: Vec<u64>,
+    flops: f64,
+    precision: Precision,
+}
+
+impl Task {
+    /// A task with no operands and no work; chain the builder methods.
+    pub fn new(name: impl Into<String>) -> Task {
+        Task {
+            name: name.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            flops: 0.0,
+            precision: Precision::Single,
+        }
+    }
+
+    /// Adds an input block of `bytes` bytes (DMAed in before compute).
+    pub fn input(mut self, bytes: u64) -> Task {
+        self.inputs.push(bytes);
+        self
+    }
+
+    /// Adds an output block of `bytes` bytes (DMAed out after compute).
+    pub fn output(mut self, bytes: u64) -> Task {
+        self.outputs.push(bytes);
+        self
+    }
+
+    /// Sets the task's useful FLOPs.
+    pub fn flops(mut self, flops: f64) -> Task {
+        self.flops = flops;
+        self
+    }
+
+    /// Switches the task to double precision (the slow SPU pipe).
+    pub fn double_precision(mut self) -> Task {
+        self.precision = Precision::Double;
+        self
+    }
+
+    /// The task's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input block sizes.
+    pub fn inputs(&self) -> &[u64] {
+        &self.inputs
+    }
+
+    /// Output block sizes.
+    pub fn outputs(&self) -> &[u64] {
+        &self.outputs
+    }
+
+    /// Useful FLOPs.
+    pub fn flop_count(&self) -> f64 {
+        self.flops
+    }
+
+    /// Arithmetic precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Total DMA bytes this task moves (both directions).
+    pub fn total_bytes(&self) -> u64 {
+        self.inputs.iter().sum::<u64>() + self.outputs.iter().sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_operands() {
+        let t = Task::new("gemm")
+            .input(1024)
+            .input(2048)
+            .output(512)
+            .flops(1e6);
+        assert_eq!(t.name(), "gemm");
+        assert_eq!(t.inputs(), &[1024, 2048]);
+        assert_eq!(t.outputs(), &[512]);
+        assert_eq!(t.total_bytes(), 3584);
+        assert_eq!(t.flop_count(), 1e6);
+        assert_eq!(t.precision(), Precision::Single);
+    }
+
+    #[test]
+    fn double_precision_is_sticky() {
+        let t = Task::new("dp").double_precision();
+        assert_eq!(t.precision(), Precision::Double);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the task runtime.
+
+use cellsim_core::CellSystem;
+use cellsim_runtime::{StreamRuntime, Task};
+use proptest::prelude::*;
+
+fn task() -> impl Strategy<Value = Task> {
+    (1u64..=8, 0u64..=8, 0u64..200_000u64).prop_map(|(inp, out, kflops)| {
+        let mut t = Task::new("t")
+            .input(inp * 16 * 1024)
+            .flops(kflops as f64 * 1e3);
+        if out > 0 {
+            t = t.output(out * 16 * 1024);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the job, the runtime's makespan is at least each lane's
+    /// own busy time and the byte accounting is exact.
+    #[test]
+    fn makespan_bounds_and_byte_accounting(
+        tasks in proptest::collection::vec(task(), 1..24),
+        lanes in 1usize..=8,
+    ) {
+        let sys = CellSystem::blade();
+        let rt = StreamRuntime::new(&sys, lanes);
+        let report = rt.execute(&tasks).unwrap();
+        prop_assert_eq!(report.tasks, tasks.len());
+        let expected: u64 = tasks.iter().map(Task::total_bytes).sum();
+        prop_assert_eq!(report.total_bytes, expected);
+        for lane in &report.lanes {
+            prop_assert!(report.makespan_cycles >= lane.busy_cycles());
+        }
+        let assigned: usize = report.lanes.iter().map(|l| l.tasks).sum();
+        prop_assert_eq!(assigned, tasks.len());
+    }
+
+    /// The least-loaded scheduler never assigns a lane more than twice
+    /// the tasks of another when tasks are identical.
+    #[test]
+    fn uniform_tasks_balance(n in 1usize..40, lanes in 1usize..=8) {
+        let sys = CellSystem::blade();
+        let rt = StreamRuntime::new(&sys, lanes);
+        let tasks: Vec<Task> = (0..n)
+            .map(|_| Task::new("u").input(32 << 10).flops(1e4))
+            .collect();
+        let report = rt.execute(&tasks).unwrap();
+        let max = report.lanes.iter().map(|l| l.tasks).max().unwrap();
+        let min = report.lanes.iter().map(|l| l.tasks).min().unwrap();
+        prop_assert!(max - min <= 1, "max={} min={}", max, min);
+    }
+
+    /// Makespan never grows when lanes are added.
+    #[test]
+    fn lanes_never_hurt(n in 2usize..16) {
+        let sys = CellSystem::blade();
+        let tasks: Vec<Task> = (0..n)
+            .map(|_| Task::new("w").input(64 << 10).flops(5e5))
+            .collect();
+        let two = StreamRuntime::new(&sys, 2).execute(&tasks).unwrap();
+        let eight = StreamRuntime::new(&sys, 8).execute(&tasks).unwrap();
+        prop_assert!(
+            eight.makespan_cycles <= two.makespan_cycles * 11 / 10,
+            "{} vs {}",
+            eight.makespan_cycles,
+            two.makespan_cycles
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Model of a **Synergistic Processor Element** (SPE).
+//!
+//! An SPE is the SPU core plus its 256 KB Local Store (the MFC is modelled
+//! separately in `cellsim-mfc`). This crate provides:
+//!
+//! * [`LocalStore`] — a functional 256 KB scratchpad, so examples can move
+//!   real bytes through the simulated fabric;
+//! * [`SpuLsModel`] — the analytic SPU↔LS load/store pipeline model behind
+//!   the paper's §4.2.2 experiment. The SPU ISA only has 16-byte loads, so
+//!   a quadword access per cycle hits the 33.6 GB/s peak while narrower
+//!   accesses pay extract/merge overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use cellsim_kernel::MachineClock;
+//! use cellsim_spe::{LsOp, SpuLsModel};
+//!
+//! let model = SpuLsModel::default();
+//! let clock = MachineClock::default();
+//! // Full-quadword loads reach the 33.6 GB/s peak the paper reports.
+//! let bw = model.bandwidth_gbps(&clock, LsOp::Load, 16, 1 << 20).unwrap();
+//! assert!((bw - 33.6).abs() < 1e-6);
+//! ```
+
+mod ls;
+mod spu;
+
+pub use ls::{LocalStore, LS_BYTES};
+pub use spu::{BadElementSize, LsOp, SpuLsConfig, SpuLsModel};

@@ -1,0 +1,121 @@
+//! The 256 KB Local Store.
+
+use std::fmt;
+
+/// Local Store capacity in bytes.
+pub const LS_BYTES: usize = 256 * 1024;
+
+/// One SPE's Local Store: a flat, private 256 KB scratchpad.
+///
+/// The Local Store is the *only* memory an SPU can address directly;
+/// everything else arrives by DMA. The store here is functional (it holds
+/// real bytes) so that examples can run actual data through the simulated
+/// machine; the bandwidth experiments use only its geometry.
+///
+/// ```
+/// use cellsim_spe::LocalStore;
+/// let mut ls = LocalStore::new();
+/// ls.write(128, b"stream me");
+/// assert_eq!(ls.read(128, 9), b"stream me");
+/// ```
+#[derive(Clone)]
+pub struct LocalStore {
+    data: Box<[u8; LS_BYTES]>,
+}
+
+impl LocalStore {
+    /// A zero-filled Local Store.
+    pub fn new() -> LocalStore {
+        LocalStore {
+            data: vec![0u8; LS_BYTES]
+                .into_boxed_slice()
+                .try_into()
+                .expect("sized exactly"),
+        }
+    }
+
+    /// Reads `len` bytes starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the 256 KB boundary; the MFC
+    /// validates ranges before any transfer, so reaching this is a bug.
+    pub fn read(&self, offset: u32, len: usize) -> &[u8] {
+        let start = offset as usize;
+        let end = start.checked_add(len).expect("length overflow");
+        assert!(end <= LS_BYTES, "local-store read out of range");
+        &self.data[start..end]
+    }
+
+    /// Writes `bytes` starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the 256 KB boundary.
+    pub fn write(&mut self, offset: u32, bytes: &[u8]) {
+        let start = offset as usize;
+        let end = start.checked_add(bytes.len()).expect("length overflow");
+        assert!(end <= LS_BYTES, "local-store write out of range");
+        self.data[start..end].copy_from_slice(bytes);
+    }
+
+    /// Fills the whole store with `value` (handy for test patterns).
+    pub fn fill(&mut self, value: u8) {
+        self.data.fill(value);
+    }
+}
+
+impl Default for LocalStore {
+    fn default() -> Self {
+        LocalStore::new()
+    }
+}
+
+impl fmt::Debug for LocalStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalStore")
+            .field("bytes", &LS_BYTES)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_bytes() {
+        let mut ls = LocalStore::new();
+        ls.write(1000, &[1, 2, 3, 4]);
+        assert_eq!(ls.read(1000, 4), &[1, 2, 3, 4]);
+        assert_eq!(ls.read(999, 1), &[0]);
+    }
+
+    #[test]
+    fn boundary_access_is_allowed() {
+        let mut ls = LocalStore::new();
+        ls.write((LS_BYTES - 4) as u32, &[9, 9, 9, 9]);
+        assert_eq!(ls.read((LS_BYTES - 4) as u32, 4), &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn overrun_read_panics() {
+        let ls = LocalStore::new();
+        let _ = ls.read((LS_BYTES - 2) as u32, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn overrun_write_panics() {
+        let mut ls = LocalStore::new();
+        ls.write((LS_BYTES - 1) as u32, &[0, 0]);
+    }
+
+    #[test]
+    fn fill_sets_every_byte() {
+        let mut ls = LocalStore::new();
+        ls.fill(0xAB);
+        assert!(ls.read(0, LS_BYTES).iter().all(|&b| b == 0xAB));
+    }
+}

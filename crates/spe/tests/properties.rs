@@ -1,0 +1,52 @@
+//! Property tests for the SPE models.
+
+use cellsim_kernel::MachineClock;
+use cellsim_spe::{LocalStore, LsOp, SpuLsModel, LS_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    /// LocalStore behaves like a flat 256 KB array.
+    #[test]
+    fn local_store_matches_flat_model(
+        writes in proptest::collection::vec(
+            (0u32..(LS_BYTES as u32 - 256), proptest::collection::vec(any::<u8>(), 1..256)),
+            1..16,
+        ),
+    ) {
+        let mut ls = LocalStore::new();
+        let mut flat = vec![0u8; LS_BYTES];
+        for (off, data) in &writes {
+            ls.write(*off, data);
+            flat[*off as usize..*off as usize + data.len()].copy_from_slice(data);
+        }
+        for (off, data) in &writes {
+            prop_assert_eq!(ls.read(*off, data.len()), &flat[*off as usize..*off as usize + data.len()]);
+        }
+    }
+
+    /// SPU↔LS bandwidth is monotone in element size and bounded by the
+    /// 33.6 GB/s quadword port.
+    #[test]
+    fn spu_bandwidth_monotone_and_bounded(total in 1024u64..1 << 22) {
+        let model = SpuLsModel::default();
+        let clock = MachineClock::default();
+        for op in [LsOp::Load, LsOp::Store, LsOp::Copy] {
+            let mut prev = 0.0;
+            for e in [1u32, 2, 4, 8, 16] {
+                let bw = model.bandwidth_gbps(&clock, op, e, total).unwrap();
+                prop_assert!(bw >= prev * 0.999);
+                prop_assert!(bw <= 33.6 + 1e-9);
+                prev = bw;
+            }
+        }
+    }
+
+    /// Cycle counts are exactly linear in the element count.
+    #[test]
+    fn spu_cycles_linear(elems in 1u64..10_000, e in prop_oneof![Just(4u32), Just(16)]) {
+        let model = SpuLsModel::default();
+        let one = model.cpu_cycles(LsOp::Load, e, u64::from(e)).unwrap();
+        let many = model.cpu_cycles(LsOp::Load, e, elems * u64::from(e)).unwrap();
+        prop_assert_eq!(many, one * elems);
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's DMA programming rules, demonstrated one by one on a pair
+//! of SPEs exchanging data.
+//!
+//! ```text
+//! cargo run --release --example dma_tuning
+//! ```
+
+use cellsim::{CellSystem, Placement, PlanError, SyncPolicy, TransferPlan};
+
+const VOLUME: u64 = 1 << 20;
+
+fn run(system: &CellSystem, plan: &TransferPlan) -> f64 {
+    system.run(&Placement::identity(), plan).aggregate_gbps
+}
+
+fn main() -> Result<(), PlanError> {
+    let system = CellSystem::blade();
+    println!("SPE0 <-> SPE1 exchange, peak 33.6 GB/s. One rule at a time:\n");
+
+    // Rule 1: use large DMA elements (>= 1024 B for DMA-elem).
+    println!("rule 1 — transfer size matters (DMA-elem, sync after all):");
+    for elem in [128u32, 512, 1024, 4096, 16384] {
+        let plan = TransferPlan::builder()
+            .exchange_with(0, 1, VOLUME, elem, SyncPolicy::AfterAll)
+            .build()?;
+        println!("  {:>6} B : {:>6.2} GB/s", elem, run(&system, &plan));
+    }
+
+    // Rule 2: delay synchronization as long as possible.
+    println!("\nrule 2 — delay the tag-group wait (4 KiB elements):");
+    for (label, sync) in [
+        ("wait every DMA ", SyncPolicy::Every(1)),
+        ("wait every 4   ", SyncPolicy::Every(4)),
+        ("wait every 16  ", SyncPolicy::Every(16)),
+        ("wait at the end", SyncPolicy::AfterAll),
+    ] {
+        let plan = TransferPlan::builder()
+            .exchange_with(0, 1, VOLUME, 4096, sync)
+            .build()?;
+        println!("  {label} : {:>6.2} GB/s", run(&system, &plan));
+    }
+
+    // Rule 3: DMA lists rescue small elements.
+    println!("\nrule 3 — DMA lists amortize per-command cost (128 B elements):");
+    let elem_plan = TransferPlan::builder()
+        .exchange_with(0, 1, VOLUME / 4, 128, SyncPolicy::AfterAll)
+        .build()?;
+    let list_plan = TransferPlan::builder()
+        .exchange_with_list(0, 1, VOLUME / 4, 128, SyncPolicy::AfterAll)
+        .build()?;
+    let e = run(&system, &elem_plan);
+    let l = run(&system, &list_plan);
+    println!("  DMA-elem : {e:>6.2} GB/s");
+    println!("  DMA-list : {l:>6.2} GB/s  ({:.1}x)", l / e);
+
+    println!(
+        "\nPaper §5: \"double buffering, DMA lists and delaying the\n\
+         synchronization (DMA wait) as much as possible will always help\n\
+         performance. DMA lists are beneficial for data chunks of less\n\
+         than 1024 bytes in SPE to SPE communication.\""
+    );
+    Ok(())
+}

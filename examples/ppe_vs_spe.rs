@@ -1,0 +1,53 @@
+//! The paper's motivation in one table: moving data with the PPE versus
+//! letting SPE DMA engines do it.
+//!
+//! ```text
+//! cargo run --release --example ppe_vs_spe
+//! ```
+
+use cellsim::ppe::{PpeKernelSpec, PpeOp};
+use cellsim::{CellSystem, Placement, PlanError, SyncPolicy, TransferPlan};
+
+fn main() -> Result<(), PlanError> {
+    let system = CellSystem::blade();
+    let buffer: u64 = 8 << 20;
+
+    // PPE: the best it can do — 16-byte VMX copies, both SMT threads.
+    let ppe = system
+        .ppe_model()
+        .run(&PpeKernelSpec {
+            op: PpeOp::Copy,
+            elem_bytes: 16,
+            buffer_bytes: buffer / 2, // per thread
+            threads: 2,
+        })
+        .expect("valid kernel");
+
+    // One SPE doing the same memory→memory copy by DMA.
+    let one = TransferPlan::builder()
+        .copy_memory(0, buffer, 16 * 1024, SyncPolicy::AfterAll)
+        .build()?;
+    let r1 = system.run(&Placement::identity(), &one);
+
+    // Four SPEs, the paper's sweet spot before the EIB saturates.
+    let mut b = TransferPlan::builder();
+    for spe in 0..4 {
+        b = b.copy_memory(spe, buffer / 4, 16 * 1024, SyncPolicy::AfterAll);
+    }
+    let r4 = system.run(&Placement::identity(), &b.build()?);
+
+    println!("memory-to-memory copy of {} MiB:\n", buffer >> 20);
+    println!("  engine              bandwidth");
+    println!("  PPE (2 threads)     {:>6.2} GB/s", ppe.bandwidth_gbps);
+    println!("  1 SPE (DMA)         {:>6.2} GB/s", r1.aggregate_gbps);
+    println!("  4 SPEs (DMA)        {:>6.2} GB/s", r4.sum_gbps);
+    println!(
+        "\nThe PPE tops out on its load-miss and store-queue structures;\n\
+         the MFCs stream cache-line-sized bus packets and, with two or\n\
+         more SPEs, reach both memory banks at once. This is why the\n\
+         paper's programming model pushes all bulk data movement to the\n\
+         SPEs' DMA engines."
+    );
+    assert!(r1.aggregate_gbps > ppe.bandwidth_gbps);
+    Ok(())
+}

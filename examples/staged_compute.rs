@@ -1,0 +1,82 @@
+//! Functional end-to-end demo: real data staged through the simulated
+//! machine by DMA, with a verified result.
+//!
+//! A "computation" on the Cell works like this: stage a block from main
+//! memory into a Local Store, let the SPU transform it, and stream the
+//! result back out. Here the fabric moves *actual bytes*
+//! ([`cellsim::CellSystem::run_with_data`]), the host plays the SPU role
+//! between phases, and the output is checked byte-for-byte — while the
+//! simulator reports how long the machine would have taken.
+//!
+//! ```text
+//! cargo run --release --example staged_compute
+//! ```
+
+use cellsim::{CellSystem, MachineState, Placement, PlanError, SyncPolicy, TransferPlan};
+
+const BLOCK: u32 = 16 * 1024;
+const TOTAL: u64 = 256 * 1024;
+
+fn main() -> Result<(), PlanError> {
+    let system = CellSystem::blade();
+    let placement = Placement::identity();
+    let mut state = MachineState::new();
+
+    // Input: a pseudo-random buffer in SPE0's GET region.
+    let input: Vec<u8> = (0..TOTAL).map(|i| (i * 2654435761 % 251) as u8).collect();
+    state.write_region(TransferPlan::get_region(0), 0, &input);
+
+    // Phase 1: DMA the whole buffer into SPE0's Local Store window.
+    let stage_in = TransferPlan::builder()
+        .get_from_memory(0, u64::from(BLOCK) * 8, BLOCK, SyncPolicy::AfterAll)
+        .build()?;
+    let mut cycles = 0u64;
+    let mut processed = 0u64;
+    let mut output = Vec::with_capacity(input.len());
+    while processed < TOTAL {
+        // Stage a Local-Store window's worth (8 blocks of 16 KiB).
+        let window = u64::from(BLOCK) * 8;
+        // Refill the GET region cursor by rewriting the window at offset 0:
+        // (each pass maps the next window of input to region offset 0..window)
+        let chunk = &input[processed as usize..(processed + window) as usize];
+        state.write_region(TransferPlan::get_region(0), 0, chunk);
+        let r = system.run_with_data(&placement, &stage_in, &mut state);
+        cycles += r.cycles;
+
+        // "SPU compute": add 1 to every byte, in Local Store.
+        let transformed: Vec<u8> = state
+            .local_store(0)
+            .read(0, window as usize)
+            .iter()
+            .map(|b| b.wrapping_add(1))
+            .collect();
+        state.local_store_mut(0).write(0, &transformed);
+        output.extend_from_slice(&transformed);
+
+        // Phase 2: DMA the results back out to the PUT region.
+        let stage_out = TransferPlan::builder()
+            .put_to_memory(0, window, BLOCK, SyncPolicy::AfterAll)
+            .build()?;
+        let r = system.run_with_data(&placement, &stage_out, &mut state);
+        cycles += r.cycles;
+        processed += window;
+    }
+
+    // Verify: every output byte is input+1.
+    let expect: Vec<u8> = input.iter().map(|b| b.wrapping_add(1)).collect();
+    assert_eq!(output, expect, "staged computation must be exact");
+
+    let clock = system.config().clock;
+    let secs = clock.seconds(cycles);
+    println!("processed  : {} KiB, verified byte-for-byte", TOTAL >> 10);
+    println!("machine time: {cycles} bus cycles = {:.1} µs", secs * 1e6);
+    println!(
+        "effective  : {:.2} GB/s of staged (in+out) traffic",
+        2.0 * TOTAL as f64 / secs / 1e9
+    );
+    println!(
+        "\n(A production kernel would double-buffer so the transform\n\
+         overlaps the DMA — see `kernels_roofline` for that model.)"
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! The paper's streaming-model advice, demonstrated: two data streams of
+//! four SPEs each move more data per second than one stream using all
+//! eight SPEs.
+//!
+//! A "stream" here is a software pipeline: the head SPE GETs from main
+//! memory, every stage PUTs its output into the next stage's Local Store,
+//! and the tail PUTs results back to memory. The plan below reproduces
+//! the *steady-state traffic* of such a pipeline; stage compute is
+//! assumed to overlap communication via double buffering, exactly as the
+//! paper's programming rules prescribe.
+//!
+//! ```text
+//! cargo run --release --example streaming
+//! ```
+
+use cellsim::{CellSystem, Placement, PlanError, SyncPolicy, TransferPlan};
+
+const VOLUME: u64 = 2 << 20; // bytes flowing through each pipeline stage
+const ELEM: u32 = 16 * 1024;
+
+/// Builds the steady-state traffic of one pipeline over `spes`.
+fn pipeline(builder: cellsim::TransferPlanBuilder, spes: &[usize]) -> cellsim::TransferPlanBuilder {
+    let head = spes[0];
+    let tail = spes[spes.len() - 1];
+    let mut b = builder.get_from_memory(head, VOLUME, ELEM, SyncPolicy::AfterAll);
+    for w in spes.windows(2) {
+        b = b.put_to_spe(w[0], w[1], VOLUME, ELEM, SyncPolicy::AfterAll);
+    }
+    b.put_to_memory(tail, VOLUME, ELEM, SyncPolicy::AfterAll)
+}
+
+fn main() -> Result<(), PlanError> {
+    let system = CellSystem::blade();
+    let placement = Placement::identity();
+
+    // One stream through all eight SPEs.
+    let single: TransferPlan =
+        pipeline(TransferPlan::builder(), &[0, 1, 2, 3, 4, 5, 6, 7]).build()?;
+    let r1 = system.run(&placement, &single);
+    // Pipeline rate = stage volume / wall time.
+    let single_rate = VOLUME as f64 / system.config().clock.seconds(r1.cycles) / 1e9;
+
+    // Two independent streams of four SPEs each.
+    let dual: TransferPlan = pipeline(
+        pipeline(TransferPlan::builder(), &[0, 1, 2, 3]),
+        &[4, 5, 6, 7],
+    )
+    .build()?;
+    let r2 = system.run(&placement, &dual);
+    let dual_rate = 2.0 * VOLUME as f64 / system.config().clock.seconds(r2.cycles) / 1e9;
+
+    println!("pipeline configuration      stream rate");
+    println!("1 stream  x 8 SPEs          {single_rate:>6.2} GB/s");
+    println!("2 streams x 4 SPEs          {dual_rate:>6.2} GB/s (total)");
+    println!();
+    println!("speedup from splitting: {:.2}x", dual_rate / single_rate);
+    println!(
+        "\nWhy: a single stream ingests memory through ONE SPE (~10 GB/s,\n\
+         the paper's Little's-law ceiling), while two streams ingest\n\
+         through two SPEs on two banks — \"implementing two data streams\n\
+         using 4 SPEs each can be more efficient than having a single\n\
+         data stream using the 8 SPEs\" (paper, abstract)."
+    );
+    assert!(dual_rate > single_rate);
+    Ok(())
+}

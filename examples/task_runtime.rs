@@ -1,0 +1,63 @@
+//! A CellSs-style task runtime on the simulated machine: schedule a
+//! mixed job over SPE lanes and predict where the time goes.
+//!
+//! ```text
+//! cargo run --release --example task_runtime
+//! ```
+
+use cellsim::runtime::{RuntimeError, StreamRuntime, Task};
+use cellsim::CellSystem;
+
+fn main() -> Result<(), RuntimeError> {
+    let system = CellSystem::blade();
+
+    // Two job shapes, scheduled over 1..8 lanes each.
+    let filters: Vec<Task> = (0..32)
+        .map(|i| {
+            Task::new(format!("filter{i}"))
+                .input(128 << 10)
+                .output(128 << 10)
+                .flops(65_536.0)
+        })
+        .collect();
+    let gemms: Vec<Task> = (0..32)
+        .map(|i| {
+            Task::new(format!("gemm{i}"))
+                .input(48 << 10) // three 64x64 SP tiles
+                .output(16 << 10)
+                .flops(2.0 * 64.0 * 64.0 * 64.0 * 16.0) // 16 tile-products
+        })
+        .collect();
+
+    for (name, tasks) in [
+        ("32 streaming filters", &filters),
+        ("32 GEMM tile tasks", &gemms),
+    ] {
+        println!("job: {name}");
+        for lanes in [1usize, 2, 4, 8] {
+            let runtime = StreamRuntime::new(&system, lanes);
+            let report = runtime.execute(tasks)?;
+            let clock = system.config().clock;
+            println!(
+                "  {lanes} lane(s): makespan {:>9} cycles ({:>7.1} µs)  {:>6.2} GFLOP/s  {}/{} lanes memory-bound",
+                report.makespan_cycles,
+                clock.seconds(report.makespan_cycles) * 1e6,
+                report.gflops,
+                report.memory_bound_lanes(),
+                lanes,
+            );
+        }
+        println!();
+    }
+    // Per-lane detail for the streaming job on the full machine.
+    let report = StreamRuntime::new(&system, 8).execute(&filters)?;
+    println!("streaming job, per-lane breakdown at 8 lanes:");
+    print!("{report}");
+    println!(
+        "\nThe paper's conclusion in action: the runtime schedules bulk\n\
+         movement onto the MFCs, overlaps it with compute, and the fabric\n\
+         model says when adding lanes stops paying (the two banks\n\
+         saturate near 23 GB/s, Figure 8)."
+    );
+    Ok(())
+}

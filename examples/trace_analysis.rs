@@ -1,0 +1,55 @@
+//! Inspect what the fabric actually did: record a trace and derive a
+//! throughput timeline, ring shares and hop statistics.
+//!
+//! ```text
+//! cargo run --release --example trace_analysis
+//! ```
+
+use cellsim::{CellSystem, Placement, PlanError, SyncPolicy, TransferPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), PlanError> {
+    let system = CellSystem::blade();
+    // The paper's most contended pattern: the 8-SPE cycle.
+    let mut b = TransferPlan::builder();
+    for spe in 0..8 {
+        b = b.exchange_with(spe, (spe + 1) % 8, 1 << 20, 16 * 1024, SyncPolicy::AfterAll);
+    }
+    let plan = b.build()?;
+    let mut rng = StdRng::seed_from_u64(99);
+    let placement = Placement::random(&mut rng);
+
+    let (report, trace) = system.run_traced(&placement, &plan);
+    let clock = system.config().clock;
+
+    println!("8-SPE cycle under {placement}");
+    println!(
+        "aggregate {:.1} GB/s over {} cycles, mean path {:.2} hops\n",
+        report.aggregate_gbps,
+        report.cycles,
+        trace.mean_hops()
+    );
+
+    println!("ring occupancy (bytes granted per data ring):");
+    let total: u64 = trace.ring_shares().iter().map(|&(_, b)| b).sum();
+    for (ring, bytes) in trace.ring_shares() {
+        let share = 100.0 * bytes as f64 / total as f64;
+        let bar = "#".repeat((share / 2.0) as usize);
+        println!("  ring {} : {share:>5.1} %  {bar}", ring.0);
+    }
+
+    println!("\nthroughput timeline (10k-cycle buckets):");
+    for (at, gbps) in trace.throughput_timeline(&clock, 10_000) {
+        let bar = "#".repeat((gbps / 4.0) as usize);
+        println!("  t={:>7} : {gbps:>6.1} GB/s  {bar}", at.as_u64());
+    }
+
+    println!(
+        "\nThe ramp-up at the start is the MFC queues filling; the\n\
+         steady state shows the EIB conflicts this placement causes\n\
+         (compare a few seeds — the paper's Figure 16 spread is exactly\n\
+         this variation)."
+    );
+    Ok(())
+}

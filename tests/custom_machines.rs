@@ -1,0 +1,160 @@
+//! The library is a simulator, not a fixed artifact: these tests vary the
+//! machine and check that performance responds the way the architecture
+//! says it must.
+
+use cellsim::eib::RingOccupancy;
+use cellsim::kernel::MachineClock;
+use cellsim::mem::NumaPolicy;
+use cellsim::{CellConfig, CellSystem, Placement, SyncPolicy, TransferPlan};
+
+fn pair_plan() -> TransferPlan {
+    TransferPlan::builder()
+        .exchange_with(0, 1, 1 << 20, 16 * 1024, SyncPolicy::AfterAll)
+        .build()
+        .unwrap()
+}
+
+fn cycle_plan() -> TransferPlan {
+    let mut b = TransferPlan::builder();
+    for spe in 0..8 {
+        b = b.exchange_with(
+            spe,
+            (spe + 1) % 8,
+            512 << 10,
+            16 * 1024,
+            SyncPolicy::AfterAll,
+        );
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn a_faster_clock_scales_bandwidth() {
+    // The PS3's production 3.2 GHz part, same microarchitecture.
+    let cfg = CellConfig {
+        clock: MachineClock::new(3.2e9, 2),
+        ..CellConfig::default()
+    };
+    let fast = CellSystem::new(cfg);
+    let slow = CellSystem::blade();
+    let plan = pair_plan();
+    let f = fast.run(&Placement::identity(), &plan).aggregate_gbps;
+    let s = slow.run(&Placement::identity(), &plan).aggregate_gbps;
+    let ratio = f / s;
+    assert!(
+        (ratio - 3.2 / 2.1).abs() < 0.05,
+        "pair bandwidth should scale with the clock: {ratio}"
+    );
+    // At 3.2 GHz the pair peak is the celebrated 25.6 GB/s per direction.
+    assert!(f > 48.0, "3.2 GHz pair got {f}");
+}
+
+#[test]
+fn halving_the_rings_starves_dense_traffic() {
+    let mut cfg = CellConfig::default();
+    cfg.eib.rings_per_direction = 1;
+    let narrow = CellSystem::new(cfg);
+    let wide = CellSystem::blade();
+    let plan = cycle_plan();
+    let p = Placement::identity();
+    let n = narrow.run(&p, &plan).aggregate_gbps;
+    let w = wide.run(&p, &plan).aggregate_gbps;
+    assert!(n < w * 0.85, "2 rings {n} vs 4 rings {w}");
+}
+
+#[test]
+fn a_bigger_outstanding_budget_lifts_the_memory_ceiling() {
+    let mut cfg = CellConfig::default();
+    cfg.mfc.max_outstanding_packets = 32;
+    let deep = CellSystem::new(cfg);
+    let plan = TransferPlan::builder()
+        .get_from_memory(0, 2 << 20, 16 * 1024, SyncPolicy::AfterAll)
+        .build()
+        .unwrap();
+    let p = Placement::identity();
+    let shallow_bw = CellSystem::blade().run(&p, &plan).aggregate_gbps;
+    let deep_bw = deep.run(&p, &plan).aggregate_gbps;
+    assert!(deep_bw > shallow_bw * 1.3, "{shallow_bw} -> {deep_bw}");
+    // But never past the bank pipe.
+    assert!(deep_bw < 16.8);
+}
+
+#[test]
+fn local_only_numa_caps_multi_spe_memory_bandwidth() {
+    let cfg = CellConfig {
+        numa: NumaPolicy::LocalOnly,
+        ..CellConfig::default()
+    };
+    let one_bank = CellSystem::new(cfg);
+    let mut b = TransferPlan::builder();
+    for spe in 0..4 {
+        b = b.get_from_memory(spe, 1 << 20, 16 * 1024, SyncPolicy::AfterAll);
+    }
+    let plan = b.build().unwrap();
+    let p = Placement::identity();
+    let capped = one_bank.run(&p, &plan).sum_gbps;
+    let spread = CellSystem::blade().run(&p, &plan).sum_gbps;
+    assert!(capped < 16.8, "one bank cannot exceed its pipe: {capped}");
+    assert!(spread > capped, "two banks must win: {spread} vs {capped}");
+}
+
+#[test]
+fn pipelined_occupancy_is_an_upper_bound() {
+    let mut cfg = CellConfig::default();
+    cfg.eib.occupancy = RingOccupancy::Pipelined;
+    let ideal = CellSystem::new(cfg);
+    let real = CellSystem::blade();
+    let plan = cycle_plan();
+    let p = Placement::from_mapping([7, 2, 5, 0, 3, 6, 1, 4]).unwrap();
+    let i = ideal.run(&p, &plan).aggregate_gbps;
+    let r = real.run(&p, &plan).aggregate_gbps;
+    assert!(i >= r, "wormhole pipelining can only help: {i} vs {r}");
+}
+
+#[test]
+fn a_slower_command_bus_caps_dense_traffic() {
+    let cfg = CellConfig {
+        cmd_issue_interval: 4, // one coherence command per 4 bus cycles
+        ..CellConfig::default()
+    };
+    let slow_snoop = CellSystem::new(cfg);
+    let plan = cycle_plan();
+    let p = Placement::identity();
+    let s = slow_snoop.run(&p, &plan).aggregate_gbps;
+    let f = CellSystem::blade().run(&p, &plan).aggregate_gbps;
+    // 1 command / 4 cycles x 128 B = 33.6 GB/s fabric-wide ceiling.
+    assert!(s <= 33.7, "command bus must cap the fabric: {s}");
+    assert!(f > s);
+}
+
+#[test]
+fn sub_packet_dma_elements_are_painful() {
+    // The paper: "it is possible to program DMA transfers of less than
+    // 128 Bytes, [but] the experiments show a very high performance
+    // degradation."
+    let sys = CellSystem::blade();
+    let p = Placement::identity();
+    let tiny = TransferPlan::builder()
+        .exchange_with(0, 1, 64 << 10, 16, SyncPolicy::AfterAll)
+        .build()
+        .unwrap();
+    let small = TransferPlan::builder()
+        .exchange_with(0, 1, 64 << 10, 128, SyncPolicy::AfterAll)
+        .build()
+        .unwrap();
+    let t = sys.run(&p, &tiny).aggregate_gbps;
+    let s = sys.run(&p, &small).aggregate_gbps;
+    assert!(t < s / 4.0, "16 B DMAs: {t} vs 128 B DMAs: {s}");
+}
+
+#[test]
+fn identity_and_explicit_mapping_agree() {
+    let sys = CellSystem::blade();
+    let plan = pair_plan();
+    let a = sys.run(&Placement::identity(), &plan);
+    let b = sys.run(
+        &Placement::from_mapping([0, 1, 2, 3, 4, 5, 6, 7]).unwrap(),
+        &plan,
+    );
+    assert_eq!(a.cycles, b.cycles);
+}

@@ -1,0 +1,95 @@
+//! Functional-correctness tests: the fabric moves *real bytes* exactly
+//! where the DMA commands say, with timing identical to the metadata-only
+//! run.
+
+use cellsim::mem::RegionId;
+use cellsim::{CellSystem, MachineState, Placement, SyncPolicy, TransferPlan};
+
+#[test]
+fn memory_round_trip_preserves_data() {
+    let sys = CellSystem::blade();
+    let mut state = MachineState::new();
+    let payload: Vec<u8> = (0..64 * 1024u32).map(|i| (i * 31 % 251) as u8).collect();
+    state.write_region(TransferPlan::get_region(0), 0, &payload);
+
+    // GET the whole buffer into SPE0's LS window, then PUT it back out to
+    // the copy-destination region (what copy_memory plans do).
+    let plan = TransferPlan::builder()
+        .copy_memory(0, payload.len() as u64, 16 * 1024, SyncPolicy::AfterAll)
+        .build()
+        .unwrap();
+    sys.run_with_data(&Placement::identity(), &plan, &mut state);
+
+    let out = state.read_region(TransferPlan::copy_dst_region(0), 0, payload.len());
+    assert_eq!(out, payload, "copied data must arrive intact");
+}
+
+#[test]
+fn ls_to_ls_exchange_moves_partner_data() {
+    let sys = CellSystem::blade();
+    let mut state = MachineState::new();
+    // Fill SPE1's outgoing LS window with a pattern.
+    let pattern: Vec<u8> = (0..32 * 1024u32).map(|i| (i % 127) as u8).collect();
+    state.local_store_mut(1).write(0, &pattern);
+
+    // SPE0 GETs from SPE1's LS (outgoing window) into its own LS.
+    let plan = TransferPlan::builder()
+        .get_from_spe(0, 1, pattern.len() as u64, 16 * 1024, SyncPolicy::AfterAll)
+        .build()
+        .unwrap();
+    sys.run_with_data(&Placement::identity(), &plan, &mut state);
+
+    assert_eq!(
+        state.local_store(0).read(0, pattern.len()),
+        &pattern[..],
+        "SPE0 must see SPE1's bytes"
+    );
+}
+
+#[test]
+fn data_movement_does_not_change_timing() {
+    let sys = CellSystem::blade();
+    let plan = TransferPlan::builder()
+        .exchange_with(0, 1, 256 << 10, 4096, SyncPolicy::AfterAll)
+        .build()
+        .unwrap();
+    let p = Placement::identity();
+    let timing_only = sys.run(&p, &plan);
+    let mut state = MachineState::new();
+    let with_data = sys.run_with_data(&p, &plan, &mut state);
+    assert_eq!(timing_only.cycles, with_data.cycles);
+    assert_eq!(timing_only.total_bytes, with_data.total_bytes);
+}
+
+#[test]
+fn unwritten_memory_gets_as_zeroes() {
+    let sys = CellSystem::blade();
+    let mut state = MachineState::new();
+    state.local_store_mut(0).fill(0xFF);
+    let plan = TransferPlan::builder()
+        .get_from_memory(0, 16 * 1024, 16 * 1024, SyncPolicy::AfterAll)
+        .build()
+        .unwrap();
+    sys.run_with_data(&Placement::identity(), &plan, &mut state);
+    assert!(state
+        .local_store(0)
+        .read(0, 16 * 1024)
+        .iter()
+        .all(|&b| b == 0));
+}
+
+#[test]
+fn regions_in_state_match_plan_regions() {
+    // Sanity: the region constants used by plans address disjoint state.
+    let mut state = MachineState::new();
+    state.write_region(TransferPlan::get_region(3), 0, b"three");
+    assert_eq!(
+        state.read_region(TransferPlan::get_region(3), 0, 5),
+        b"three"
+    );
+    assert_eq!(
+        state.read_region(TransferPlan::put_region(3), 0, 5),
+        vec![0; 5]
+    );
+    let _ = RegionId(0); // the addressing type is public
+}

@@ -1,0 +1,125 @@
+//! Property-based tests over the full stack: any valid plan the builder
+//! accepts must run to completion, conserve bytes, and respect the
+//! machine's physical ceilings.
+
+use cellsim::{CellSystem, Placement, SyncPolicy, TransferPlan};
+use proptest::prelude::*;
+
+/// Valid DMA element sizes for streams (power-of-two multiples of 128
+/// up to the 16 KB command limit).
+fn elem_size() -> impl Strategy<Value = u32> {
+    (0u32..=7).prop_map(|k| 128 << k)
+}
+
+fn sync_policy() -> impl Strategy<Value = SyncPolicy> {
+    prop_oneof![
+        Just(SyncPolicy::AfterAll),
+        (1u32..=16).prop_map(SyncPolicy::Every),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum Stream {
+    GetMem { spe: usize },
+    PutMem { spe: usize },
+    CopyMem { spe: usize },
+    Exchange { spe: usize, partner: usize },
+    ExchangeList { spe: usize, partner: usize },
+}
+
+fn stream() -> impl Strategy<Value = Stream> {
+    let spe = 0usize..8;
+    prop_oneof![
+        spe.clone().prop_map(|spe| Stream::GetMem { spe }),
+        spe.clone().prop_map(|spe| Stream::PutMem { spe }),
+        spe.clone().prop_map(|spe| Stream::CopyMem { spe }),
+        (0usize..8, 1usize..8).prop_map(|(spe, d)| Stream::Exchange {
+            spe,
+            partner: (spe + d) % 8,
+        }),
+        (0usize..8, 1usize..8).prop_map(|(spe, d)| Stream::ExchangeList {
+            spe,
+            partner: (spe + d) % 8,
+        }),
+    ]
+}
+
+fn placement() -> impl Strategy<Value = Placement> {
+    any::<u64>().prop_map(|seed| {
+        use rand::SeedableRng;
+        Placement::random(&mut rand::rngs::StdRng::seed_from_u64(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever mix of streams we throw at the fabric, it finishes,
+    /// delivers exactly the planned bytes, and never exceeds the
+    /// machine's hard ceiling (every port moving flat out).
+    #[test]
+    fn fabric_conserves_bytes_and_respects_physics(
+        streams in proptest::collection::vec(stream(), 1..6),
+        elem in elem_size(),
+        sync in sync_policy(),
+        placement in placement(),
+    ) {
+        let volume = u64::from(elem) * 8; // 8 commands per stream
+        let mut b = TransferPlan::builder();
+        for s in &streams {
+            b = match *s {
+                Stream::GetMem { spe } => b.get_from_memory(spe, volume, elem, sync),
+                Stream::PutMem { spe } => b.put_to_memory(spe, volume, elem, sync),
+                Stream::CopyMem { spe } => b.copy_memory(spe, volume, elem, sync),
+                Stream::Exchange { spe, partner } =>
+                    b.exchange_with(spe, partner, volume, elem, sync),
+                Stream::ExchangeList { spe, partner } =>
+                    b.exchange_with_list(spe, partner, volume, elem, sync),
+            };
+        }
+        let plan = b.build().expect("generated plans are valid");
+        let report = CellSystem::blade().run(&placement, &plan);
+
+        prop_assert_eq!(report.total_bytes, plan.total_bytes());
+        prop_assert!(report.cycles > 0);
+        // Physical ceiling: 12 ramps x 16.8 GB/s of send bandwidth.
+        prop_assert!(report.aggregate_gbps <= 12.0 * 16.8);
+        // Per-SPE ceiling: get+put concurrently can never beat 33.6.
+        for &g in &report.per_spe_gbps {
+            prop_assert!(g <= 33.7, "per-SPE {} exceeds the port pair", g);
+        }
+    }
+
+    /// Delaying synchronization never hurts: AfterAll >= Every(k) up to
+    /// simulation granularity.
+    #[test]
+    fn lazy_sync_dominates(k in 1u32..16, elem in elem_size()) {
+        let sys = CellSystem::blade();
+        let volume = u64::from(elem) * 32;
+        let run = |sync| {
+            let plan = TransferPlan::builder()
+                .exchange_with(0, 1, volume, elem, sync)
+                .build()
+                .unwrap();
+            sys.run(&Placement::identity(), &plan).aggregate_gbps
+        };
+        let lazy = run(SyncPolicy::AfterAll);
+        let eager = run(SyncPolicy::Every(k));
+        prop_assert!(eager <= lazy * 1.01, "every {} gave {} > {}", k, eager, lazy);
+    }
+
+    /// DMA-list bandwidth is monotone non-degrading versus element size
+    /// (the paper's "constant performance for any data size element").
+    #[test]
+    fn dma_list_flat_within_tolerance(k in 0u32..=7) {
+        let elem = 128u32 << k;
+        let sys = CellSystem::blade();
+        let volume = 512u64 << 10;
+        let plan = TransferPlan::builder()
+            .exchange_with_list(0, 1, volume, elem, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let g = sys.run(&Placement::identity(), &plan).aggregate_gbps;
+        prop_assert!(g > 30.0, "list at {} B gave {}", elem, g);
+    }
+}
