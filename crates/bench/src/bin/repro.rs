@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro [--quick|--full] [--figure <id>]... [--ablations] [--seed N]
+//!       [--jobs N] [--verbose]
 //!
 //!   --quick        reduced sweep (fast smoke run)
 //!   --full         paper-scale protocol (32 MiB per SPE, slow)
@@ -10,14 +11,23 @@
 //!                  15, 16 or 4.2.2 (repeatable)
 //!   --ablations    also run the design-choice ablations
 //!   --seed N       placement-lottery seed (default 0xCE11)
+//!   --jobs N       worker threads for the sweeps (default: CELLSIM_JOBS
+//!                  or all cores; figures are bit-identical for any N)
+//!   --verbose      report run-cache hits/misses and wall-clock on stderr
 //! ```
+//!
+//! Figure tables go to stdout; timing and cache statistics go to stderr,
+//! so `repro --jobs 8 > figs.txt` captures byte-identical output to
+//! `repro --jobs 1 > figs.txt`.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use cellsim_bench::all_ablations;
+use cellsim_bench::all_ablations_with;
+use cellsim_core::exec::SweepExecutor;
 use cellsim_core::experiments::{
-    figure10, figure12, figure13, figure15, figure16, figure3, figure4, figure6, figure8,
-    section_4_2_2, ExperimentConfig,
+    figure10_with, figure12_with, figure13_with, figure15_with, figure16_with, figure3, figure4,
+    figure6, figure8_with, section_4_2_2, ExperimentConfig, ExperimentError,
 };
 use cellsim_core::CellSystem;
 use cellsim_kernels::roofline_figure;
@@ -28,6 +38,8 @@ struct Args {
     ablations: bool,
     kernels: bool,
     csv_dir: Option<std::path::PathBuf>,
+    jobs: Option<usize>,
+    verbose: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
     let mut ablations = false;
     let mut kernels = false;
     let mut csv_dir = None;
+    let mut jobs = None;
+    let mut verbose = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -55,8 +69,20 @@ fn parse_args() -> Result<Args, String> {
                 let n = argv.next().ok_or("--seed needs a value")?;
                 cfg.seed = n.parse().map_err(|_| format!("bad seed: {n}"))?;
             }
+            "--jobs" => {
+                let n = argv.next().ok_or("--jobs needs a value")?;
+                let n: usize = n.parse().map_err(|_| format!("bad job count: {n}"))?;
+                if n == 0 {
+                    return Err("--jobs must be >= 1".into());
+                }
+                jobs = Some(n);
+            }
+            "--verbose" => verbose = true,
             "--help" | "-h" => {
-                println!("repro [--quick|--full] [--figure <id>]... [--ablations] [--kernels] [--csv <dir>] [--seed N]");
+                println!(
+                    "repro [--quick|--full] [--figure <id>]... [--ablations] [--kernels] \
+                     [--csv <dir>] [--seed N] [--jobs N] [--verbose]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -68,6 +94,8 @@ fn parse_args() -> Result<Args, String> {
         ablations,
         kernels,
         csv_dir,
+        jobs,
+        verbose,
     })
 }
 
@@ -103,23 +131,9 @@ fn emit_spread(csv_dir: &Option<std::path::PathBuf>, fig: &cellsim_core::report:
     }
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+fn run(args: &Args, exec: &SweepExecutor) -> Result<(), ExperimentError> {
     let system = CellSystem::blade();
     let cfg = &args.cfg;
-    println!(
-        "cellsim repro — 2.1 GHz CBE blade, {} KiB/SPE, {} placements, seed {:#x}\n",
-        cfg.volume_per_spe >> 10,
-        cfg.placements,
-        cfg.seed
-    );
-
     let csv = &args.csv_dir;
     if wanted(&args.figures, "3") {
         for f in figure3(&system) {
@@ -137,7 +151,7 @@ fn main() -> ExitCode {
         }
     }
     if wanted(&args.figures, "8") {
-        for f in figure8(&system, cfg) {
+        for f in figure8_with(exec, &system, cfg)? {
             emit(csv, &f);
         }
     }
@@ -145,37 +159,77 @@ fn main() -> ExitCode {
         emit(csv, &section_4_2_2(&system));
     }
     if wanted(&args.figures, "10") {
-        emit(csv, &figure10(&system, cfg));
+        emit(csv, &figure10_with(exec, &system, cfg)?);
     }
     if wanted(&args.figures, "12") {
-        for f in figure12(&system, cfg) {
+        for f in figure12_with(exec, &system, cfg)? {
             emit(csv, &f);
         }
     }
     if wanted(&args.figures, "13") {
-        for f in figure13(&system, cfg) {
+        for f in figure13_with(exec, &system, cfg)? {
             emit_spread(csv, &f);
         }
     }
     if wanted(&args.figures, "15") {
-        for f in figure15(&system, cfg) {
+        for f in figure15_with(exec, &system, cfg)? {
             emit(csv, &f);
         }
     }
     if wanted(&args.figures, "16") {
-        for f in figure16(&system, cfg) {
+        for f in figure16_with(exec, &system, cfg)? {
             emit_spread(csv, &f);
         }
     }
     if args.ablations {
         println!("— ablations —\n");
-        for f in all_ablations(cfg) {
+        for f in all_ablations_with(exec, cfg) {
             emit(csv, &f);
         }
     }
     if args.kernels {
         println!("— small kernels (paper §5 future work) —\n");
         emit(csv, &roofline_figure(&system));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let exec = match args.jobs {
+        Some(n) => SweepExecutor::new(n),
+        None => SweepExecutor::default(),
+    };
+    let cfg = &args.cfg;
+    println!(
+        "cellsim repro — 2.1 GHz CBE blade, {} KiB/SPE, {} placements, seed {:#x}\n",
+        cfg.volume_per_spe >> 10,
+        cfg.placements,
+        cfg.seed
+    );
+
+    let start = Instant::now();
+    if let Err(e) = run(&args, &exec) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let elapsed = start.elapsed();
+    if args.verbose {
+        let stats = exec.stats();
+        eprintln!(
+            "repro: {:.2?} wall clock, {} jobs, run cache: {} hits / {} misses ({:.0}% hit rate)",
+            elapsed,
+            exec.jobs(),
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0
+        );
     }
     ExitCode::SUCCESS
 }

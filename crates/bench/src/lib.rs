@@ -3,25 +3,46 @@
 //! Each ablation varies one structural parameter of the simulated blade
 //! and reports the bandwidth of the experiment that parameter governs,
 //! using the same [`Figure`] rendering as the paper reproductions.
+//!
+//! Every ablation accepts a shared [`SweepExecutor`] (`_with` variants),
+//! so the sweep parallelizes under `--jobs` and repeated machine/plan
+//! points are answered from the run cache. Machine variants never alias
+//! in the cache: the [`RunKey`](cellsim_core::exec::RunKey) includes the
+//! [`CellConfig`] fingerprint, so e.g. the four-ring point of
+//! [`ablation_rings`] and the circuit-hold point of
+//! [`ablation_occupancy`] (the same stock machine and plan) share runs,
+//! while every other variant simulates its own.
 
+use std::sync::Arc;
+
+use cellsim_core::exec::{RunSpec, SweepExecutor, Workload};
 use cellsim_core::experiments::ExperimentConfig;
 use cellsim_core::report::{Figure, Point, Series};
-use cellsim_core::{CellConfig, CellSystem, Placement, SyncPolicy, TransferPlan};
+use cellsim_core::{CellConfig, CellSystem, FabricReport, Placement, SyncPolicy, TransferPlan};
 use cellsim_eib::RingOccupancy;
 use cellsim_mem::NumaPolicy;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn mean_aggregate(system: &CellSystem, plan: &TransferPlan, cfg: &ExperimentConfig) -> f64 {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    (0..cfg.placements)
-        .map(|_| {
-            system
-                .run(&Placement::random(&mut rng), plan)
-                .aggregate_gbps
+/// Mean of `reduce` over the placement lottery, swept on `exec`.
+fn sweep_mean(
+    exec: &SweepExecutor,
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+    workload: Workload,
+    plan: &Arc<TransferPlan>,
+    reduce: fn(&FabricReport) -> f64,
+) -> f64 {
+    let specs = (0..cfg.placements)
+        .map(|k| {
+            RunSpec::new(
+                system,
+                workload.clone(),
+                Placement::lottery(cfg.seed, k as u64),
+                Arc::clone(plan),
+            )
         })
-        .sum::<f64>()
-        / cfg.placements as f64
+        .collect();
+    let reports = exec.run(specs);
+    reports.iter().map(|r| reduce(r)).sum::<f64>() / cfg.placements as f64
 }
 
 fn cycle8_plan(cfg: &ExperimentConfig, elem: u32) -> TransferPlan {
@@ -38,23 +59,53 @@ fn cycle8_plan(cfg: &ExperimentConfig, elem: u32) -> TransferPlan {
     b.build().expect("valid plan")
 }
 
+fn cycle8_workload(cfg: &ExperimentConfig, elem: u32) -> Workload {
+    Workload {
+        pattern: "cycle",
+        spes: 8,
+        volume: cfg.volume_per_spe,
+        elem,
+        list: false,
+        sync: SyncPolicy::AfterAll,
+    }
+}
+
+fn mem_get_workload(cfg: &ExperimentConfig, spes: u8, elem: u32) -> Workload {
+    Workload {
+        pattern: "mem-get",
+        spes,
+        volume: cfg.volume_per_spe,
+        elem,
+        list: false,
+        sync: SyncPolicy::AfterAll,
+    }
+}
+
 /// Single-SPE memory GET bandwidth versus the MFC's outstanding-packet
 /// budget: the Little's-law knob behind the paper's 10 GB/s single-SPE
-/// ceiling.
-pub fn ablation_outstanding(cfg: &ExperimentConfig) -> Figure {
-    let plan = TransferPlan::builder()
-        .get_from_memory(0, cfg.volume_per_spe, 16 * 1024, SyncPolicy::AfterAll)
-        .build()
-        .expect("valid plan");
+/// ceiling. Runs on `exec` (identity placement: one run per budget).
+pub fn ablation_outstanding_with(exec: &SweepExecutor, cfg: &ExperimentConfig) -> Figure {
+    let plan = Arc::new(
+        TransferPlan::builder()
+            .get_from_memory(0, cfg.volume_per_spe, 16 * 1024, SyncPolicy::AfterAll)
+            .build()
+            .expect("valid plan"),
+    );
     let points = [2usize, 4, 8, 16, 32]
         .into_iter()
         .map(|budget| {
             let mut machine = CellConfig::default();
             machine.mfc.max_outstanding_packets = budget;
             let system = CellSystem::new(machine);
+            let specs = vec![RunSpec::new(
+                &system,
+                mem_get_workload(cfg, 1, 16 * 1024),
+                Placement::identity(),
+                Arc::clone(&plan),
+            )];
             Point {
                 x: format!("{budget}"),
-                gbps: system.run(&Placement::identity(), &plan).aggregate_gbps,
+                gbps: exec.run(specs)[0].aggregate_gbps,
             }
         })
         .collect();
@@ -69,10 +120,15 @@ pub fn ablation_outstanding(cfg: &ExperimentConfig) -> Figure {
     }
 }
 
+/// [`ablation_outstanding_with`] on a private executor.
+pub fn ablation_outstanding(cfg: &ExperimentConfig) -> Figure {
+    ablation_outstanding_with(&SweepExecutor::default(), cfg)
+}
+
 /// 8-SPE cycle bandwidth versus the number of EIB rings per direction:
 /// how much of the machine's behaviour the four-ring topology explains.
-pub fn ablation_rings(cfg: &ExperimentConfig) -> Figure {
-    let plan = cycle8_plan(cfg, 16 * 1024);
+pub fn ablation_rings_with(exec: &SweepExecutor, cfg: &ExperimentConfig) -> Figure {
+    let plan = Arc::new(cycle8_plan(cfg, 16 * 1024));
     let points = [1usize, 2, 4]
         .into_iter()
         .map(|rings| {
@@ -81,7 +137,14 @@ pub fn ablation_rings(cfg: &ExperimentConfig) -> Figure {
             let system = CellSystem::new(machine);
             Point {
                 x: format!("{}", 2 * rings),
-                gbps: mean_aggregate(&system, &plan, cfg),
+                gbps: sweep_mean(
+                    exec,
+                    &system,
+                    cfg,
+                    cycle8_workload(cfg, 16 * 1024),
+                    &plan,
+                    |r| r.aggregate_gbps,
+                ),
             }
         })
         .collect();
@@ -96,14 +159,19 @@ pub fn ablation_rings(cfg: &ExperimentConfig) -> Figure {
     }
 }
 
+/// [`ablation_rings_with`] on a private executor.
+pub fn ablation_rings(cfg: &ExperimentConfig) -> Figure {
+    ablation_rings_with(&SweepExecutor::default(), cfg)
+}
+
 /// Four-SPE memory GET bandwidth under each NUMA placement policy: why
 /// spreading buffers over both banks beats one bank.
-pub fn ablation_numa(cfg: &ExperimentConfig) -> Figure {
+pub fn ablation_numa_with(exec: &SweepExecutor, cfg: &ExperimentConfig) -> Figure {
     let mut b = TransferPlan::builder();
     for spe in 0..4 {
         b = b.get_from_memory(spe, cfg.volume_per_spe, 16 * 1024, SyncPolicy::AfterAll);
     }
-    let plan = b.build().expect("valid plan");
+    let plan = Arc::new(b.build().expect("valid plan"));
     let policies = [
         ("local-only", NumaPolicy::LocalOnly),
         ("round-robin", NumaPolicy::RoundRobinRegions),
@@ -122,14 +190,16 @@ pub fn ablation_numa(cfg: &ExperimentConfig) -> Figure {
                 ..CellConfig::default()
             };
             let system = CellSystem::new(machine);
-            let mut rng = StdRng::seed_from_u64(cfg.seed);
-            let mean = (0..cfg.placements)
-                .map(|_| system.run(&Placement::random(&mut rng), &plan).sum_gbps)
-                .sum::<f64>()
-                / cfg.placements as f64;
             Point {
                 x: name.into(),
-                gbps: mean,
+                gbps: sweep_mean(
+                    exec,
+                    &system,
+                    cfg,
+                    mem_get_workload(cfg, 4, 16 * 1024),
+                    &plan,
+                    |r| r.sum_gbps,
+                ),
             }
         })
         .collect();
@@ -144,11 +214,16 @@ pub fn ablation_numa(cfg: &ExperimentConfig) -> Figure {
     }
 }
 
+/// [`ablation_numa_with`] on a private executor.
+pub fn ablation_numa(cfg: &ExperimentConfig) -> Figure {
+    ablation_numa_with(&SweepExecutor::default(), cfg)
+}
+
 /// 8-SPE cycle bandwidth under circuit-hold versus idealized pipelined
 /// ring occupancy: how much the arbiter's conservative path holding
 /// costs under saturation.
-pub fn ablation_occupancy(cfg: &ExperimentConfig) -> Figure {
-    let plan = cycle8_plan(cfg, 16 * 1024);
+pub fn ablation_occupancy_with(exec: &SweepExecutor, cfg: &ExperimentConfig) -> Figure {
+    let plan = Arc::new(cycle8_plan(cfg, 16 * 1024));
     let points = [
         ("circuit-hold", RingOccupancy::CircuitHold),
         ("pipelined", RingOccupancy::Pipelined),
@@ -160,7 +235,14 @@ pub fn ablation_occupancy(cfg: &ExperimentConfig) -> Figure {
         let system = CellSystem::new(machine);
         Point {
             x: name.into(),
-            gbps: mean_aggregate(&system, &plan, cfg),
+            gbps: sweep_mean(
+                exec,
+                &system,
+                cfg,
+                cycle8_workload(cfg, 16 * 1024),
+                &plan,
+                |r| r.aggregate_gbps,
+            ),
         }
     })
     .collect();
@@ -175,14 +257,24 @@ pub fn ablation_occupancy(cfg: &ExperimentConfig) -> Figure {
     }
 }
 
-/// Runs every ablation.
-pub fn all_ablations(cfg: &ExperimentConfig) -> Vec<Figure> {
+/// [`ablation_occupancy_with`] on a private executor.
+pub fn ablation_occupancy(cfg: &ExperimentConfig) -> Figure {
+    ablation_occupancy_with(&SweepExecutor::default(), cfg)
+}
+
+/// Runs every ablation on `exec`.
+pub fn all_ablations_with(exec: &SweepExecutor, cfg: &ExperimentConfig) -> Vec<Figure> {
     vec![
-        ablation_outstanding(cfg),
-        ablation_rings(cfg),
-        ablation_numa(cfg),
-        ablation_occupancy(cfg),
+        ablation_outstanding_with(exec, cfg),
+        ablation_rings_with(exec, cfg),
+        ablation_numa_with(exec, cfg),
+        ablation_occupancy_with(exec, cfg),
     ]
+}
+
+/// Runs every ablation on a private executor.
+pub fn all_ablations(cfg: &ExperimentConfig) -> Vec<Figure> {
+    all_ablations_with(&SweepExecutor::default(), cfg)
 }
 
 #[cfg(test)]
@@ -228,5 +320,18 @@ mod tests {
         let hold = fig.value("cycle", "circuit-hold").unwrap();
         let pipe = fig.value("cycle", "pipelined").unwrap();
         assert!(pipe >= hold * 0.95, "hold={hold} pipe={pipe}");
+    }
+
+    #[test]
+    fn stock_machine_points_share_runs_across_ablations() {
+        let exec = SweepExecutor::new(1);
+        let cfg = tiny();
+        ablation_rings_with(&exec, &cfg);
+        let after_rings = exec.stats();
+        // The circuit-hold point of A4 is the stock machine running the
+        // same cycle plan as A2's four-ring point.
+        ablation_occupancy_with(&exec, &cfg);
+        let after_occ = exec.stats();
+        assert!(after_occ.hits >= after_rings.hits + cfg.placements as u64);
     }
 }

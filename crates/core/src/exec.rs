@@ -1,0 +1,395 @@
+//! Parallel sweep execution with a deterministic run cache.
+//!
+//! Every figure of the ISPASS 2007 protocol is a sweep of *independent*
+//! simulator runs — seeded placements × DMA element sizes × SPE counts —
+//! so the sweep is embarrassingly parallel. This module supplies the
+//! fan-out/reduce machinery the experiments build on:
+//!
+//! * [`RunSpec`] — one simulation point: a machine, a [`TransferPlan`]
+//!   and a [`Placement`], plus the [`RunKey`] that identifies it;
+//! * [`SweepExecutor`] — runs a batch of specs over
+//!   [`std::thread::scope`] (no work stealing: a single atomic cursor
+//!   hands out work), with the worker count taken from `--jobs`-style
+//!   configuration, the `CELLSIM_JOBS` environment variable, or
+//!   [`std::thread::available_parallelism`];
+//! * a process-wide-free, executor-local **run cache** keyed by
+//!   [`RunKey`] `(machine-config hash, workload, placement)`, so figures
+//!   that re-simulate the same point — Figure 12's 8-SPE column and
+//!   Figure 13's spread runs, Figure 15 and Figure 16 — simulate it
+//!   exactly once.
+//!
+//! # Determinism
+//!
+//! Results are bit-identical for any job count, because nothing a run
+//! computes depends on scheduling:
+//!
+//! 1. each run's placement is derived from the sweep seed and the run's
+//!    index ([`Placement::lottery`]), never from a generator shared
+//!    across runs;
+//! 2. the simulator itself is deterministic for a given
+//!    `(config, placement, plan)`;
+//! 3. [`SweepExecutor::run`] returns results in spec order regardless of
+//!    which worker finished which spec when.
+//!
+//! The cache preserves this: a hit returns the exact report the miss
+//! computed, so cached and uncached sweeps render identical figures.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::config::{CellConfig, CellSystem};
+use crate::fabric::FabricReport;
+use crate::placement::Placement;
+use crate::plan::{SyncPolicy, TransferPlan};
+
+// The executor moves configs, plans and reports across scoped threads;
+// keep that a compile-time guarantee rather than an accident.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CellSystem>();
+    assert_send_sync::<TransferPlan>();
+    assert_send_sync::<FabricReport>();
+    assert_send_sync::<Placement>();
+};
+
+/// Stable fingerprint of a machine configuration.
+///
+/// Hashes the `Debug` rendering: every tunable of [`CellConfig`] is a
+/// plain value that `Debug`-prints deterministically, and
+/// [`std::collections::hash_map::DefaultHasher`] is specified to be
+/// repeatable within and across processes for the same input bytes.
+#[must_use]
+pub fn config_fingerprint(config: &CellConfig) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{config:?}").hash(&mut h);
+    h.finish()
+}
+
+/// What a run simulates, minus the placement: the experiment-point
+/// descriptor part of a [`RunKey`].
+///
+/// Two specs with equal `Workload`s **must** carry plans that simulate
+/// identically — builders in [`crate::experiments`] guarantee this by
+/// deriving both the plan and the workload from the same parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Workload {
+    /// Traffic pattern, e.g. `"couples"`, `"cycle"`, `"mem-get"`.
+    pub pattern: &'static str,
+    /// Active SPEs.
+    pub spes: u8,
+    /// Payload bytes per active SPE (per direction where bidirectional).
+    pub volume: u64,
+    /// DMA element size in bytes.
+    pub elem: u32,
+    /// DMA-list (`true`) vs DMA-elem (`false`).
+    pub list: bool,
+    /// Tag-group synchronization policy.
+    pub sync: SyncPolicy,
+}
+
+/// Cache identity of one simulation point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// [`config_fingerprint`] of the machine.
+    pub config: u64,
+    /// The experiment point.
+    pub workload: Workload,
+    /// Logical→physical mapping of the run.
+    pub placement: [u8; 8],
+}
+
+/// One independent simulation: a machine, a plan, and a placement.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Cache identity; see [`RunSpec::new`].
+    pub key: RunKey,
+    /// The machine to simulate on.
+    pub system: CellSystem,
+    /// The DMA program (shared: plans can be large at paper scale).
+    pub plan: Arc<TransferPlan>,
+    /// The logical→physical SPE mapping.
+    pub placement: Placement,
+}
+
+impl RunSpec {
+    /// Builds a spec, deriving the [`RunKey`] from the machine, workload
+    /// and placement.
+    pub fn new(
+        system: &CellSystem,
+        workload: Workload,
+        placement: Placement,
+        plan: Arc<TransferPlan>,
+    ) -> RunSpec {
+        RunSpec {
+            key: RunKey {
+                config: config_fingerprint(system.config()),
+                workload,
+                placement: *placement.mapping(),
+            },
+            system: system.clone(),
+            plan,
+            placement,
+        }
+    }
+}
+
+/// Cache effectiveness counters (see [`SweepExecutor::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Specs answered from the cache (including duplicates within one
+    /// batch beyond the first occurrence).
+    pub hits: u64,
+    /// Specs that required a simulation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of specs answered without simulating, in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Runs batches of [`RunSpec`]s across threads, memoizing by [`RunKey`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use cellsim_core::exec::{RunSpec, SweepExecutor, Workload};
+/// use cellsim_core::{CellSystem, Placement, SyncPolicy, TransferPlan};
+///
+/// let system = CellSystem::blade();
+/// let plan = Arc::new(
+///     TransferPlan::builder()
+///         .get_from_memory(0, 1 << 20, 16 * 1024, SyncPolicy::AfterAll)
+///         .build()?,
+/// );
+/// let workload = Workload {
+///     pattern: "mem-get",
+///     spes: 1,
+///     volume: 1 << 20,
+///     elem: 16 * 1024,
+///     list: false,
+///     sync: SyncPolicy::AfterAll,
+/// };
+/// let exec = SweepExecutor::new(2);
+/// let specs: Vec<RunSpec> = (0..4)
+///     .map(|k| RunSpec::new(&system, workload.clone(), Placement::lottery(7, k), Arc::clone(&plan)))
+///     .collect();
+/// let a = exec.run(specs.clone());
+/// let b = exec.run(specs); // all four answered from cache
+/// assert_eq!(a, b);
+/// assert_eq!(exec.stats().hits, 4);
+/// # Ok::<(), cellsim_core::PlanError>(())
+/// ```
+#[derive(Debug)]
+pub struct SweepExecutor {
+    jobs: usize,
+    cache: Mutex<HashMap<RunKey, Arc<FabricReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SweepExecutor {
+    /// An executor honouring `CELLSIM_JOBS`, falling back to
+    /// [`std::thread::available_parallelism`].
+    fn default() -> Self {
+        SweepExecutor::new(jobs_from_env().unwrap_or(0))
+    }
+}
+
+/// Parses `CELLSIM_JOBS` (ignored unless a positive integer).
+#[must_use]
+pub fn jobs_from_env() -> Option<usize> {
+    std::env::var("CELLSIM_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+impl SweepExecutor {
+    /// An executor with `jobs` workers; `0` means
+    /// [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn new(jobs: usize) -> SweepExecutor {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            jobs
+        };
+        SweepExecutor {
+            jobs,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The worker count batches fan out over.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Cache hit/miss counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs every spec, in parallel, returning reports in spec order.
+    ///
+    /// Specs whose key is already cached (from earlier batches or
+    /// duplicated within this one) are not re-simulated.
+    pub fn run(&self, specs: Vec<RunSpec>) -> Vec<Arc<FabricReport>> {
+        // Resolve against the cache and dedup the remainder, keeping the
+        // first spec of each distinct key as the one to simulate.
+        let mut todo: Vec<&RunSpec> = Vec::new();
+        let mut todo_index: HashMap<&RunKey, usize> = HashMap::new();
+        // For each spec: Ok(report) if cached, Err(todo slot) otherwise.
+        let mut resolution: Vec<Result<Arc<FabricReport>, usize>> = Vec::with_capacity(specs.len());
+        {
+            let cache = self.cache.lock().expect("run cache poisoned");
+            for spec in &specs {
+                if let Some(report) = cache.get(&spec.key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    resolution.push(Ok(Arc::clone(report)));
+                } else if let Some(&slot) = todo_index.get(&spec.key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    resolution.push(Err(slot));
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let slot = todo.len();
+                    todo_index.insert(&spec.key, slot);
+                    todo.push(spec);
+                    resolution.push(Err(slot));
+                }
+            }
+        }
+
+        // Fan the distinct misses out over scoped workers. A shared
+        // atomic cursor hands out specs; results land in per-spec slots,
+        // so the outcome is independent of which worker ran what.
+        let fresh: Vec<OnceLock<Arc<FabricReport>>> =
+            (0..todo.len()).map(|_| OnceLock::new()).collect();
+        let workers = self.jobs.min(todo.len());
+        if workers > 1 {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = todo.get(i) else { break };
+                        let report = spec.system.run(&spec.placement, &spec.plan);
+                        fresh[i]
+                            .set(Arc::new(report))
+                            .expect("slot written exactly once");
+                    });
+                }
+            });
+        } else {
+            for (slot, spec) in fresh.iter().zip(&todo) {
+                slot.set(Arc::new(spec.system.run(&spec.placement, &spec.plan)))
+                    .expect("slot written exactly once");
+            }
+        }
+
+        // Publish the fresh reports, then assemble in spec order.
+        {
+            let mut cache = self.cache.lock().expect("run cache poisoned");
+            for (spec, slot) in todo.iter().zip(&fresh) {
+                let report = slot.get().expect("worker filled every slot");
+                cache.insert(spec.key.clone(), Arc::clone(report));
+            }
+        }
+        resolution
+            .into_iter()
+            .map(|r| match r {
+                Ok(report) => report,
+                Err(slot) => Arc::clone(fresh[slot].get().expect("worker filled every slot")),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::TransferPlanBuilder;
+
+    fn spec(system: &CellSystem, elem: u32, placement: Placement) -> RunSpec {
+        let plan = Arc::new(
+            TransferPlanBuilder::new()
+                .get_from_memory(0, 64 << 10, elem, SyncPolicy::AfterAll)
+                .build()
+                .expect("valid plan"),
+        );
+        RunSpec::new(
+            system,
+            Workload {
+                pattern: "mem-get",
+                spes: 1,
+                volume: 64 << 10,
+                elem,
+                list: false,
+                sync: SyncPolicy::AfterAll,
+            },
+            placement,
+            plan,
+        )
+    }
+
+    #[test]
+    fn results_are_in_spec_order_and_job_invariant() {
+        let system = CellSystem::blade();
+        let specs: Vec<RunSpec> = (0..6)
+            .flat_map(|k| [2048u32, 16384].into_iter().map(move |elem| (k, elem)))
+            .map(|(k, elem)| spec(&system, elem, Placement::lottery(11, k)))
+            .collect();
+        let serial = SweepExecutor::new(1).run(specs.clone());
+        let parallel = SweepExecutor::new(4).run(specs);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn duplicate_points_simulate_once() {
+        let system = CellSystem::blade();
+        let p = Placement::lottery(3, 0);
+        let exec = SweepExecutor::new(2);
+        let batch: Vec<RunSpec> = (0..4).map(|_| spec(&system, 4096, p)).collect();
+        let reports = exec.run(batch);
+        assert_eq!(exec.stats(), CacheStats { hits: 3, misses: 1 });
+        assert!(reports.windows(2).all(|w| w[0] == w[1]));
+        // A later batch with the same point is served entirely from cache.
+        let again = exec.run(vec![spec(&system, 4096, p)]);
+        assert_eq!(exec.stats().hits, 4);
+        assert_eq!(again[0], reports[0]);
+    }
+
+    #[test]
+    fn different_configs_do_not_collide() {
+        let mut other = CellConfig::default();
+        other.mfc.max_outstanding_packets = 2;
+        assert_ne!(
+            config_fingerprint(&CellConfig::default()),
+            config_fingerprint(&other)
+        );
+    }
+
+    #[test]
+    fn hit_rate_tracks_counters() {
+        let stats = CacheStats { hits: 3, misses: 1 };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -16,6 +16,18 @@
 //! All DMA experiments honour the paper's protocol: weak scaling (a fixed
 //! volume per SPE), warm state (the simulator has no TLB to warm), and
 //! statistics over seeded random logical→physical placements.
+//!
+//! # Parallel sweeps
+//!
+//! Every DMA experiment is a sweep of independent runs, so each figure
+//! has two entry points: `figureN(system, cfg)` runs on a private
+//! [`SweepExecutor`] (worker count from `CELLSIM_JOBS`, default: all
+//! cores), and `figureN_with(exec, system, cfg)` shares a caller-supplied
+//! executor — sharing is what lets the run cache collapse the duplicate
+//! points between Figures 10/12, 12/13 and 15/16. Results are
+//! bit-identical for any worker count: run `k` of a sweep always draws
+//! placement [`Placement::lottery`]`(cfg.seed, k)`, independent of
+//! scheduling.
 
 mod ppe;
 mod spe_mem;
@@ -23,12 +35,23 @@ mod spe_pairs;
 mod spu_ls;
 
 pub use ppe::{figure3, figure4, figure6};
-pub use spe_mem::figure8;
-pub use spe_pairs::{figure10, figure12, figure13, figure15, figure16};
+pub use spe_mem::{figure8, figure8_with};
+pub use spe_pairs::{
+    figure10, figure10_with, figure12, figure12_with, figure13, figure13_with, figure15,
+    figure15_with, figure16, figure16_with,
+};
 pub use spu_ls::section_4_2_2;
 
+use std::fmt;
+use std::sync::Arc;
+
+use cellsim_kernel::stats::SummaryError;
+
+use crate::exec::{RunSpec, SweepExecutor, Workload};
+use crate::fabric::FabricReport;
+use crate::placement::Placement;
 use crate::report::{Figure, SpreadFigure};
-use crate::CellSystem;
+use crate::{CellSystem, TransferPlan};
 
 /// Shared knobs of the DMA experiments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,31 +91,193 @@ impl ExperimentConfig {
     }
 
     /// The paper-scale protocol (32 MiB per SPE, full sweep, 10 runs).
-    /// Slow: minutes of host time.
+    /// Slow: minutes of host time serially; use `--jobs`.
     pub fn full() -> ExperimentConfig {
         ExperimentConfig {
             volume_per_spe: 32 << 20,
             ..ExperimentConfig::default()
         }
     }
+
+    /// Checks the invariants every sweep relies on, so a degenerate
+    /// configuration fails at the experiment boundary with a named cause
+    /// instead of deep inside a reduction.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigIssue`] found.
+    pub fn validate(&self) -> Result<(), ConfigIssue> {
+        if self.placements == 0 {
+            return Err(ConfigIssue::NoPlacements);
+        }
+        if self.dma_elem_sizes.is_empty() {
+            return Err(ConfigIssue::NoElemSizes);
+        }
+        if self.volume_per_spe == 0 {
+            return Err(ConfigIssue::ZeroVolume);
+        }
+        for &elem in &self.dma_elem_sizes {
+            if elem == 0 || !self.volume_per_spe.is_multiple_of(u64::from(elem)) {
+                return Err(ConfigIssue::ElemNotDividingVolume {
+                    elem,
+                    volume: self.volume_per_spe,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
-/// Runs every experiment and returns all figures in paper order.
-pub fn all_figures(
+/// A structural problem with an [`ExperimentConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigIssue {
+    /// `placements == 0`: every summary would be empty.
+    NoPlacements,
+    /// `dma_elem_sizes` is empty: nothing to sweep.
+    NoElemSizes,
+    /// `volume_per_spe == 0`: plans would be empty.
+    ZeroVolume,
+    /// An element size is zero or does not divide the volume.
+    ElemNotDividingVolume {
+        /// The offending element size.
+        elem: u32,
+        /// The configured per-SPE volume.
+        volume: u64,
+    },
+}
+
+impl fmt::Display for ConfigIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigIssue::NoPlacements => write!(f, "placements must be >= 1"),
+            ConfigIssue::NoElemSizes => write!(f, "dma_elem_sizes must be non-empty"),
+            ConfigIssue::ZeroVolume => write!(f, "volume_per_spe must be > 0"),
+            ConfigIssue::ElemNotDividingVolume { elem, volume } => write!(
+                f,
+                "element size {elem} does not divide volume_per_spe {volume}"
+            ),
+        }
+    }
+}
+
+/// Why an experiment could not produce its figure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// The configuration fails [`ExperimentConfig::validate`].
+    InvalidConfig {
+        /// The figure that rejected it (e.g. `"12"`).
+        figure: &'static str,
+        /// What is wrong.
+        issue: ConfigIssue,
+    },
+    /// A reduction failed; names the exact point that produced it.
+    Stats {
+        /// The figure being reduced (e.g. `"13a"`).
+        figure: String,
+        /// The x-axis label of the degenerate point (e.g. `"16 KB"`).
+        x: String,
+        /// The underlying summary error.
+        source: SummaryError,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::InvalidConfig { figure, issue } => {
+                write!(f, "figure {figure}: invalid experiment config: {issue}")
+            }
+            ExperimentError::Stats { figure, x, source } => {
+                write!(f, "figure {figure} at {x}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Stats { source, .. } => Some(source),
+            ExperimentError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+/// One experiment point of a sweep: the plan to simulate and the
+/// [`Workload`] identifying it in the run cache.
+pub(crate) struct SweepPoint {
+    pub workload: Workload,
+    pub plan: Arc<TransferPlan>,
+}
+
+/// Expands `points` into per-placement [`RunSpec`]s (run `k` draws
+/// [`Placement::lottery`]`(cfg.seed, k)`), executes the whole batch on
+/// `exec`, and returns the reports grouped per point, in point order.
+pub(crate) fn sweep(
+    exec: &SweepExecutor,
     system: &CellSystem,
     cfg: &ExperimentConfig,
-) -> (Vec<Figure>, Vec<SpreadFigure>) {
+    points: &[SweepPoint],
+) -> Vec<Vec<Arc<FabricReport>>> {
+    let mut specs = Vec::with_capacity(points.len() * cfg.placements);
+    for point in points {
+        for k in 0..cfg.placements {
+            specs.push(RunSpec::new(
+                system,
+                point.workload.clone(),
+                Placement::lottery(cfg.seed, k as u64),
+                Arc::clone(&point.plan),
+            ));
+        }
+    }
+    let reports = exec.run(specs);
+    reports
+        .chunks(cfg.placements)
+        .map(<[Arc<FabricReport>]>::to_vec)
+        .collect()
+}
+
+pub(crate) fn mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Runs every experiment on `exec` and returns all figures in paper
+/// order. Sharing one executor across figures is what deduplicates the
+/// overlapping sweeps (10→12 2-SPE couples, 12→13 and 15→16 8-SPE
+/// columns).
+///
+/// # Errors
+///
+/// The first [`ExperimentError`] any figure reports.
+pub fn all_figures_with(
+    exec: &SweepExecutor,
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<(Vec<Figure>, Vec<SpreadFigure>), ExperimentError> {
     let mut figures = Vec::new();
     figures.extend(figure3(system));
     figures.extend(figure4(system));
     figures.extend(figure6(system));
-    figures.extend(figure8(system, cfg));
+    figures.extend(figure8_with(exec, system, cfg)?);
     figures.push(section_4_2_2(system));
-    figures.push(figure10(system, cfg));
-    figures.extend(figure12(system, cfg));
-    figures.extend(figure15(system, cfg));
+    figures.push(figure10_with(exec, system, cfg)?);
+    figures.extend(figure12_with(exec, system, cfg)?);
+    figures.extend(figure15_with(exec, system, cfg)?);
     let mut spreads = Vec::new();
-    spreads.extend(figure13(system, cfg));
-    spreads.extend(figure16(system, cfg));
-    (figures, spreads)
+    spreads.extend(figure13_with(exec, system, cfg)?);
+    spreads.extend(figure16_with(exec, system, cfg)?);
+    Ok((figures, spreads))
+}
+
+/// Runs every experiment on a private executor (`CELLSIM_JOBS` workers,
+/// default: all cores) and returns all figures in paper order.
+///
+/// # Errors
+///
+/// The first [`ExperimentError`] any figure reports.
+pub fn all_figures(
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<(Vec<Figure>, Vec<SpreadFigure>), ExperimentError> {
+    all_figures_with(&SweepExecutor::default(), system, cfg)
 }

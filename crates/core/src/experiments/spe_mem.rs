@@ -1,11 +1,11 @@
 //! SPE↔memory DMA bandwidth (paper Figure 8).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::sync::Arc;
 
-use crate::experiments::ExperimentConfig;
+use crate::exec::{SweepExecutor, Workload};
+use crate::experiments::{mean, sweep, ExperimentConfig, ExperimentError, SweepPoint};
 use crate::report::{format_bytes, Figure, Point, Series};
-use crate::{CellSystem, Placement, SyncPolicy, TransferPlan};
+use crate::{CellSystem, SyncPolicy, TransferPlan};
 
 #[derive(Debug, Clone, Copy)]
 enum MemOp {
@@ -14,54 +14,105 @@ enum MemOp {
     Copy,
 }
 
+impl MemOp {
+    /// The run-cache identity of this operation.
+    fn key(self) -> &'static str {
+        match self {
+            MemOp::Get => "mem-get",
+            MemOp::Put => "mem-put",
+            MemOp::Copy => "mem-copy",
+        }
+    }
+}
+
 /// SPE↔memory DMA-elem bandwidth for GET / PUT / GET+PUT with 1, 2, 4
-/// and 8 active SPEs (Figure 8 a–c).
+/// and 8 active SPEs (Figure 8 a–c), swept on `exec`.
 ///
 /// Weak scaling: each SPE streams `volume_per_spe` through its own
 /// region; the reported bandwidth is the sum of per-SPE bandwidths, each
 /// over its own completion time (the per-SPE decrementer timing of the
 /// paper), averaged over random placements.
-pub fn figure8(system: &CellSystem, cfg: &ExperimentConfig) -> Vec<Figure> {
-    [
+///
+/// # Errors
+///
+/// [`ExperimentError::InvalidConfig`] if `cfg` fails validation.
+pub fn figure8_with(
+    exec: &SweepExecutor,
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Figure>, ExperimentError> {
+    cfg.validate()
+        .map_err(|issue| ExperimentError::InvalidConfig { figure: "8", issue })?;
+    let ops = [
         (MemOp::Get, "a", "GET"),
         (MemOp::Put, "b", "PUT"),
         (MemOp::Copy, "c", "GET+PUT"),
-    ]
-    .into_iter()
-    .map(|(op, sub, name)| {
-        let series = [1usize, 2, 4, 8]
-            .into_iter()
-            .map(|n| Series {
-                label: format!("{n} SPE{}", if n > 1 { "s" } else { "" }),
-                points: cfg
-                    .dma_elem_sizes
-                    .iter()
-                    .map(|&elem| {
-                        let plan = mem_plan(op, n, cfg.volume_per_spe, elem);
-                        let mut rng = StdRng::seed_from_u64(cfg.seed);
-                        let mean = (0..cfg.placements)
-                            .map(|_| {
-                                let p = Placement::random(&mut rng);
-                                system.run(&p, &plan).sum_gbps
-                            })
-                            .sum::<f64>()
-                            / cfg.placements as f64;
-                        Point {
-                            x: format_bytes(u64::from(elem)),
-                            gbps: mean,
-                        }
-                    })
-                    .collect(),
+    ];
+    let spe_counts = [1usize, 2, 4, 8];
+    let points: Vec<SweepPoint> = ops
+        .iter()
+        .flat_map(|&(op, _, _)| {
+            spe_counts.iter().flat_map(move |&n| {
+                cfg.dma_elem_sizes.iter().map(move |&elem| SweepPoint {
+                    workload: Workload {
+                        pattern: op.key(),
+                        spes: n as u8,
+                        volume: cfg.volume_per_spe,
+                        elem,
+                        list: false,
+                        sync: SyncPolicy::AfterAll,
+                    },
+                    plan: Arc::new(mem_plan(op, n, cfg.volume_per_spe, elem)),
+                })
             })
-            .collect();
-        Figure {
-            id: format!("8{sub}"),
-            title: format!("SPE to memory — {name}"),
-            x_label: "element".into(),
-            series,
-        }
-    })
-    .collect()
+        })
+        .collect();
+    let mut groups = sweep(exec, system, cfg, &points).into_iter();
+    Ok(ops
+        .into_iter()
+        .map(|(_, sub, name)| {
+            let series = spe_counts
+                .into_iter()
+                .map(|n| Series {
+                    label: format!("{n} SPE{}", if n > 1 { "s" } else { "" }),
+                    points: cfg
+                        .dma_elem_sizes
+                        .iter()
+                        .map(|&elem| {
+                            let samples: Vec<f64> = groups
+                                .next()
+                                .expect("one report group per sweep point")
+                                .iter()
+                                .map(|r| r.sum_gbps)
+                                .collect();
+                            Point {
+                                x: format_bytes(u64::from(elem)),
+                                gbps: mean(&samples),
+                            }
+                        })
+                        .collect(),
+                })
+                .collect();
+            Figure {
+                id: format!("8{sub}"),
+                title: format!("SPE to memory — {name}"),
+                x_label: "element".into(),
+                series,
+            }
+        })
+        .collect())
+}
+
+/// [`figure8_with`] on a private executor.
+///
+/// # Errors
+///
+/// See [`figure8_with`].
+pub fn figure8(
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Figure>, ExperimentError> {
+    figure8_with(&SweepExecutor::default(), system, cfg)
 }
 
 fn mem_plan(op: MemOp, spes: usize, volume: u64, elem: u32) -> TransferPlan {
@@ -91,7 +142,7 @@ mod tests {
 
     #[test]
     fn figure8_reproduces_the_scaling_story() {
-        let figs = figure8(&CellSystem::blade(), &tiny());
+        let figs = figure8(&CellSystem::blade(), &tiny()).unwrap();
         assert_eq!(figs.len(), 3);
         let get = &figs[0];
         let one = get.value("1 SPE", "16 KB").unwrap();
@@ -107,7 +158,7 @@ mod tests {
 
     #[test]
     fn copy_counts_both_directions_of_traffic() {
-        let figs = figure8(&CellSystem::blade(), &tiny());
+        let figs = figure8(&CellSystem::blade(), &tiny()).unwrap();
         let copy_one = figs[2].value("1 SPE", "16 KB").unwrap();
         // Single-SPE copy ≈ 10 GB/s of combined read+write traffic.
         assert!((7.0..12.0).contains(&copy_one), "copy={copy_one}");

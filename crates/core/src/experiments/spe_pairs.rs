@@ -1,13 +1,19 @@
 //! SPE↔SPE experiments: delayed sync, couples, cycles
 //! (paper Figures 10, 12, 13, 15, 16).
+//!
+//! Each figure expands into [`SweepPoint`]s and reduces from the
+//! executor's reports, so shared points — Figure 10's `all` policy is
+//! Figure 12's 2-SPE series, and the 8-SPE columns of Figures 12/15 are
+//! exactly the sweeps of Figures 13/16 — simulate once per executor.
+
+use std::sync::Arc;
 
 use cellsim_kernel::stats::Summary;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use crate::experiments::ExperimentConfig;
+use crate::exec::{SweepExecutor, Workload};
+use crate::experiments::{mean, sweep, ExperimentConfig, ExperimentError, SweepPoint};
 use crate::report::{format_bytes, Figure, Point, Series, SpreadFigure};
-use crate::{CellSystem, Placement, SyncPolicy, TransferPlan};
+use crate::{CellSystem, SyncPolicy, TransferPlan};
 
 /// Which SPEs exchange with which.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +23,17 @@ enum Pattern {
     Couples,
     /// All `n` SPEs are active: SPE k exchanges with SPE (k+1) mod n.
     Cycle,
+}
+
+impl Pattern {
+    /// The run-cache identity of this pattern. Two [`Workload`]s with the
+    /// same key and parameters must build identical-simulating plans.
+    fn key(self) -> &'static str {
+        match self {
+            Pattern::Couples => "couples",
+            Pattern::Cycle => "cycle",
+        }
+    }
 }
 
 fn pattern_plan(
@@ -53,91 +70,249 @@ fn pattern_plan(
     b.build().expect("experiment plan is valid")
 }
 
-fn samples(system: &CellSystem, plan: &TransferPlan, placements: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..placements)
-        .map(|_| {
-            let p = Placement::random(&mut rng);
-            system.run(&p, plan).aggregate_gbps
-        })
-        .collect()
-}
-
-fn mean(samples: &[f64]) -> f64 {
-    samples.iter().sum::<f64>() / samples.len() as f64
+fn point(
+    pattern: Pattern,
+    spes: usize,
+    volume: u64,
+    elem: u32,
+    list: bool,
+    sync: SyncPolicy,
+) -> SweepPoint {
+    SweepPoint {
+        workload: Workload {
+            pattern: pattern.key(),
+            spes: spes as u8,
+            volume,
+            elem,
+            list,
+            sync,
+        },
+        plan: Arc::new(pattern_plan(pattern, spes, volume, elem, list, sync)),
+    }
 }
 
 /// Delayed-synchronization experiment (Figure 10): one SPE exchanges with
 /// one partner, waiting for its tag group after every 1, 2, 4, … commands
-/// versus only once at the end.
-pub fn figure10(system: &CellSystem, cfg: &ExperimentConfig) -> Figure {
+/// versus only once at the end. Runs on `exec`; the `all` policy shares
+/// its runs with Figure 12's 2-SPE series.
+///
+/// # Errors
+///
+/// [`ExperimentError::InvalidConfig`] if `cfg` fails validation.
+pub fn figure10_with(
+    exec: &SweepExecutor,
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<Figure, ExperimentError> {
+    cfg.validate()
+        .map_err(|issue| ExperimentError::InvalidConfig {
+            figure: "10",
+            issue,
+        })?;
     let policies: Vec<(String, SyncPolicy)> = [1u32, 2, 4, 8, 16]
         .into_iter()
         .map(|k| (format!("every {k}"), SyncPolicy::Every(k)))
         .chain([("all".to_string(), SyncPolicy::AfterAll)])
         .collect();
+    let points: Vec<SweepPoint> = policies
+        .iter()
+        .flat_map(|&(_, sync)| {
+            cfg.dma_elem_sizes
+                .iter()
+                .map(move |&elem| point(Pattern::Couples, 2, cfg.volume_per_spe, elem, false, sync))
+        })
+        .collect();
+    let mut groups = sweep(exec, system, cfg, &points).into_iter();
     let series = policies
         .into_iter()
-        .map(|(label, sync)| Series {
+        .map(|(label, _)| Series {
             label,
             points: cfg
                 .dma_elem_sizes
                 .iter()
                 .map(|&elem| {
-                    let plan =
-                        pattern_plan(Pattern::Couples, 2, cfg.volume_per_spe, elem, false, sync);
-                    let s = samples(system, &plan, cfg.placements, cfg.seed);
+                    let samples: Vec<f64> = groups
+                        .next()
+                        .expect("one report group per sweep point")
+                        .iter()
+                        .map(|r| r.aggregate_gbps)
+                        .collect();
                     Point {
                         x: format_bytes(u64::from(elem)),
-                        gbps: mean(&s),
+                        gbps: mean(&samples),
                     }
                 })
                 .collect(),
         })
         .collect();
-    Figure {
+    Ok(Figure {
         id: "10".into(),
         title: "SPE to SPE — delayed DMA synchronization".into(),
         x_label: "element".into(),
         series,
-    }
+    })
+}
+
+/// [`figure10_with`] on a private executor.
+///
+/// # Errors
+///
+/// See [`figure10_with`].
+pub fn figure10(system: &CellSystem, cfg: &ExperimentConfig) -> Result<Figure, ExperimentError> {
+    figure10_with(&SweepExecutor::default(), system, cfg)
 }
 
 /// Couples of SPEs (Figure 12): 1, 2 and 4 active/passive pairs,
-/// DMA-elem (a) and DMA-list (b).
-pub fn figure12(system: &CellSystem, cfg: &ExperimentConfig) -> Vec<Figure> {
-    pattern_figures(system, cfg, Pattern::Couples, "12", "Couples of SPEs")
+/// DMA-elem (a) and DMA-list (b). Runs on `exec`; the 8-SPE series
+/// shares its runs with Figure 13.
+///
+/// # Errors
+///
+/// [`ExperimentError::InvalidConfig`] if `cfg` fails validation.
+pub fn figure12_with(
+    exec: &SweepExecutor,
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Figure>, ExperimentError> {
+    pattern_figures(exec, system, cfg, Pattern::Couples, "12", "Couples of SPEs")
+}
+
+/// [`figure12_with`] on a private executor.
+///
+/// # Errors
+///
+/// See [`figure12_with`].
+pub fn figure12(
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Figure>, ExperimentError> {
+    figure12_with(&SweepExecutor::default(), system, cfg)
 }
 
 /// Couples placement spread (Figure 13): min/median/mean/max over random
 /// placements for 4 couples (8 SPEs), DMA-elem (a) and DMA-list (b).
-pub fn figure13(system: &CellSystem, cfg: &ExperimentConfig) -> Vec<SpreadFigure> {
-    spread_figures(system, cfg, Pattern::Couples, "13", "4 couples of SPEs")
+/// Runs on `exec`; shares every run with Figure 12's 8-SPE series.
+///
+/// # Errors
+///
+/// [`ExperimentError::InvalidConfig`] if `cfg` fails validation;
+/// [`ExperimentError::Stats`] if a sweep point yields degenerate samples.
+pub fn figure13_with(
+    exec: &SweepExecutor,
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<SpreadFigure>, ExperimentError> {
+    spread_figures(
+        exec,
+        system,
+        cfg,
+        Pattern::Couples,
+        "13",
+        "4 couples of SPEs",
+    )
+}
+
+/// [`figure13_with`] on a private executor.
+///
+/// # Errors
+///
+/// See [`figure13_with`].
+pub fn figure13(
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<SpreadFigure>, ExperimentError> {
+    figure13_with(&SweepExecutor::default(), system, cfg)
 }
 
 /// Cycle of SPEs (Figure 15): 2, 4 and 8 SPEs each exchanging with their
-/// logical neighbour, DMA-elem (a) and DMA-list (b).
-pub fn figure15(system: &CellSystem, cfg: &ExperimentConfig) -> Vec<Figure> {
-    pattern_figures(system, cfg, Pattern::Cycle, "15", "Cycle of SPEs")
+/// logical neighbour, DMA-elem (a) and DMA-list (b). Runs on `exec`; the
+/// 8-SPE series shares its runs with Figure 16.
+///
+/// # Errors
+///
+/// [`ExperimentError::InvalidConfig`] if `cfg` fails validation.
+pub fn figure15_with(
+    exec: &SweepExecutor,
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Figure>, ExperimentError> {
+    pattern_figures(exec, system, cfg, Pattern::Cycle, "15", "Cycle of SPEs")
+}
+
+/// [`figure15_with`] on a private executor.
+///
+/// # Errors
+///
+/// See [`figure15_with`].
+pub fn figure15(
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Figure>, ExperimentError> {
+    figure15_with(&SweepExecutor::default(), system, cfg)
 }
 
 /// Cycle placement spread (Figure 16): min/median/mean/max over random
-/// placements for the 8-SPE cycle, DMA-elem (a) and DMA-list (b).
-pub fn figure16(system: &CellSystem, cfg: &ExperimentConfig) -> Vec<SpreadFigure> {
-    spread_figures(system, cfg, Pattern::Cycle, "16", "Cycle of 8 SPEs")
+/// placements for the 8-SPE cycle, DMA-elem (a) and DMA-list (b). Runs
+/// on `exec`; shares every run with Figure 15's 8-SPE series.
+///
+/// # Errors
+///
+/// [`ExperimentError::InvalidConfig`] if `cfg` fails validation;
+/// [`ExperimentError::Stats`] if a sweep point yields degenerate samples.
+pub fn figure16_with(
+    exec: &SweepExecutor,
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<SpreadFigure>, ExperimentError> {
+    spread_figures(exec, system, cfg, Pattern::Cycle, "16", "Cycle of 8 SPEs")
+}
+
+/// [`figure16_with`] on a private executor.
+///
+/// # Errors
+///
+/// See [`figure16_with`].
+pub fn figure16(
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<SpreadFigure>, ExperimentError> {
+    figure16_with(&SweepExecutor::default(), system, cfg)
 }
 
 fn pattern_figures(
+    exec: &SweepExecutor,
     system: &CellSystem,
     cfg: &ExperimentConfig,
     pattern: Pattern,
-    id: &str,
+    id: &'static str,
     title: &str,
-) -> Vec<Figure> {
-    [(false, "a", "DMA-elem"), (true, "b", "DMA-list")]
+) -> Result<Vec<Figure>, ExperimentError> {
+    cfg.validate()
+        .map_err(|issue| ExperimentError::InvalidConfig { figure: id, issue })?;
+    let modes = [(false, "a", "DMA-elem"), (true, "b", "DMA-list")];
+    let spe_counts = [2usize, 4, 8];
+    let points: Vec<SweepPoint> = modes
+        .iter()
+        .flat_map(|&(list, _, _)| {
+            spe_counts.iter().flat_map(move |&n| {
+                cfg.dma_elem_sizes.iter().map(move |&elem| {
+                    point(
+                        pattern,
+                        n,
+                        cfg.volume_per_spe,
+                        elem,
+                        list,
+                        SyncPolicy::AfterAll,
+                    )
+                })
+            })
+        })
+        .collect();
+    let mut groups = sweep(exec, system, cfg, &points).into_iter();
+    Ok(modes
         .into_iter()
-        .map(|(list, sub, mode)| {
-            let series = [2usize, 4, 8]
+        .map(|(_, sub, mode)| {
+            let series = spe_counts
                 .into_iter()
                 .map(|n| Series {
                     label: format!("{n} SPEs"),
@@ -145,18 +320,15 @@ fn pattern_figures(
                         .dma_elem_sizes
                         .iter()
                         .map(|&elem| {
-                            let plan = pattern_plan(
-                                pattern,
-                                n,
-                                cfg.volume_per_spe,
-                                elem,
-                                list,
-                                SyncPolicy::AfterAll,
-                            );
-                            let s = samples(system, &plan, cfg.placements, cfg.seed);
+                            let samples: Vec<f64> = groups
+                                .next()
+                                .expect("one report group per sweep point")
+                                .iter()
+                                .map(|r| r.aggregate_gbps)
+                                .collect();
                             Point {
                                 x: format_bytes(u64::from(elem)),
-                                gbps: mean(&s),
+                                gbps: mean(&samples),
                             }
                         })
                         .collect(),
@@ -169,44 +341,66 @@ fn pattern_figures(
                 series,
             }
         })
-        .collect()
+        .collect())
 }
 
 fn spread_figures(
+    exec: &SweepExecutor,
     system: &CellSystem,
     cfg: &ExperimentConfig,
     pattern: Pattern,
-    id: &str,
+    id: &'static str,
     title: &str,
-) -> Vec<SpreadFigure> {
-    [(false, "a", "DMA-elem"), (true, "b", "DMA-list")]
+) -> Result<Vec<SpreadFigure>, ExperimentError> {
+    cfg.validate()
+        .map_err(|issue| ExperimentError::InvalidConfig { figure: id, issue })?;
+    let modes = [(false, "a", "DMA-elem"), (true, "b", "DMA-list")];
+    let points: Vec<SweepPoint> = modes
+        .iter()
+        .flat_map(|&(list, _, _)| {
+            cfg.dma_elem_sizes.iter().map(move |&elem| {
+                point(
+                    pattern,
+                    8,
+                    cfg.volume_per_spe,
+                    elem,
+                    list,
+                    SyncPolicy::AfterAll,
+                )
+            })
+        })
+        .collect();
+    let mut groups = sweep(exec, system, cfg, &points).into_iter();
+    modes
         .into_iter()
-        .map(|(list, sub, mode)| {
+        .map(|(_, sub, mode)| {
             let rows = cfg
                 .dma_elem_sizes
                 .iter()
                 .map(|&elem| {
-                    let plan = pattern_plan(
-                        pattern,
-                        8,
-                        cfg.volume_per_spe,
-                        elem,
-                        list,
-                        SyncPolicy::AfterAll,
-                    );
-                    let s = samples(system, &plan, cfg.placements, cfg.seed);
-                    (
-                        format_bytes(u64::from(elem)),
-                        Summary::from_samples(&s).expect("non-empty samples"),
-                    )
+                    let x = format_bytes(u64::from(elem));
+                    let samples: Vec<f64> = groups
+                        .next()
+                        .expect("one report group per sweep point")
+                        .iter()
+                        .map(|r| r.aggregate_gbps)
+                        .collect();
+                    let summary = Summary::from_samples(&samples).map_err(|source| {
+                        ExperimentError::Stats {
+                            figure: format!("{id}{sub}"),
+                            x: x.clone(),
+                            source,
+                        }
+                    })?;
+                    Ok((x, summary))
                 })
-                .collect();
-            SpreadFigure {
+                .collect::<Result<Vec<_>, ExperimentError>>()?;
+            Ok(SpreadFigure {
                 id: format!("{id}{sub}"),
                 title: format!("{title} — {mode}"),
                 x_label: "element".into(),
                 rows,
-            }
+            })
         })
         .collect()
 }
@@ -226,7 +420,7 @@ mod tests {
 
     #[test]
     fn figure10_eager_sync_is_worst() {
-        let fig = figure10(&CellSystem::blade(), &tiny());
+        let fig = figure10(&CellSystem::blade(), &tiny()).unwrap();
         let eager = fig.value("every 1", "16 KB").unwrap();
         let lazy = fig.value("all", "16 KB").unwrap();
         assert!(eager < lazy, "eager={eager} lazy={lazy}");
@@ -234,7 +428,7 @@ mod tests {
 
     #[test]
     fn figure12_two_spes_near_peak_and_lists_flat() {
-        let figs = figure12(&CellSystem::blade(), &tiny());
+        let figs = figure12(&CellSystem::blade(), &tiny()).unwrap();
         let elem = &figs[0];
         let list = &figs[1];
         assert!(elem.value("2 SPEs", "16 KB").unwrap() > 28.0);
@@ -247,8 +441,8 @@ mod tests {
     fn figure15_cycle_saturates_below_couples() {
         let sys = CellSystem::blade();
         let cfg = tiny();
-        let couples = figure12(&sys, &cfg);
-        let cycle = figure15(&sys, &cfg);
+        let couples = figure12(&sys, &cfg).unwrap();
+        let cycle = figure15(&sys, &cfg).unwrap();
         let c8 = couples[0].value("8 SPEs", "16 KB").unwrap();
         let y8 = cycle[0].value("8 SPEs", "16 KB").unwrap();
         assert!(
@@ -261,11 +455,44 @@ mod tests {
 
     #[test]
     fn figure16_shows_placement_spread() {
-        let spread = figure16(&CellSystem::blade(), &tiny());
+        let spread = figure16(&CellSystem::blade(), &tiny()).unwrap();
         assert_eq!(spread.len(), 2);
         assert!(spread[0].max_spread() > 1.0, "placements must matter");
         for (_, s) in &spread[0].rows {
             assert!(s.min <= s.median && s.median <= s.max);
         }
+    }
+
+    #[test]
+    fn figures_12_and_13_share_their_8_spe_runs() {
+        let exec = SweepExecutor::new(1);
+        let sys = CellSystem::blade();
+        let cfg = tiny();
+        figure12_with(&exec, &sys, &cfg).unwrap();
+        let after_12 = exec.stats();
+        figure13_with(&exec, &sys, &cfg).unwrap();
+        let after_13 = exec.stats();
+        // Figure 13 re-sweeps exactly Figure 12's 8-SPE columns: every
+        // one of its runs must come from the cache.
+        assert_eq!(after_13.misses, after_12.misses);
+        let fig13_specs = (2 * cfg.dma_elem_sizes.len() * cfg.placements) as u64;
+        assert_eq!(after_13.hits, after_12.hits + fig13_specs);
+    }
+
+    #[test]
+    fn invalid_config_is_reported_with_figure_context() {
+        let cfg = ExperimentConfig {
+            placements: 0,
+            ..tiny()
+        };
+        let err = figure12(&CellSystem::blade(), &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::InvalidConfig {
+                figure: "12",
+                issue: crate::experiments::ConfigIssue::NoPlacements,
+            }
+        );
+        assert!(err.to_string().contains("figure 12"));
     }
 }

@@ -16,6 +16,8 @@
 //! * [`TransferPlan`] / [`SpeScript`] — per-SPE DMA programs, including
 //!   DMA-elem vs DMA-list and the tag-synchronization policy;
 //! * [`FabricReport`] — the measured bandwidths and fabric statistics;
+//! * [`exec::SweepExecutor`] — parallel sweep execution with a
+//!   deterministic run cache (the `--jobs` machinery);
 //! * [`experiments`] — one constructor per paper figure;
 //! * [`report::Figure`] — rendered result tables.
 //!
@@ -43,6 +45,7 @@ mod placement;
 mod plan;
 mod tracing;
 
+pub mod exec;
 pub mod experiments;
 pub mod report;
 

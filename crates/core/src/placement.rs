@@ -45,6 +45,20 @@ impl Placement {
         }
     }
 
+    /// The `index`-th draw of a placement lottery seeded with `seed`.
+    ///
+    /// Every draw derives its own generator from
+    /// [`cellsim_kernel::rng::derive_seed`]`(seed, index)`, so draw `k`
+    /// is the same placement whether the sweep runs serially, in any
+    /// parallel interleaving, or resumes from a cache — the property the
+    /// parallel sweep executor's determinism guarantee rests on.
+    pub fn lottery(seed: u64, index: u64) -> Placement {
+        use rand::SeedableRng;
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(cellsim_kernel::rng::derive_seed(seed, index));
+        Placement::random(&mut rng)
+    }
+
     /// Builds a placement from an explicit mapping.
     ///
     /// Returns `None` unless `map` is a permutation of `0..8`.

@@ -16,7 +16,7 @@ use crate::SPE_COUNT;
 pub(crate) const LS_WINDOW: u32 = LOCAL_STORE_BYTES / 2;
 
 /// When the SPU waits for its outstanding DMAs (the paper's Figure 10).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyncPolicy {
     /// Enqueue everything, wait once at the end — the paper's rule for
     /// maximum bandwidth.

@@ -41,6 +41,7 @@ mod engine;
 mod queue;
 mod time;
 
+pub mod rng;
 pub mod stats;
 pub mod trace;
 

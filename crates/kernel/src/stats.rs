@@ -66,6 +66,35 @@ impl BandwidthMeter {
     }
 }
 
+/// Why a sample set could not be summarized.
+///
+/// Experiment drivers attach figure/configuration context when they
+/// surface this, so a degenerate run names the point that produced it
+/// instead of panicking deep inside the reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryError {
+    /// No samples at all (for sweeps: zero placements configured).
+    Empty,
+    /// A sample was NaN; `index` is its position in the input slice.
+    NotANumber {
+        /// Position of the offending sample.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SummaryError::Empty => write!(f, "no samples to summarize"),
+            SummaryError::NotANumber { index } => {
+                write!(f, "sample {index} is NaN")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
 /// Min / max / median / mean of a set of bandwidth samples.
 ///
 /// The median of an even-sized set is the mean of the two middle samples.
@@ -93,11 +122,18 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Reduces `samples`; returns `None` for an empty slice or if any
-    /// sample is NaN.
-    pub fn from_samples(samples: &[f64]) -> Option<Summary> {
-        if samples.is_empty() || samples.iter().any(|s| s.is_nan()) {
-            return None;
+    /// Reduces `samples`.
+    ///
+    /// # Errors
+    ///
+    /// [`SummaryError::Empty`] for an empty slice,
+    /// [`SummaryError::NotANumber`] naming the first NaN sample.
+    pub fn from_samples(samples: &[f64]) -> Result<Summary, SummaryError> {
+        if samples.is_empty() {
+            return Err(SummaryError::Empty);
+        }
+        if let Some(index) = samples.iter().position(|s| s.is_nan()) {
+            return Err(SummaryError::NotANumber { index });
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
@@ -108,7 +144,7 @@ impl Summary {
             (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
         };
         let mean = sorted.iter().sum::<f64>() / n as f64;
-        Some(Summary {
+        Ok(Summary {
             min: sorted[0],
             max: sorted[n - 1],
             median,
@@ -168,9 +204,16 @@ mod tests {
     }
 
     #[test]
-    fn summary_rejects_empty_and_nan() {
-        assert!(Summary::from_samples(&[]).is_none());
-        assert!(Summary::from_samples(&[1.0, f64::NAN]).is_none());
+    fn summary_rejects_empty_and_nan_with_typed_errors() {
+        assert_eq!(Summary::from_samples(&[]), Err(SummaryError::Empty));
+        assert_eq!(
+            Summary::from_samples(&[1.0, f64::NAN]),
+            Err(SummaryError::NotANumber { index: 1 })
+        );
+        assert!(!SummaryError::Empty.to_string().is_empty());
+        assert!(SummaryError::NotANumber { index: 1 }
+            .to_string()
+            .contains('1'));
     }
 
     #[test]

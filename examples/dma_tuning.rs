@@ -1,29 +1,58 @@
 //! The paper's DMA programming rules, demonstrated one by one on a pair
 //! of SPEs exchanging data.
 //!
+//! Every run goes through one shared [`SweepExecutor`], so repeated
+//! configurations — rule 2's "wait at the end" is exactly rule 1's
+//! 4 KiB point — are answered from the run cache instead of resimulated.
+//!
 //! ```text
 //! cargo run --release --example dma_tuning
 //! ```
 
+use std::sync::Arc;
+
+use cellsim::exec::{RunSpec, SweepExecutor, Workload};
 use cellsim::{CellSystem, Placement, PlanError, SyncPolicy, TransferPlan};
 
 const VOLUME: u64 = 1 << 20;
 
-fn run(system: &CellSystem, plan: &TransferPlan) -> f64 {
-    system.run(&Placement::identity(), plan).aggregate_gbps
+fn exchange(
+    exec: &SweepExecutor,
+    system: &CellSystem,
+    volume: u64,
+    elem: u32,
+    list: bool,
+    sync: SyncPolicy,
+) -> Result<f64, PlanError> {
+    let b = TransferPlan::builder();
+    let b = if list {
+        b.exchange_with_list(0, 1, volume, elem, sync)
+    } else {
+        b.exchange_with(0, 1, volume, elem, sync)
+    };
+    let plan = Arc::new(b.build()?);
+    let workload = Workload {
+        pattern: "couples",
+        spes: 2,
+        volume,
+        elem,
+        list,
+        sync,
+    };
+    let spec = RunSpec::new(system, workload, Placement::identity(), plan);
+    Ok(exec.run(vec![spec])[0].aggregate_gbps)
 }
 
 fn main() -> Result<(), PlanError> {
     let system = CellSystem::blade();
+    let exec = SweepExecutor::default();
     println!("SPE0 <-> SPE1 exchange, peak 33.6 GB/s. One rule at a time:\n");
 
     // Rule 1: use large DMA elements (>= 1024 B for DMA-elem).
     println!("rule 1 — transfer size matters (DMA-elem, sync after all):");
     for elem in [128u32, 512, 1024, 4096, 16384] {
-        let plan = TransferPlan::builder()
-            .exchange_with(0, 1, VOLUME, elem, SyncPolicy::AfterAll)
-            .build()?;
-        println!("  {:>6} B : {:>6.2} GB/s", elem, run(&system, &plan));
+        let gbps = exchange(&exec, &system, VOLUME, elem, false, SyncPolicy::AfterAll)?;
+        println!("  {elem:>6} B : {gbps:>6.2} GB/s");
     }
 
     // Rule 2: delay synchronization as long as possible.
@@ -34,25 +63,24 @@ fn main() -> Result<(), PlanError> {
         ("wait every 16  ", SyncPolicy::Every(16)),
         ("wait at the end", SyncPolicy::AfterAll),
     ] {
-        let plan = TransferPlan::builder()
-            .exchange_with(0, 1, VOLUME, 4096, sync)
-            .build()?;
-        println!("  {label} : {:>6.2} GB/s", run(&system, &plan));
+        let gbps = exchange(&exec, &system, VOLUME, 4096, false, sync)?;
+        println!("  {label} : {gbps:>6.2} GB/s");
     }
 
     // Rule 3: DMA lists rescue small elements.
     println!("\nrule 3 — DMA lists amortize per-command cost (128 B elements):");
-    let elem_plan = TransferPlan::builder()
-        .exchange_with(0, 1, VOLUME / 4, 128, SyncPolicy::AfterAll)
-        .build()?;
-    let list_plan = TransferPlan::builder()
-        .exchange_with_list(0, 1, VOLUME / 4, 128, SyncPolicy::AfterAll)
-        .build()?;
-    let e = run(&system, &elem_plan);
-    let l = run(&system, &list_plan);
+    let e = exchange(&exec, &system, VOLUME / 4, 128, false, SyncPolicy::AfterAll)?;
+    let l = exchange(&exec, &system, VOLUME / 4, 128, true, SyncPolicy::AfterAll)?;
     println!("  DMA-elem : {e:>6.2} GB/s");
     println!("  DMA-list : {l:>6.2} GB/s  ({:.1}x)", l / e);
 
+    let stats = exec.stats();
+    println!(
+        "\nrun cache: {} simulations for {} runs ({} duplicate answered from cache)",
+        stats.misses,
+        stats.hits + stats.misses,
+        stats.hits
+    );
     println!(
         "\nPaper §5: \"double buffering, DMA lists and delaying the\n\
          synchronization (DMA wait) as much as possible will always help\n\

@@ -3,34 +3,59 @@
 //! `libspe 1.1` gave the programmer no control over where SPE threads
 //! landed on the physical ring, so the paper ran everything ten times and
 //! reported the spread. This example replays that lottery for the
-//! all-active "cycle" pattern and prints the best and worst draws.
+//! all-active "cycle" pattern — all 20 draws simulated in parallel on a
+//! [`SweepExecutor`] — and prints the best and worst draws.
 //!
 //! ```text
 //! cargo run --release --example placement_lottery
 //! ```
 
+use std::sync::Arc;
+
+use cellsim::exec::{RunSpec, SweepExecutor, Workload};
 use cellsim::{CellSystem, Placement, PlanError, SyncPolicy, TransferPlan};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+const VOLUME: u64 = 1 << 20;
+const ELEM: u32 = 16 * 1024;
+const DRAWS: u64 = 20;
 
 fn main() -> Result<(), PlanError> {
     let system = CellSystem::blade();
     let mut b = TransferPlan::builder();
     for spe in 0..8 {
-        b = b.exchange_with(spe, (spe + 1) % 8, 1 << 20, 16 * 1024, SyncPolicy::AfterAll);
+        b = b.exchange_with(spe, (spe + 1) % 8, VOLUME, ELEM, SyncPolicy::AfterAll);
     }
-    let plan = b.build()?;
+    let plan = Arc::new(b.build()?);
+    let workload = Workload {
+        pattern: "cycle",
+        spes: 8,
+        volume: VOLUME,
+        elem: ELEM,
+        list: false,
+        sync: SyncPolicy::AfterAll,
+    };
 
-    let mut rng = StdRng::seed_from_u64(2007);
-    let mut draws: Vec<(f64, Placement)> = (0..20)
-        .map(|_| {
-            let p = Placement::random(&mut rng);
-            (system.run(&p, &plan).aggregate_gbps, p)
-        })
+    // Draw k of the lottery is Placement::lottery(seed, k): the same
+    // placement no matter how the executor schedules the runs.
+    let exec = SweepExecutor::default();
+    let placements: Vec<Placement> = (0..DRAWS).map(|k| Placement::lottery(2007, k)).collect();
+    let specs = placements
+        .iter()
+        .map(|&p| RunSpec::new(&system, workload.clone(), p, Arc::clone(&plan)))
+        .collect();
+    let reports = exec.run(specs);
+
+    let mut draws: Vec<(f64, Placement)> = reports
+        .iter()
+        .map(|r| r.aggregate_gbps)
+        .zip(placements)
         .collect();
     draws.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
 
-    println!("cycle of 8 SPEs, 20 random placements (peak 134.4 GB/s):\n");
+    println!(
+        "cycle of 8 SPEs, {DRAWS} random placements on {} worker(s) (peak 134.4 GB/s):\n",
+        exec.jobs()
+    );
     for (gbps, p) in &draws {
         println!("  {gbps:>6.2} GB/s   {p}");
     }

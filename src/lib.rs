@@ -50,6 +50,6 @@ pub use cellsim_runtime as runtime;
 pub use cellsim_spe as spe;
 
 pub use cellsim_core::{
-    experiments, report, CellConfig, CellSystem, FabricReport, MachineState, Placement, PlanError,
-    SpeScript, SyncPolicy, TransferPlan, TransferPlanBuilder, REGION_STRIDE, SPE_COUNT,
+    exec, experiments, report, CellConfig, CellSystem, FabricReport, MachineState, Placement,
+    PlanError, SpeScript, SyncPolicy, TransferPlan, TransferPlanBuilder, REGION_STRIDE, SPE_COUNT,
 };

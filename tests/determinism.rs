@@ -43,8 +43,8 @@ fn experiments_are_seed_stable() {
         seed: 42,
     };
     let sys = CellSystem::blade();
-    let a = figure12(&sys, &cfg);
-    let b = figure12(&sys, &cfg);
+    let a = figure12(&sys, &cfg).unwrap();
+    let b = figure12(&sys, &cfg).unwrap();
     assert_eq!(a, b);
 }
 

@@ -1,0 +1,76 @@
+//! The sweep executor's determinism contract: every figure is
+//! byte-identical whether a sweep runs serially, on any number of
+//! workers, or entirely from a warm run cache.
+
+use cellsim::exec::SweepExecutor;
+use cellsim::experiments::{all_figures_with, figure12_with, ExperimentConfig};
+use cellsim::CellSystem;
+use proptest::prelude::*;
+
+/// Renders every figure exactly as `repro` would print and export it.
+fn rendered(
+    figs: &(
+        Vec<cellsim::report::Figure>,
+        Vec<cellsim::report::SpreadFigure>,
+    ),
+) -> String {
+    let mut out = String::new();
+    for f in &figs.0 {
+        out.push_str(&f.to_string());
+        out.push_str(&f.to_csv());
+    }
+    for f in &figs.1 {
+        out.push_str(&f.to_string());
+        out.push_str(&f.to_csv());
+    }
+    out
+}
+
+#[test]
+fn all_figures_quick_identical_serial_parallel_and_cached() {
+    let sys = CellSystem::blade();
+    let cfg = ExperimentConfig::quick();
+
+    let serial_exec = SweepExecutor::new(1);
+    let serial = rendered(&all_figures_with(&serial_exec, &sys, &cfg).unwrap());
+
+    let parallel_exec = SweepExecutor::new(4);
+    let parallel = rendered(&all_figures_with(&parallel_exec, &sys, &cfg).unwrap());
+    assert_eq!(
+        serial, parallel,
+        "--jobs 4 must render byte-identically to --jobs 1"
+    );
+
+    // Second pass on the warm executor: answered entirely from the run
+    // cache, still byte-identical.
+    let before = parallel_exec.stats();
+    assert!(before.hits > 0, "figures 10/12/13/15/16 share sweep points");
+    let cached = rendered(&all_figures_with(&parallel_exec, &sys, &cfg).unwrap());
+    let after = parallel_exec.stats();
+    assert_eq!(serial, cached, "cached pass must render byte-identically");
+    assert_eq!(
+        after.misses, before.misses,
+        "warm pass must not simulate anything"
+    );
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(4))]
+
+    #[test]
+    fn figure12_identical_for_any_worker_count(seed in 0u64..1000, jobs in 2usize..8) {
+        let sys = CellSystem::blade();
+        let cfg = ExperimentConfig {
+            volume_per_spe: 128 << 10,
+            dma_elem_sizes: vec![1024, 16384],
+            placements: 2,
+            seed,
+        };
+        let serial = figure12_with(&SweepExecutor::new(1), &sys, &cfg).unwrap();
+        let parallel = figure12_with(&SweepExecutor::new(jobs), &sys, &cfg).unwrap();
+        prop_assert_eq!(&serial, &parallel, "seed {} jobs {}", seed, jobs);
+        let serial_text: Vec<String> = serial.iter().map(|f| format!("{f}\n{}", f.to_csv())).collect();
+        let parallel_text: Vec<String> = parallel.iter().map(|f| format!("{f}\n{}", f.to_csv())).collect();
+        prop_assert_eq!(serial_text, parallel_text);
+    }
+}

@@ -62,7 +62,7 @@ fn spu_local_store_peaks_at_33_6() {
 
 #[test]
 fn figure8_memory_scaling_shape() {
-    let figs = figure8(&CellSystem::blade(), &cfg());
+    let figs = figure8(&CellSystem::blade(), &cfg()).unwrap();
     let get = &figs[0];
     let one = get.value("1 SPE", "16 KB").unwrap();
     let two = get.value("2 SPEs", "16 KB").unwrap();
@@ -81,7 +81,7 @@ fn figure8_memory_scaling_shape() {
 
 #[test]
 fn figure10_sync_delay_orders_monotonically() {
-    let fig = figure10(&CellSystem::blade(), &cfg());
+    let fig = figure10(&CellSystem::blade(), &cfg()).unwrap();
     let at = |label: &str| fig.value(label, "16 KB").unwrap();
     assert!(at("every 1") < at("every 4"));
     assert!(at("every 4") < at("every 16"));
@@ -90,7 +90,7 @@ fn figure10_sync_delay_orders_monotonically() {
 
 #[test]
 fn figure12_couples_and_lists() {
-    let figs = figure12(&CellSystem::blade(), &cfg());
+    let figs = figure12(&CellSystem::blade(), &cfg()).unwrap();
     let (elem, list) = (&figs[0], &figs[1]);
     // One couple hits near-peak for >=1 KB elements.
     assert!(elem.value("2 SPEs", "1 KB").unwrap() > 30.0);
@@ -113,8 +113,8 @@ fn figure12_couples_and_lists() {
 fn figure15_cycle_saturates_the_bus() {
     let sys = CellSystem::blade();
     let c = cfg();
-    let cycle = figure15(&sys, &c);
-    let couples = figure12(&sys, &c);
+    let cycle = figure15(&sys, &c).unwrap();
+    let couples = figure12(&sys, &c).unwrap();
     // 2-SPE cycle reaches the pair peak.
     assert!(cycle[0].value("2 SPEs", "16 KB").unwrap() > 31.0);
     // 8-SPE cycle < 8-SPE couples: more active transfers, same demand.
@@ -127,13 +127,17 @@ fn figure15_cycle_saturates_the_bus() {
 fn figures13_and_16_show_placement_spread() {
     let sys = CellSystem::blade();
     let c = cfg();
-    for spread in figure13(&sys, &c).iter().chain(figure16(&sys, &c).iter()) {
+    for spread in figure13(&sys, &c)
+        .unwrap()
+        .iter()
+        .chain(figure16(&sys, &c).unwrap().iter())
+    {
         for (x, s) in &spread.rows {
             assert!(s.min <= s.mean && s.mean <= s.max, "{} {x}", spread.id);
         }
     }
     // The 16 KB rows of the 8-SPE experiments vary by several GB/s.
-    let f16 = figure16(&sys, &c);
+    let f16 = figure16(&sys, &c).unwrap();
     let last = &f16[0].rows.last().unwrap().1;
     assert!(last.spread() > 2.0, "spread={}", last.spread());
 }

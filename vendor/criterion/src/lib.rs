@@ -1,0 +1,219 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion's API its benches use: [`Criterion`],
+//! [`criterion_group!`] / [`criterion_main!`], benchmark groups with
+//! `sample_size` / `throughput` / `finish`, and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple — a short warm-up, then a fixed
+//! sample of timed batches reporting the per-iteration median — because
+//! the repo's real performance evidence comes from the `repro` binary's
+//! wall-clock reporting, not from these micro-benches. Under
+//! `cargo test` (criterion benches are invoked with `--test`) each
+//! benchmark body runs exactly once so the code stays exercised without
+//! timing loops.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Drives closures under measurement; handed to benchmark bodies.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this bencher's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Units for throughput annotation (accepted, echoed in the report).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    /// `true` when invoked by `cargo test` (`--test` argument): run each
+    /// body once, skip timing.
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs (or, under `--test`, smoke-runs) one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.test_mode, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotates following benchmarks with a throughput unit.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&full, self.criterion.test_mode, samples, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    test_mode: bool,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{name}: smoke-ran 1 iteration (test mode)");
+        return;
+    }
+    // Warm-up and per-sample calibration: aim for ~5 ms per sample.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let extra = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gbps = bytes as f64 / median;
+            format!("  ({gbps:.3} GB/s)")
+        }
+        Some(Throughput::Elements(n)) => {
+            let meps = n as f64 / median * 1e3;
+            format!("  ({meps:.3} Melem/s)")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name}: {:>12.1} ns/iter  (median of {} samples × {} iters){extra}",
+        median,
+        per_iter_ns.len(),
+        iters
+    );
+}
+
+/// Groups benchmark functions under one name, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 10,
+        };
+        let mut ran = false;
+        c.bench_function("probe", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_settings_chain() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 10,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5).throughput(Throughput::Bytes(1024));
+        g.bench_function("inner", |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+}

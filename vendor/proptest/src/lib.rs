@@ -1,0 +1,713 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest it uses: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map` / `prop_filter`, range and
+//! tuple strategies, [`strategy::Just`], [`prop_oneof!`],
+//! [`collection::vec`], `any::<T>()` and the `prop_assert*` /
+//! [`prop_assume!`] macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (every bound
+//!   value is `Debug`-printed) but is not minimized.
+//! * **Deterministic by default.** Cases are generated from a fixed seed
+//!   mixed with the case index, so test runs are reproducible; set
+//!   `PROPTEST_SEED` to explore a different stream, `PROPTEST_CASES` to
+//!   change the per-test case count (default 64).
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Case generation and the test loop.
+
+    use std::fmt;
+
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum rejected (`prop_assume!`-filtered) cases tolerated
+        /// before the test errors out.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Config {
+                cases,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl Config {
+        /// A configuration running `cases` successful cases per test.
+        pub fn with_cases(cases: u32) -> Config {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried with
+        /// fresh draws and does not count against `cases`.
+        Reject(String),
+        /// A `prop_assert*!` failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection (filtered inputs) with the given reason.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    /// Deterministic per-case generator (SplitMix64 stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for one case, derived from the runner seed and the
+        /// attempt counter.
+        pub fn for_case(seed: u64, attempt: u64) -> TestRng {
+            TestRng {
+                state: seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// The next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, bound)` (`bound` non-zero).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// A uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Drives one property over `Config::cases` generated cases.
+    pub struct TestRunner {
+        config: Config,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// A runner for `config`.
+        pub fn new(config: Config) -> TestRunner {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0xC0FF_EE11_D00D_F00Du64);
+            TestRunner { config, seed }
+        }
+
+        /// Runs `case` until `config.cases` successes; panics on the
+        /// first failure (no shrinking).
+        pub fn run_cases<F>(&mut self, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            let mut successes = 0u32;
+            let mut rejects = 0u32;
+            let mut attempt = 0u64;
+            while successes < self.config.cases {
+                let mut rng = TestRng::for_case(self.seed, attempt);
+                attempt += 1;
+                match case(&mut rng) {
+                    Ok(()) => successes += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        if rejects > self.config.max_global_rejects {
+                            panic!(
+                                "proptest: too many rejected cases ({rejects}) — \
+                                 prop_assume! filter is too strict"
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest: case failed after {successes} successes \
+                             (seed {:#x}, attempt {}): {msg}",
+                            self.seed,
+                            attempt - 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    use crate::test_runner::TestRng;
+
+    /// Generates values of `Self::Value` from a deterministic stream.
+    ///
+    /// Unlike upstream there is no value tree: strategies produce final
+    /// values directly and nothing shrinks.
+    pub trait Strategy: Clone {
+        /// The type of generated values.
+        type Value: fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred`; draws again otherwise
+        /// (bounded retries, then panic — mirrors upstream's global
+        /// reject limit).
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            F: Fn(&Self::Value) -> bool + Clone,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+
+        /// Type-erases the strategy (needed by [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O + Clone,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool + Clone,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter({:?}): no value accepted in 10000 draws",
+                self.reason
+            );
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform choice between alternatives (built by [`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64) - (lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+    }
+
+    /// Full-domain strategy for a primitive (the `any::<T>()` backend).
+    #[derive(Debug)]
+    pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+    impl<T> Clone for FullRange<T> {
+        fn clone(&self) -> Self {
+            FullRange(std::marker::PhantomData)
+        }
+    }
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + fmt::Debug {
+        /// Draws one value covering the whole domain.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Arbitrary> Strategy for FullRange<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> FullRange<T> {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length bounds for [`vec`]: `[min, max)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length is uniform in `size` and whose
+    /// elements come from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_excl - self.size.min) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::collection;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestRng, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fails the current case with a formatted message if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if `left != right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fails the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{}\n  both: {:?}", format!($($fmt)*), l);
+    }};
+}
+
+/// Rejects the current case (retried with fresh draws) if `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the subset of upstream syntax the workspace uses: an optional
+/// `#![proptest_config(...)]` header and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run_cases(|__proptest_rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 0u32..=7, z in 1usize..5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 7);
+            prop_assert!((1..5).contains(&z));
+        }
+
+        #[test]
+        fn maps_and_tuples((a, b) in (0u32..4, 4u32..8).prop_map(|(a, b)| (b, a))) {
+            prop_assert!(a >= 4 && b < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in collection::vec(0u64..100, 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn oneof_and_filter(
+            k in prop_oneof![Just(1u32), Just(2), (5u32..8).prop_filter("odd", |v| v % 2 == 1)]
+        ) {
+            prop_assert!(k == 1 || k == 2 || k == 5 || k == 7);
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_header_accepted(b in any::<bool>(), x in any::<u8>()) {
+            prop_assert!(u32::from(x) < 256 || b);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = TestRng::for_case(1, 2);
+        let mut b = TestRng::for_case(1, 2);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_range_in_bounds() {
+        let mut rng = TestRng::for_case(9, 0);
+        let s = 0.0f64..1000.0;
+        use crate::strategy::Strategy;
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((0.0..1000.0).contains(&v));
+        }
+    }
+}

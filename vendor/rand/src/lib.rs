@@ -1,0 +1,250 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of `rand`'s API it actually uses:
+//!
+//! * [`RngCore`] / [`Rng`] — raw and high-level generator traits;
+//! * [`SeedableRng`] with [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`] — a deterministic, seedable generator
+//!   (xoshiro256++ here; the stream differs from upstream `rand`, which
+//!   only matters to tests calibrated against exact draws);
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//!
+//! Everything is `std`-only and fully deterministic: the same seed gives
+//! the same stream on every platform, which is exactly the property the
+//! simulator's placement lottery and the repo's determinism tests rely
+//! on.
+
+#![forbid(unsafe_code)]
+
+/// Low-level generator interface: a source of uniformly distributed bits.
+pub trait RngCore {
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with uniformly distributed bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level generator helpers, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly distributed index in `0..bound` (`bound` must be
+    /// non-zero). Uses Lemire-style widening reduction, so there is no
+    /// modulo bias to speak of for the bounds the simulator uses.
+    fn random_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "random_index bound must be non-zero");
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
+    }
+
+    /// A uniformly distributed `u64` in `[lo, hi)`.
+    fn random_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        let span = hi - lo;
+        lo + ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    /// A uniformly distributed `bool`.
+    fn random_bool_even(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be initialized from a fixed-size seed or a bare
+/// `u64`.
+pub trait SeedableRng: Sized {
+    /// Raw seed material.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from raw seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands `state` into a full seed with SplitMix64 (the same
+    /// construction upstream `rand` documents) and builds the generator.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: seed expander (and the mixer `cellsim_kernel` mirrors for
+/// its per-run seed derivation).
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic, seedable generator: xoshiro256++.
+    ///
+    /// Not the same stream as upstream `rand`'s `StdRng` (ChaCha12), but
+    /// identical in every property the simulator needs: seed-stable,
+    /// platform-independent, and statistically sound for shuffles.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias: the simulator never needs a cryptographic generator.
+    pub type SmallRng = StdRng;
+}
+
+pub mod seq {
+    //! Sequence helpers.
+
+    use super::Rng;
+
+    /// Slice shuffling, as upstream `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Uniformly shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_index(i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 100-element shuffle leaving order intact is ~impossible"
+        );
+    }
+
+    #[test]
+    fn random_index_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for bound in [1usize, 2, 7, 100] {
+            for _ in 0..50 {
+                assert!(rng.random_index(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
