@@ -3,23 +3,37 @@
 //!
 //! ```text
 //! repro [--quick|--full] [--figure <id>]... [--ablations] [--seed N]
-//!       [--jobs N] [--verbose]
+//!       [--jobs N] [--verbose] [--csv <dir>] [--metrics <dir>]
+//!       [--trace-out <file>]
 //!
-//!   --quick        reduced sweep (fast smoke run)
-//!   --full         paper-scale protocol (32 MiB per SPE, slow)
-//!   --figure <id>  only the named figure: 3, 4, 6, 8, 10, 12, 13,
-//!                  15, 16 or 4.2.2 (repeatable)
-//!   --ablations    also run the design-choice ablations
-//!   --seed N       placement-lottery seed (default 0xCE11)
-//!   --jobs N       worker threads for the sweeps (default: CELLSIM_JOBS
-//!                  or all cores; figures are bit-identical for any N)
-//!   --verbose      report run-cache hits/misses and wall-clock on stderr
+//!   --quick             reduced sweep (fast smoke run)
+//!   --full              paper-scale protocol (32 MiB per SPE, slow)
+//!   --figure <id>       only the named figure: 3, 4, 6, 8, 10, 12, 13,
+//!                       15, 16 or 4.2.2 (repeatable)
+//!   --ablations         also run the design-choice ablations
+//!   --seed N            placement-lottery seed (default 0xCE11)
+//!   --jobs N            worker threads for the sweeps (default:
+//!                       CELLSIM_JOBS or all cores; figures are
+//!                       bit-identical for any N)
+//!   --verbose           print each fabric figure's metrics digest to
+//!                       stdout and cache statistics to stderr
+//!   --csv <dir>         write each figure as CSV into <dir>
+//!   --metrics <dir>     write each fabric figure's metrics digest into
+//!                       <dir> as CSV and JSON
+//!   --trace-out <file>  record the 8-SPE cycle at the largest swept
+//!                       element size and write a Chrome tracing JSON
+//!                       (open with chrome://tracing or Perfetto)
 //! ```
 //!
 //! Figure tables go to stdout; timing and cache statistics go to stderr,
 //! so `repro --jobs 8 > figs.txt` captures byte-identical output to
-//! `repro --jobs 1 > figs.txt`.
+//! `repro --jobs 1 > figs.txt`. The metrics digests are part of the
+//! deterministic report (pure counters, cached with the bandwidths), so
+//! `--verbose` stdout and `--metrics` files are byte-identical across
+//! job counts too.
 
+use std::fmt;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -27,9 +41,11 @@ use cellsim_bench::all_ablations_with;
 use cellsim_core::exec::SweepExecutor;
 use cellsim_core::experiments::{
     figure10_with, figure12_with, figure13_with, figure15_with, figure16_with, figure3, figure4,
-    figure6, figure8_with, section_4_2_2, ExperimentConfig, ExperimentError,
+    figure6, figure8_with, figure_metrics_with, section_4_2_2, ExperimentConfig, ExperimentError,
+    FIGURE_IDS,
 };
-use cellsim_core::CellSystem;
+use cellsim_core::report::{Figure, MetricsTable, SpreadFigure};
+use cellsim_core::{CellSystem, Placement, SyncPolicy, TransferPlan};
 use cellsim_kernels::roofline_figure;
 
 struct Args {
@@ -37,7 +53,9 @@ struct Args {
     figures: Vec<String>,
     ablations: bool,
     kernels: bool,
-    csv_dir: Option<std::path::PathBuf>,
+    csv_dir: Option<PathBuf>,
+    metrics_dir: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     jobs: Option<usize>,
     verbose: bool,
 }
@@ -48,6 +66,8 @@ fn parse_args() -> Result<Args, String> {
     let mut ablations = false;
     let mut kernels = false;
     let mut csv_dir = None;
+    let mut metrics_dir = None;
+    let mut trace_out = None;
     let mut jobs = None;
     let mut verbose = false;
     let mut argv = std::env::args().skip(1);
@@ -57,13 +77,27 @@ fn parse_args() -> Result<Args, String> {
             "--full" => cfg = ExperimentConfig::full(),
             "--figure" => {
                 let id = argv.next().ok_or("--figure needs an id")?;
+                if !FIGURE_IDS.contains(&id.as_str()) {
+                    return Err(format!(
+                        "unknown figure id: {id} (valid: {})",
+                        FIGURE_IDS.join(", ")
+                    ));
+                }
                 figures.push(id);
             }
             "--ablations" => ablations = true,
             "--kernels" => kernels = true,
             "--csv" => {
                 let dir = argv.next().ok_or("--csv needs a directory")?;
-                csv_dir = Some(std::path::PathBuf::from(dir));
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--metrics" => {
+                let dir = argv.next().ok_or("--metrics needs a directory")?;
+                metrics_dir = Some(PathBuf::from(dir));
+            }
+            "--trace-out" => {
+                let file = argv.next().ok_or("--trace-out needs a file path")?;
+                trace_out = Some(PathBuf::from(file));
             }
             "--seed" => {
                 let n = argv.next().ok_or("--seed needs a value")?;
@@ -81,7 +115,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "repro [--quick|--full] [--figure <id>]... [--ablations] [--kernels] \
-                     [--csv <dir>] [--seed N] [--jobs N] [--verbose]"
+                     [--csv <dir>] [--metrics <dir>] [--trace-out <file>] [--seed N] \
+                     [--jobs N] [--verbose]"
                 );
                 std::process::exit(0);
             }
@@ -94,6 +129,8 @@ fn parse_args() -> Result<Args, String> {
         ablations,
         kernels,
         csv_dir,
+        metrics_dir,
+        trace_out,
         jobs,
         verbose,
     })
@@ -103,32 +140,78 @@ fn wanted(figures: &[String], id: &str) -> bool {
     figures.is_empty() || figures.iter().any(|f| f == id)
 }
 
-fn csv_name(id: &str) -> String {
-    let slug: String = id
-        .chars()
+fn slug(id: &str) -> String {
+    id.chars()
         .map(|c| if c.is_alphanumeric() { c } else { '_' })
-        .collect();
-    format!("figure_{slug}.csv")
+        .collect()
 }
 
-fn emit(csv_dir: &Option<std::path::PathBuf>, fig: &cellsim_core::report::Figure) {
-    println!("{fig}");
-    if let Some(dir) = csv_dir {
-        let _ = std::fs::create_dir_all(dir);
-        if let Err(e) = std::fs::write(dir.join(csv_name(&fig.id)), fig.to_csv()) {
-            eprintln!("warning: could not write CSV for figure {}: {e}", fig.id);
-        }
+fn write_artifact(dir: &Path, name: &str, contents: &str) {
+    let _ = std::fs::create_dir_all(dir);
+    if let Err(e) = std::fs::write(dir.join(name), contents) {
+        eprintln!("warning: could not write {name}: {e}");
     }
 }
 
-fn emit_spread(csv_dir: &Option<std::path::PathBuf>, fig: &cellsim_core::report::SpreadFigure) {
+/// A result table repro can print and export: both figure shapes.
+trait Emittable: fmt::Display {
+    fn id(&self) -> &str;
+    fn to_csv(&self) -> String;
+}
+
+impl Emittable for Figure {
+    fn id(&self) -> &str {
+        &self.id
+    }
+    fn to_csv(&self) -> String {
+        Figure::to_csv(self)
+    }
+}
+
+impl Emittable for SpreadFigure {
+    fn id(&self) -> &str {
+        &self.id
+    }
+    fn to_csv(&self) -> String {
+        SpreadFigure::to_csv(self)
+    }
+}
+
+fn emit<T: Emittable>(csv_dir: &Option<PathBuf>, fig: &T) {
     println!("{fig}");
     if let Some(dir) = csv_dir {
-        let _ = std::fs::create_dir_all(dir);
-        if let Err(e) = std::fs::write(dir.join(csv_name(&fig.id)), fig.to_csv()) {
-            eprintln!("warning: could not write CSV for figure {}: {e}", fig.id);
-        }
+        let name = format!("figure_{}.csv", slug(fig.id()));
+        write_artifact(dir, &name, &fig.to_csv());
     }
+}
+
+/// Prints (under `--verbose`) and exports (under `--metrics`) the digest
+/// of the runs behind figure `id`. Every run is a cache hit: the digest
+/// re-sweeps exactly the figure's points on the shared executor.
+fn emit_metrics(
+    args: &Args,
+    exec: &SweepExecutor,
+    system: &CellSystem,
+    id: &str,
+) -> Result<(), ExperimentError> {
+    if !args.verbose && args.metrics_dir.is_none() {
+        return Ok(());
+    }
+    let Some(summary) = figure_metrics_with(exec, system, &args.cfg, id)? else {
+        return Ok(());
+    };
+    let table = MetricsTable {
+        id: id.to_string(),
+        summary,
+    };
+    if args.verbose {
+        println!("{table}");
+    }
+    if let Some(dir) = &args.metrics_dir {
+        write_artifact(dir, &format!("metrics_{}.csv", slug(id)), &table.to_csv());
+        write_artifact(dir, &format!("metrics_{}.json", slug(id)), &table.to_json());
+    }
+    Ok(())
 }
 
 fn run(args: &Args, exec: &SweepExecutor) -> Result<(), ExperimentError> {
@@ -154,32 +237,38 @@ fn run(args: &Args, exec: &SweepExecutor) -> Result<(), ExperimentError> {
         for f in figure8_with(exec, &system, cfg)? {
             emit(csv, &f);
         }
+        emit_metrics(args, exec, &system, "8")?;
     }
     if wanted(&args.figures, "4.2.2") {
         emit(csv, &section_4_2_2(&system));
     }
     if wanted(&args.figures, "10") {
         emit(csv, &figure10_with(exec, &system, cfg)?);
+        emit_metrics(args, exec, &system, "10")?;
     }
     if wanted(&args.figures, "12") {
         for f in figure12_with(exec, &system, cfg)? {
             emit(csv, &f);
         }
+        emit_metrics(args, exec, &system, "12")?;
     }
     if wanted(&args.figures, "13") {
         for f in figure13_with(exec, &system, cfg)? {
-            emit_spread(csv, &f);
+            emit(csv, &f);
         }
+        emit_metrics(args, exec, &system, "13")?;
     }
     if wanted(&args.figures, "15") {
         for f in figure15_with(exec, &system, cfg)? {
             emit(csv, &f);
         }
+        emit_metrics(args, exec, &system, "15")?;
     }
     if wanted(&args.figures, "16") {
         for f in figure16_with(exec, &system, cfg)? {
-            emit_spread(csv, &f);
+            emit(csv, &f);
         }
+        emit_metrics(args, exec, &system, "16")?;
     }
     if args.ablations {
         println!("— ablations —\n");
@@ -191,6 +280,92 @@ fn run(args: &Args, exec: &SweepExecutor) -> Result<(), ExperimentError> {
         println!("— small kernels (paper §5 future work) —\n");
         emit(csv, &roofline_figure(&system));
     }
+    Ok(())
+}
+
+/// Records the paper's most contended pattern — the 8-SPE cycle at the
+/// largest swept element size — and writes it as Chrome tracing JSON.
+/// The trace buffer is sized for the plan (≤ 4 phases per 128-byte bus
+/// packet); if it still truncates, refuse rather than write a silently
+/// partial trace.
+fn write_chrome_trace(
+    path: &Path,
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+) -> Result<(), String> {
+    let elem = *cfg
+        .dma_elem_sizes
+        .iter()
+        .max()
+        .ok_or("no element sizes configured")?;
+    let mut b = TransferPlan::builder();
+    for spe in 0..8 {
+        b = b.exchange_with(
+            spe,
+            (spe + 1) % 8,
+            cfg.volume_per_spe,
+            elem,
+            SyncPolicy::AfterAll,
+        );
+    }
+    let plan = b.build().map_err(|e| e.to_string())?;
+    let capacity = usize::try_from(4 * (plan.total_bytes() / 128) + 4096)
+        .map_err(|_| "trace capacity overflows usize".to_string())?;
+    let placement = Placement::lottery(cfg.seed, 0);
+    let (report, trace) = system.run_traced_with_capacity(&placement, &plan, capacity);
+    trace
+        .require_complete()
+        .map_err(|e| format!("refusing to write a truncated trace: {e}"))?;
+
+    let clock = system.config().clock;
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"SPEs\"}},\n\
+         {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"EIB rings\"}},\n\
+         {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+         \"args\":{\"name\":\"XDR banks\"}}",
+    );
+    for e in trace.events() {
+        let ts = clock.seconds(e.at.as_u64()) * 1e6;
+        let (name, pid, tid, extra) = match e.kind {
+            cellsim_core::FabricEvent::CommandIssued { spe } => {
+                ("issue".to_string(), 0, spe as u64, String::new())
+            }
+            cellsim_core::FabricEvent::Delivered { spe, bytes } => (
+                "deliver".to_string(),
+                0,
+                spe as u64,
+                format!(",\"args\":{{\"bytes\":{bytes}}}"),
+            ),
+            cellsim_core::FabricEvent::Granted { ring, hops, bytes } => (
+                "grant".to_string(),
+                1,
+                ring.0 as u64,
+                format!(",\"args\":{{\"bytes\":{bytes},\"hops\":{hops}}}"),
+            ),
+            cellsim_core::FabricEvent::MemoryAccess { bank, bytes } => (
+                format!("{bank:?}").to_lowercase(),
+                2,
+                u64::from(bank as u8),
+                format!(",\"args\":{{\"bytes\":{bytes}}}"),
+            ),
+        };
+        out.push_str(&format!(
+            ",\n{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{ts:.4},\"pid\":{pid},\"tid\":{tid}{extra}}}"
+        ));
+    }
+    out.push_str("\n]}\n");
+    std::fs::write(path, &out).map_err(|e| format!("could not write {}: {e}", path.display()))?;
+    eprintln!(
+        "trace: 8-SPE cycle, {} events over {} cycles ({:.1} GB/s) -> {}",
+        trace.events().len(),
+        report.cycles,
+        report.aggregate_gbps,
+        path.display()
+    );
     Ok(())
 }
 
@@ -218,6 +393,12 @@ fn main() -> ExitCode {
     if let Err(e) = run(&args, &exec) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
+    }
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = write_chrome_trace(path, &CellSystem::blade(), cfg) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     let elapsed = start.elapsed();
     if args.verbose {

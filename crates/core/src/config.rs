@@ -134,6 +134,26 @@ impl CellSystem {
         (report, trace)
     }
 
+    /// Like [`CellSystem::run_traced`], but with an explicit trace-buffer
+    /// capacity. The default capacity overflows at paper scale (a `--full`
+    /// run generates ~8M events); a complete trace needs room for up to
+    /// four phases per bus packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CellSystem::run`], or if
+    /// `capacity` is zero.
+    pub fn run_traced_with_capacity(
+        &self,
+        placement: &Placement,
+        plan: &TransferPlan,
+        capacity: usize,
+    ) -> (FabricReport, FabricTrace) {
+        let mut trace = FabricTrace::with_capacity(capacity);
+        let report = fabric::run_plan_traced(&self.config, placement, plan, None, Some(&mut trace));
+        (report, trace)
+    }
+
     /// The PPE pipeline model configured for this machine.
     pub fn ppe_model(&self) -> PpeModel {
         PpeModel::new(self.config.ppe, self.config.clock)

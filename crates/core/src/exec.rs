@@ -35,7 +35,6 @@
 //! computed, so cached and uncached sweeps render identical figures.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -56,15 +55,21 @@ const _: () = {
 
 /// Stable fingerprint of a machine configuration.
 ///
-/// Hashes the `Debug` rendering: every tunable of [`CellConfig`] is a
-/// plain value that `Debug`-prints deterministically, and
-/// [`std::collections::hash_map::DefaultHasher`] is specified to be
-/// repeatable within and across processes for the same input bytes.
+/// FNV-1a over the `Debug` rendering: every tunable of [`CellConfig`] is
+/// a plain value that `Debug`-prints deterministically, and the hash is
+/// pinned here rather than borrowed from the standard library —
+/// `DefaultHasher`'s algorithm is explicitly *not* specified to stay the
+/// same across Rust releases, which would silently re-key any persisted
+/// cached reports or metric baselines.
 #[must_use]
 pub fn config_fingerprint(config: &CellConfig) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    format!("{config:?}").hash(&mut h);
-    h.finish()
+    // FNV-1a, 64-bit (offset basis / prime per the FNV reference).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{config:?}").bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// What a run simulates, minus the placement: the experiment-point

@@ -49,9 +49,13 @@ use cellsim_kernel::stats::SummaryError;
 
 use crate::exec::{RunSpec, SweepExecutor, Workload};
 use crate::fabric::FabricReport;
+use crate::metrics::MetricsSummary;
 use crate::placement::Placement;
 use crate::report::{Figure, SpreadFigure};
 use crate::{CellSystem, TransferPlan};
+
+/// Every figure id `repro --figure` accepts, in paper order.
+pub const FIGURE_IDS: &[&str] = &["3", "4", "6", "8", "4.2.2", "10", "12", "13", "15", "16"];
 
 /// Shared knobs of the DMA experiments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -239,6 +243,44 @@ pub(crate) fn sweep(
 
 pub(crate) fn mean(samples: &[f64]) -> f64 {
     samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// The fabric-metrics digest of one figure's sweep, summed over exactly
+/// the runs that produced the figure: run `figureN_with` and this on the
+/// *same* executor and every run here is a cache hit.
+///
+/// Returns `Ok(None)` for figures that do not exercise the DMA fabric
+/// (the PPE and SPU↔LS microbenchmarks: 3, 4, 6 and §4.2.2) and for
+/// unknown ids — id validation belongs to the caller (see [`FIGURE_IDS`]).
+///
+/// # Errors
+///
+/// [`ExperimentError::InvalidConfig`] if `cfg` fails validation.
+pub fn figure_metrics_with(
+    exec: &SweepExecutor,
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+    figure: &str,
+) -> Result<Option<MetricsSummary>, ExperimentError> {
+    type Builder = fn(&ExperimentConfig) -> Vec<SweepPoint>;
+    let (id, builder): (&'static str, Builder) = match figure {
+        "8" => ("8", spe_mem::figure8_points),
+        "10" => ("10", spe_pairs::figure10_points),
+        "12" => ("12", spe_pairs::figure12_points),
+        "13" => ("13", spe_pairs::figure13_points),
+        "15" => ("15", spe_pairs::figure15_points),
+        "16" => ("16", spe_pairs::figure16_points),
+        _ => return Ok(None),
+    };
+    cfg.validate()
+        .map_err(|issue| ExperimentError::InvalidConfig { figure: id, issue })?;
+    let points = builder(cfg);
+    let groups = sweep(exec, system, cfg, &points);
+    let mut summary = MetricsSummary::default();
+    for report in groups.iter().flatten() {
+        summary.accumulate(&report.metrics);
+    }
+    Ok(Some(summary))
 }
 
 /// Runs every experiment on `exec` and returns all figures in paper

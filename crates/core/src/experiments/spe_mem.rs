@@ -49,24 +49,7 @@ pub fn figure8_with(
         (MemOp::Copy, "c", "GET+PUT"),
     ];
     let spe_counts = [1usize, 2, 4, 8];
-    let points: Vec<SweepPoint> = ops
-        .iter()
-        .flat_map(|&(op, _, _)| {
-            spe_counts.iter().flat_map(move |&n| {
-                cfg.dma_elem_sizes.iter().map(move |&elem| SweepPoint {
-                    workload: Workload {
-                        pattern: op.key(),
-                        spes: n as u8,
-                        volume: cfg.volume_per_spe,
-                        elem,
-                        list: false,
-                        sync: SyncPolicy::AfterAll,
-                    },
-                    plan: Arc::new(mem_plan(op, n, cfg.volume_per_spe, elem)),
-                })
-            })
-        })
-        .collect();
+    let points = figure8_points(cfg);
     let mut groups = sweep(exec, system, cfg, &points).into_iter();
     Ok(ops
         .into_iter()
@@ -113,6 +96,32 @@ pub fn figure8(
     cfg: &ExperimentConfig,
 ) -> Result<Vec<Figure>, ExperimentError> {
     figure8_with(&SweepExecutor::default(), system, cfg)
+}
+
+/// Figure 8's sweep points: ops (GET, PUT, GET+PUT) × SPE counts × elems.
+/// The figure renderer and the per-figure metric digest both build from
+/// here so their runs coincide in the cache. `cfg` must already be
+/// validated — plan building panics on degenerate configs.
+pub(crate) fn figure8_points(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    let ops = [MemOp::Get, MemOp::Put, MemOp::Copy];
+    let spe_counts = [1usize, 2, 4, 8];
+    ops.iter()
+        .flat_map(|&op| {
+            spe_counts.iter().flat_map(move |&n| {
+                cfg.dma_elem_sizes.iter().map(move |&elem| SweepPoint {
+                    workload: Workload {
+                        pattern: op.key(),
+                        spes: n as u8,
+                        volume: cfg.volume_per_spe,
+                        elem,
+                        list: false,
+                        sync: SyncPolicy::AfterAll,
+                    },
+                    plan: Arc::new(mem_plan(op, n, cfg.volume_per_spe, elem)),
+                })
+            })
+        })
+        .collect()
 }
 
 fn mem_plan(op: MemOp, spes: usize, volume: u64, elem: u32) -> TransferPlan {

@@ -91,6 +91,92 @@ fn point(
     }
 }
 
+/// Figure 10's sync-policy sweep, in series order.
+fn sync_policies() -> Vec<(String, SyncPolicy)> {
+    [1u32, 2, 4, 8, 16]
+        .into_iter()
+        .map(|k| (format!("every {k}"), SyncPolicy::Every(k)))
+        .chain([("all".to_string(), SyncPolicy::AfterAll)])
+        .collect()
+}
+
+/// Figure 10's sweep points. The figure renderer and the per-figure
+/// metric digest both build from here, so the digest's runs are exactly
+/// the figure's runs (all cache hits on a shared executor). `cfg` must
+/// already be validated — plan building panics on degenerate configs.
+pub(crate) fn figure10_points(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    sync_policies()
+        .iter()
+        .flat_map(|&(_, sync)| {
+            cfg.dma_elem_sizes
+                .iter()
+                .map(move |&elem| point(Pattern::Couples, 2, cfg.volume_per_spe, elem, false, sync))
+        })
+        .collect()
+}
+
+/// Sweep points of Figures 12/15 (a then b): modes × SPE counts × elems.
+fn pattern_points(cfg: &ExperimentConfig, pattern: Pattern) -> Vec<SweepPoint> {
+    let modes = [false, true];
+    let spe_counts = [2usize, 4, 8];
+    modes
+        .iter()
+        .flat_map(|&list| {
+            spe_counts.iter().flat_map(move |&n| {
+                cfg.dma_elem_sizes.iter().map(move |&elem| {
+                    point(
+                        pattern,
+                        n,
+                        cfg.volume_per_spe,
+                        elem,
+                        list,
+                        SyncPolicy::AfterAll,
+                    )
+                })
+            })
+        })
+        .collect()
+}
+
+/// Sweep points of Figures 13/16 (a then b): modes × elems at 8 SPEs.
+fn spread_points(cfg: &ExperimentConfig, pattern: Pattern) -> Vec<SweepPoint> {
+    [false, true]
+        .iter()
+        .flat_map(|&list| {
+            cfg.dma_elem_sizes.iter().map(move |&elem| {
+                point(
+                    pattern,
+                    8,
+                    cfg.volume_per_spe,
+                    elem,
+                    list,
+                    SyncPolicy::AfterAll,
+                )
+            })
+        })
+        .collect()
+}
+
+/// See [`figure10_points`]; same contract.
+pub(crate) fn figure12_points(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    pattern_points(cfg, Pattern::Couples)
+}
+
+/// See [`figure10_points`]; same contract.
+pub(crate) fn figure13_points(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    spread_points(cfg, Pattern::Couples)
+}
+
+/// See [`figure10_points`]; same contract.
+pub(crate) fn figure15_points(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    pattern_points(cfg, Pattern::Cycle)
+}
+
+/// See [`figure10_points`]; same contract.
+pub(crate) fn figure16_points(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
+    spread_points(cfg, Pattern::Cycle)
+}
+
 /// Delayed-synchronization experiment (Figure 10): one SPE exchanges with
 /// one partner, waiting for its tag group after every 1, 2, 4, … commands
 /// versus only once at the end. Runs on `exec`; the `all` policy shares
@@ -109,19 +195,8 @@ pub fn figure10_with(
             figure: "10",
             issue,
         })?;
-    let policies: Vec<(String, SyncPolicy)> = [1u32, 2, 4, 8, 16]
-        .into_iter()
-        .map(|k| (format!("every {k}"), SyncPolicy::Every(k)))
-        .chain([("all".to_string(), SyncPolicy::AfterAll)])
-        .collect();
-    let points: Vec<SweepPoint> = policies
-        .iter()
-        .flat_map(|&(_, sync)| {
-            cfg.dma_elem_sizes
-                .iter()
-                .map(move |&elem| point(Pattern::Couples, 2, cfg.volume_per_spe, elem, false, sync))
-        })
-        .collect();
+    let policies = sync_policies();
+    let points = figure10_points(cfg);
     let mut groups = sweep(exec, system, cfg, &points).into_iter();
     let series = policies
         .into_iter()
@@ -289,29 +364,13 @@ fn pattern_figures(
 ) -> Result<Vec<Figure>, ExperimentError> {
     cfg.validate()
         .map_err(|issue| ExperimentError::InvalidConfig { figure: id, issue })?;
-    let modes = [(false, "a", "DMA-elem"), (true, "b", "DMA-list")];
+    let modes = [("a", "DMA-elem"), ("b", "DMA-list")];
     let spe_counts = [2usize, 4, 8];
-    let points: Vec<SweepPoint> = modes
-        .iter()
-        .flat_map(|&(list, _, _)| {
-            spe_counts.iter().flat_map(move |&n| {
-                cfg.dma_elem_sizes.iter().map(move |&elem| {
-                    point(
-                        pattern,
-                        n,
-                        cfg.volume_per_spe,
-                        elem,
-                        list,
-                        SyncPolicy::AfterAll,
-                    )
-                })
-            })
-        })
-        .collect();
+    let points = pattern_points(cfg, pattern);
     let mut groups = sweep(exec, system, cfg, &points).into_iter();
     Ok(modes
         .into_iter()
-        .map(|(_, sub, mode)| {
+        .map(|(sub, mode)| {
             let series = spe_counts
                 .into_iter()
                 .map(|n| Series {
@@ -354,26 +413,12 @@ fn spread_figures(
 ) -> Result<Vec<SpreadFigure>, ExperimentError> {
     cfg.validate()
         .map_err(|issue| ExperimentError::InvalidConfig { figure: id, issue })?;
-    let modes = [(false, "a", "DMA-elem"), (true, "b", "DMA-list")];
-    let points: Vec<SweepPoint> = modes
-        .iter()
-        .flat_map(|&(list, _, _)| {
-            cfg.dma_elem_sizes.iter().map(move |&elem| {
-                point(
-                    pattern,
-                    8,
-                    cfg.volume_per_spe,
-                    elem,
-                    list,
-                    SyncPolicy::AfterAll,
-                )
-            })
-        })
-        .collect();
+    let modes = [("a", "DMA-elem"), ("b", "DMA-list")];
+    let points = spread_points(cfg, pattern);
     let mut groups = sweep(exec, system, cfg, &points).into_iter();
     modes
         .into_iter()
-        .map(|(_, sub, mode)| {
+        .map(|(sub, mode)| {
             let rows = cfg
                 .dma_elem_sizes
                 .iter()

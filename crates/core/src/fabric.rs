@@ -24,6 +24,7 @@ use cellsim_mfc::{DmaKind, EffectiveAddr, Issue, LsAddr, MfcEngine, PacketOut, P
 
 use crate::config::CellConfig;
 use crate::data::MachineState;
+use crate::metrics::{BankMetrics, FabricMetrics, SpeMetrics};
 use crate::placement::Placement;
 use crate::plan::{Planned, SyncPolicy, TransferPlan};
 use crate::tracing::{FabricEvent, FabricTrace};
@@ -55,6 +56,9 @@ pub struct FabricReport {
     pub eib: EibStats,
     /// Bus packets moved.
     pub packets: u64,
+    /// Always-on cycle accounting: per-SPE stall breakdown, per-ring and
+    /// per-bank occupancy, MFC outstanding-slot histogram.
+    pub metrics: FabricMetrics,
 }
 
 /// Events of the fabric simulation.
@@ -88,6 +92,30 @@ struct PacketInfo {
     dst: Element,
     class: FlowClass,
     bank: Option<BankId>,
+    /// Currently refused by the bank's backlog horizon (stall accounting).
+    waiting_mem: bool,
+}
+
+/// What an SPE is doing right now, for the stall-cycle partition. Exactly
+/// one state holds at a time; cycles are charged to the state that held
+/// them, so the six counters sum to the run length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpeState {
+    /// No queued commands, nothing in flight (before start / after done).
+    Idle,
+    /// Work available and the MFC can make progress.
+    Busy,
+    /// Blocked on a tag-group sync.
+    StallSync,
+    /// Outstanding budget exhausted; everything in flight is on the wire
+    /// or in DRAM (latency-limited — the Little's-law ceiling).
+    StallMfcFull,
+    /// Outstanding budget exhausted with packets queued at the EIB
+    /// arbiter (ring contention).
+    StallEib,
+    /// Outstanding budget exhausted with a PUT refused by a bank's
+    /// backlog horizon (write backpressure).
+    StallMem,
 }
 
 struct SpeCtx {
@@ -100,6 +128,52 @@ struct SpeCtx {
     pump_scheduled: Option<Cycle>,
     bytes: u64,
     last_delivery: Cycle,
+    state: SpeState,
+    /// Cycle since which `state` has held.
+    state_since: Cycle,
+    /// This SPE's packets queued at the EIB data arbiter.
+    pkts_waiting_eib: u32,
+    /// This SPE's PUT packets refused by a bank's backlog horizon.
+    pkts_waiting_mem: u32,
+    /// Accumulated stall partition (occupancy filled in at run end).
+    stalls: SpeMetrics,
+}
+
+impl SpeCtx {
+    /// The current state, by descending blocking priority: a sync wait
+    /// trumps a full outstanding budget, whose cause is read off the
+    /// waiting-packet counters.
+    fn classify(&self) -> SpeState {
+        if self.commands.is_empty() && self.mfc.is_idle() {
+            return SpeState::Idle;
+        }
+        if self.waiting_sync {
+            return SpeState::StallSync;
+        }
+        if self.mfc.outstanding() >= self.mfc.config().max_outstanding_packets {
+            if self.pkts_waiting_mem > 0 {
+                return SpeState::StallMem;
+            }
+            if self.pkts_waiting_eib > 0 {
+                return SpeState::StallEib;
+            }
+            return SpeState::StallMfcFull;
+        }
+        SpeState::Busy
+    }
+
+    /// Charges `dt` cycles to the current state.
+    fn charge(&mut self, dt: u64) {
+        let counter = match self.state {
+            SpeState::Idle => &mut self.stalls.idle_cycles,
+            SpeState::Busy => &mut self.stalls.busy_cycles,
+            SpeState::StallSync => &mut self.stalls.stall_sync_cycles,
+            SpeState::StallMfcFull => &mut self.stalls.stall_mfc_full_cycles,
+            SpeState::StallEib => &mut self.stalls.stall_eib_cycles,
+            SpeState::StallMem => &mut self.stalls.stall_mem_cycles,
+        };
+        *counter += dt;
+    }
 }
 
 struct Fabric<'d> {
@@ -169,6 +243,22 @@ impl Fabric<'_> {
         }
     }
 
+    /// Re-evaluates an SPE's state and charges the elapsed interval to the
+    /// state that just ended. Idle→Idle is a no-op: stray wakeups after an
+    /// SPE completed must not extend its idle span past the run end (the
+    /// final interval is flushed once, at run end).
+    fn note_spe_state(&mut self, spe: usize, now: Cycle) {
+        let ctx = &mut self.spes[spe];
+        let new = ctx.classify();
+        if ctx.state == SpeState::Idle && new == SpeState::Idle {
+            return;
+        }
+        let dt = now.saturating_since(ctx.state_since);
+        ctx.charge(dt);
+        ctx.state = new;
+        ctx.state_since = ctx.state_since.max(now);
+    }
+
     fn schedule_pump(&mut self, spe: usize, at: Cycle, sched: &mut Scheduler<Ev>) {
         let slot = &mut self.spes[spe].pump_scheduled;
         if slot.is_none_or(|t| at < t) {
@@ -221,6 +311,7 @@ impl Fabric<'_> {
                 Issue::Blocked | Issue::Idle => break,
             }
         }
+        self.note_spe_state(spe, now);
     }
 
     fn start_packet(&mut self, spe: usize, p: PacketOut, now: Cycle, sched: &mut Scheduler<Ev>) {
@@ -255,6 +346,7 @@ impl Fabric<'_> {
             dst,
             class,
             bank,
+            waiting_mem: false,
         });
         let cmd_done = self.cmdbus.issue(now);
         if let Some(t) = self.trace.as_deref_mut() {
@@ -292,12 +384,23 @@ impl Fabric<'_> {
             self.submit_to_eib(id, now, sched);
         } else {
             let at = self.mem.next_accept_time(bank, now).max(now + 1);
+            if !self.packets[id as usize].waiting_mem {
+                self.packets[id as usize].waiting_mem = true;
+                self.spes[info.spe].pkts_waiting_mem += 1;
+                self.note_spe_state(info.spe, now);
+            }
             sched.schedule(at, Ev::MemRetry(id));
         }
     }
 
     fn submit_to_eib(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>) {
         let info = self.packets[id as usize];
+        if info.waiting_mem {
+            self.packets[id as usize].waiting_mem = false;
+            self.spes[info.spe].pkts_waiting_mem -= 1;
+        }
+        self.spes[info.spe].pkts_waiting_eib += 1;
+        self.note_spe_state(info.spe, now);
         self.eib.submit(
             now,
             u64::from(id),
@@ -314,6 +417,9 @@ impl Fabric<'_> {
     fn kick(&mut self, now: Cycle, sched: &mut Scheduler<Ev>) {
         for (token, grant) in self.eib.arbitrate(now) {
             let id = u32::try_from(token).expect("token is a packet id");
+            let spe = self.packets[id as usize].spe;
+            self.spes[spe].pkts_waiting_eib -= 1;
+            self.note_spe_state(spe, now);
             if let Some(t) = self.trace.as_deref_mut() {
                 t.trace.record(
                     now,
@@ -442,16 +548,25 @@ pub(crate) fn run_plan_traced(
     let spes = plan
         .scripts()
         .iter()
-        .map(|script| SpeCtx {
-            mfc: MfcEngine::new(cfg.mfc),
-            commands: script.commands().iter().cloned().collect(),
-            sync: script.sync(),
-            issued_since_sync: 0,
-            waiting_sync: false,
-            enqueue_ready: Cycle::ZERO,
-            pump_scheduled: None,
-            bytes: 0,
-            last_delivery: Cycle::ZERO,
+        .map(|script| {
+            let mut ctx = SpeCtx {
+                mfc: MfcEngine::new(cfg.mfc),
+                commands: script.commands().iter().cloned().collect(),
+                sync: script.sync(),
+                issued_since_sync: 0,
+                waiting_sync: false,
+                enqueue_ready: Cycle::ZERO,
+                pump_scheduled: None,
+                bytes: 0,
+                last_delivery: Cycle::ZERO,
+                state: SpeState::Idle,
+                state_since: Cycle::ZERO,
+                pkts_waiting_eib: 0,
+                pkts_waiting_mem: 0,
+                stalls: SpeMetrics::default(),
+            };
+            ctx.state = ctx.classify();
+            ctx
         })
         .collect();
 
@@ -477,7 +592,7 @@ pub(crate) fn run_plan_traced(
         end < Cycle::new(MAX_CYCLES),
         "fabric exceeded its safety horizon"
     );
-    let fabric = sim.into_model().fabric;
+    let mut fabric = sim.into_model().fabric;
     for (i, ctx) in fabric.spes.iter().enumerate() {
         assert!(
             ctx.commands.is_empty() && ctx.mfc.is_idle(),
@@ -491,6 +606,31 @@ pub(crate) fn run_plan_traced(
         .map(|s| s.last_delivery.as_u64())
         .max()
         .unwrap_or(0);
+    // Flush the cycle accounting to the run end: every SPE's partition
+    // and occupancy histogram then sums to exactly `cycles`.
+    let end = Cycle::new(cycles);
+    let mut per_spe_metrics = Vec::with_capacity(fabric.spes.len());
+    for ctx in &mut fabric.spes {
+        let dt = end.saturating_since(ctx.state_since);
+        ctx.charge(dt);
+        ctx.state_since = end;
+        ctx.mfc.flush_occupancy(end);
+        let mut m = ctx.stalls.clone();
+        m.occupancy_cycles = ctx.mfc.occupancy_cycles().to_vec();
+        per_spe_metrics.push(m);
+    }
+    let metrics = FabricMetrics {
+        run_cycles: cycles,
+        per_spe: per_spe_metrics,
+        rings: fabric.eib.ring_stats().to_vec(),
+        banks: BankId::ALL
+            .iter()
+            .map(|&bank| BankMetrics {
+                bank,
+                stats: *fabric.mem.bank(bank).stats(),
+            })
+            .collect(),
+    };
     let per_spe_bytes: Vec<u64> = fabric.spes.iter().map(|s| s.bytes).collect();
     let per_spe_cycles: Vec<u64> = fabric
         .spes
@@ -513,6 +653,7 @@ pub(crate) fn run_plan_traced(
         per_spe_gbps,
         eib: *fabric.eib.stats(),
         packets: fabric.delivered_packets,
+        metrics,
     }
 }
 

@@ -47,14 +47,16 @@ mod tracing;
 
 pub mod exec;
 pub mod experiments;
+pub mod metrics;
 pub mod report;
 
 pub use config::{CellConfig, CellSystem};
 pub use data::{MachineState, REGION_STRIDE};
 pub use fabric::FabricReport;
+pub use metrics::{BankMetrics, FabricMetrics, MetricsSummary, SpeMetrics};
 pub use placement::Placement;
 pub use plan::{PlanError, Planned, SpeScript, SyncPolicy, TransferPlan, TransferPlanBuilder};
-pub use tracing::{FabricEvent, FabricTrace};
+pub use tracing::{FabricEvent, FabricTrace, TraceTruncated};
 
 /// Number of SPEs on a CBE.
 pub const SPE_COUNT: usize = 8;

@@ -12,6 +12,8 @@ use std::fmt;
 
 use cellsim_kernel::stats::Summary;
 
+use crate::metrics::MetricsSummary;
+
 /// One plotted point: a swept-parameter label and a bandwidth.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Point {
@@ -147,20 +149,30 @@ impl fmt::Display for SpreadFigure {
     }
 }
 
+/// RFC-4180 minimal quoting: fields with a comma, quote or newline are
+/// wrapped in double quotes, with inner quotes doubled.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 impl Figure {
     /// Renders the figure as CSV: header `x,<series...>`, one row per
     /// swept value. Ready for any plotting tool.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.x_label);
+        out.push_str(&csv_field(&self.x_label));
         for s in &self.series {
             out.push(',');
-            out.push_str(&s.label);
+            out.push_str(&csv_field(&s.label));
         }
         out.push('\n');
         let rows = self.series.first().map_or(0, |s| s.points.len());
         for row in 0..rows {
-            out.push_str(&self.series[0].points[row].x);
+            out.push_str(&csv_field(&self.series[0].points[row].x));
             for s in &self.series {
                 out.push(',');
                 match s.points.get(row) {
@@ -177,20 +189,283 @@ impl Figure {
 impl SpreadFigure {
     /// Renders the spread figure as CSV with min/median/mean/max columns.
     pub fn to_csv(&self) -> String {
-        let mut out = format!("{},min,median,mean,max\n", self.x_label);
+        let mut out = format!("{},min,median,mean,max\n", csv_field(&self.x_label));
         for (x, s) in &self.rows {
             out.push_str(&format!(
-                "{x},{:.4},{:.4},{:.4},{:.4}\n",
-                s.min, s.median, s.mean, s.max
+                "{},{:.4},{:.4},{:.4},{:.4}\n",
+                csv_field(x),
+                s.min,
+                s.median,
+                s.mean,
+                s.max
             ));
         }
         out
     }
 }
 
+/// A figure's fabric-contention digest: the [`MetricsSummary`] over
+/// exactly the runs that produced the figure, tagged with the figure id
+/// and renderable as an aligned text table, CSV, and JSON.
+///
+/// The Display form reads the way the paper argues: cycle shares first
+/// (what limited each SPE), then the Little's-law occupancy account of
+/// the MFC outstanding budget, then where the traffic landed (rings,
+/// banks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsTable {
+    /// Paper identifier of the figure the digest covers ("8", "10", …).
+    pub id: String,
+    /// The counters, summed over the figure's whole sweep.
+    pub summary: MetricsSummary,
+}
+
+impl MetricsTable {
+    fn pct(part: u64, whole: u64) -> f64 {
+        if whole == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / whole as f64
+        }
+    }
+
+    /// Renders the digest as `metric,value` CSV, one counter per row
+    /// (histogram buckets and per-ring/per-bank counters included).
+    pub fn to_csv(&self) -> String {
+        let s = &self.summary;
+        let m = &s.spe;
+        let mut out = String::from("metric,value\n");
+        let mut row = |k: &str, v: String| {
+            out.push_str(&csv_field(k));
+            out.push(',');
+            out.push_str(&csv_field(&v));
+            out.push('\n');
+        };
+        row("figure", self.id.clone());
+        row("runs", s.runs.to_string());
+        row("run_cycles", s.run_cycles.to_string());
+        row("busy_cycles", m.busy_cycles.to_string());
+        row("idle_cycles", m.idle_cycles.to_string());
+        row("stall_mfc_full_cycles", m.stall_mfc_full_cycles.to_string());
+        row("stall_sync_cycles", m.stall_sync_cycles.to_string());
+        row("stall_eib_cycles", m.stall_eib_cycles.to_string());
+        row("stall_mem_cycles", m.stall_mem_cycles.to_string());
+        row(
+            "occupancy_mean_inflight",
+            format!("{:.4}", s.occupancy_mean_inflight()),
+        );
+        row(
+            "occupancy_saturated_share",
+            format!("{:.4}", s.occupancy_saturated_share()),
+        );
+        row("dominant_stall", s.dominant_stall().0.to_string());
+        for (cause, &n) in crate::metrics::STALL_CAUSES.iter().zip(&s.limiter_runs) {
+            row(
+                &format!("runs_limited_by_{}", cause.replace('-', "_")),
+                n.to_string(),
+            );
+        }
+        row("runs_unstalled", s.unstalled_runs.to_string());
+        for (k, &cycles) in m.occupancy_cycles.iter().enumerate() {
+            row(&format!("occupancy_cycles_{k}"), cycles.to_string());
+        }
+        for (i, ring) in s.rings.iter().enumerate() {
+            row(&format!("ring_{i}_grants"), ring.grants.to_string());
+            row(&format!("ring_{i}_bytes"), ring.bytes.to_string());
+            row(
+                &format!("ring_{i}_busy_cycles"),
+                ring.busy_cycles.to_string(),
+            );
+        }
+        for b in &s.banks {
+            let name = format!("{:?}", b.bank).to_lowercase();
+            row(
+                &format!("bank_{name}_accesses"),
+                b.stats.accesses.to_string(),
+            );
+            row(&format!("bank_{name}_bytes"), b.stats.bytes.to_string());
+            row(
+                &format!("bank_{name}_busy_cycles"),
+                b.stats.busy_cycles.to_string(),
+            );
+            row(
+                &format!("bank_{name}_conflicts"),
+                b.stats.conflicts.to_string(),
+            );
+            row(
+                &format!("bank_{name}_turnaround_cycles"),
+                b.stats.turnaround_cycles.to_string(),
+            );
+            row(
+                &format!("bank_{name}_refresh_cycles"),
+                b.stats.refresh_cycles.to_string(),
+            );
+        }
+        out
+    }
+
+    /// Renders the digest as a JSON object (hand-rolled; every value is
+    /// an integer, a string, or an exact-format float, so the output is
+    /// byte-deterministic).
+    pub fn to_json(&self) -> String {
+        let s = &self.summary;
+        let m = &s.spe;
+        let occ: Vec<String> = m.occupancy_cycles.iter().map(u64::to_string).collect();
+        let rings: Vec<String> = s
+            .rings
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"grants\":{},\"bytes\":{},\"busy_cycles\":{}}}",
+                    r.grants, r.bytes, r.busy_cycles
+                )
+            })
+            .collect();
+        let banks: Vec<String> = s
+            .banks
+            .iter()
+            .map(|b| {
+                format!(
+                    "{{\"bank\":\"{}\",\"accesses\":{},\"bytes\":{},\
+                     \"busy_cycles\":{},\"conflicts\":{},\
+                     \"turnaround_cycles\":{},\"refresh_cycles\":{}}}",
+                    format!("{:?}", b.bank).to_lowercase(),
+                    b.stats.accesses,
+                    b.stats.bytes,
+                    b.stats.busy_cycles,
+                    b.stats.conflicts,
+                    b.stats.turnaround_cycles,
+                    b.stats.refresh_cycles
+                )
+            })
+            .collect();
+        format!(
+            "{{\"figure\":\"{}\",\"runs\":{},\"run_cycles\":{},\
+             \"spe\":{{\"busy_cycles\":{},\"idle_cycles\":{},\
+             \"stall_mfc_full_cycles\":{},\"stall_sync_cycles\":{},\
+             \"stall_eib_cycles\":{},\"stall_mem_cycles\":{},\
+             \"occupancy_cycles\":[{}]}},\
+             \"occupancy_mean_inflight\":{:.4},\
+             \"occupancy_saturated_share\":{:.4},\
+             \"dominant_stall\":\"{}\",\
+             \"runs_limited_by\":{{{}}},\"runs_unstalled\":{},\
+             \"rings\":[{}],\"banks\":[{}]}}",
+            self.id.replace('\\', "\\\\").replace('"', "\\\""),
+            s.runs,
+            s.run_cycles,
+            m.busy_cycles,
+            m.idle_cycles,
+            m.stall_mfc_full_cycles,
+            m.stall_sync_cycles,
+            m.stall_eib_cycles,
+            m.stall_mem_cycles,
+            occ.join(","),
+            s.occupancy_mean_inflight(),
+            s.occupancy_saturated_share(),
+            s.dominant_stall().0,
+            crate::metrics::STALL_CAUSES
+                .iter()
+                .zip(&s.limiter_runs)
+                .map(|(cause, n)| format!("\"{cause}\":{n}"))
+                .collect::<Vec<_>>()
+                .join(","),
+            s.unstalled_runs,
+            rings.join(","),
+            banks.join(",")
+        )
+    }
+}
+
+impl fmt::Display for MetricsTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.summary;
+        let m = &s.spe;
+        let spe_cycles = s.spe_cycles();
+        writeln!(
+            f,
+            "Metrics {} — fabric digest over {} runs ({} bus cycles)",
+            self.id, s.runs, s.run_cycles
+        )?;
+        writeln!(
+            f,
+            "  SPE cycles  busy {:.1}%  idle {:.1}%  stalled {:.1}% \
+             (mfc-slots {:.1}%, sync {:.1}%, eib {:.1}%, mem {:.1}%)",
+            Self::pct(m.busy_cycles, spe_cycles),
+            Self::pct(m.idle_cycles, spe_cycles),
+            Self::pct(m.stall_cycles(), spe_cycles),
+            Self::pct(m.stall_mfc_full_cycles, spe_cycles),
+            Self::pct(m.stall_sync_cycles, spe_cycles),
+            Self::pct(m.stall_eib_cycles, spe_cycles),
+            Self::pct(m.stall_mem_cycles, spe_cycles),
+        )?;
+        let (cause, cycles) = s.dominant_stall();
+        writeln!(
+            f,
+            "  MFC slots   mean {:.2} in flight, {:.1}% of in-flight time \
+             saturated; dominant stall: {cause} ({cycles} cycles)",
+            s.occupancy_mean_inflight(),
+            100.0 * s.occupancy_saturated_share(),
+        )?;
+        // mfc-slots, eib and mem stalls all require a saturated
+        // outstanding budget (that is when the state machine can enter
+        // them), so group them: when they dominate, the bandwidth
+        // limiter is slot saturation — Little's law — and the detail
+        // says what kept the slots occupied.
+        let [wire, sync, eib, mem] = s.limiter_runs;
+        let mut limiters = Vec::new();
+        if wire + eib + mem > 0 {
+            let detail: Vec<String> = [("wire", wire), ("eib", eib), ("mem", mem)]
+                .iter()
+                .filter(|&&(_, n)| n > 0)
+                .map(|&(k, n)| format!("{k} {n}"))
+                .collect();
+            limiters.push(format!(
+                "slots-full {} ({})",
+                wire + eib + mem,
+                detail.join(", ")
+            ));
+        }
+        if sync > 0 {
+            limiters.push(format!("sync {sync}"));
+        }
+        if s.unstalled_runs > 0 {
+            limiters.push(format!("none {}", s.unstalled_runs));
+        }
+        writeln!(
+            f,
+            "  limiter     runs by dominant stall: {}",
+            limiters.join(", ")
+        )?;
+        for (i, ring) in s.rings.iter().enumerate() {
+            writeln!(
+                f,
+                "  ring {i}      {} in {} grants, busy {:.1}%",
+                format_bytes(ring.bytes),
+                ring.grants,
+                Self::pct(ring.busy_cycles, s.run_cycles),
+            )?;
+        }
+        for b in &s.banks {
+            writeln!(
+                f,
+                "  bank {:<6} {} in {} accesses, busy {:.1}%, {} conflicts",
+                format!("{:?}", b.bank).to_lowercase(),
+                format_bytes(b.stats.bytes),
+                b.stats.accesses,
+                Self::pct(b.stats.busy_cycles, s.run_cycles),
+                b.stats.conflicts,
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Formats a byte count the way the paper labels its x axes.
 pub fn format_bytes(bytes: u64) -> String {
-    if bytes >= 1024 && bytes.is_multiple_of(1024) {
+    const MB: u64 = 1024 * 1024;
+    if bytes >= MB && bytes.is_multiple_of(MB) {
+        format!("{} MB", bytes / MB)
+    } else if bytes >= 1024 && bytes.is_multiple_of(1024) {
         format!("{} KB", bytes / 1024)
     } else {
         format!("{bytes} B")
@@ -301,5 +576,82 @@ mod tests {
         assert_eq!(format_bytes(1024), "1 KB");
         assert_eq!(format_bytes(16384), "16 KB");
         assert_eq!(format_bytes(100), "100 B");
+        assert_eq!(format_bytes(32 << 20), "32 MB");
+        assert_eq!(format_bytes((1 << 20) + 1024), "1025 KB");
+    }
+
+    #[test]
+    fn csv_fields_with_delimiters_are_quoted() {
+        let mut fig = sample_figure();
+        fig.series[0].label = "every 1, eager".into();
+        fig.x_label = "elem \"raw\"".into();
+        let csv = fig.to_csv();
+        assert_eq!(
+            csv.lines().next(),
+            Some("\"elem \"\"raw\"\"\",\"every 1, eager\",b")
+        );
+        // Unremarkable fields stay bare.
+        assert!(csv.contains("\n128 B,"));
+    }
+
+    #[test]
+    fn metrics_table_renders_all_three_shapes() {
+        use crate::metrics::{FabricMetrics, SpeMetrics};
+        let mut summary = MetricsSummary::default();
+        summary.accumulate(&FabricMetrics {
+            run_cycles: 100,
+            per_spe: vec![SpeMetrics {
+                busy_cycles: 30,
+                idle_cycles: 10,
+                stall_mfc_full_cycles: 60,
+                occupancy_cycles: vec![40, 10, 50],
+                ..SpeMetrics::default()
+            }],
+            rings: vec![cellsim_eib::RingStats {
+                grants: 4,
+                bytes: 512,
+                busy_cycles: 32,
+            }],
+            banks: vec![crate::metrics::BankMetrics {
+                bank: cellsim_mem::BankId::Local,
+                stats: cellsim_mem::BankStats {
+                    accesses: 4,
+                    bytes: 512,
+                    busy_cycles: 32,
+                    conflicts: 2,
+                    ..cellsim_mem::BankStats::default()
+                },
+            }],
+        });
+        let table = MetricsTable {
+            id: "10".into(),
+            summary,
+        };
+
+        let text = table.to_string();
+        assert!(text.contains("Metrics 10"));
+        assert!(text.contains("busy 30.0%"));
+        assert!(text.contains("dominant stall: mfc-slots (60 cycles)"));
+        assert!(text.contains("runs by dominant stall: slots-full 1 (wire 1)"));
+        assert!(text.contains("bank local"));
+
+        let csv = table.to_csv();
+        assert!(csv.starts_with("metric,value\n"));
+        assert!(csv.contains("stall_mfc_full_cycles,60\n"));
+        assert!(csv.contains("runs_limited_by_mfc_slots,1\n"));
+        assert!(csv.contains("occupancy_cycles_2,50\n"));
+        assert!(csv.contains("ring_0_bytes,512\n"));
+        assert!(csv.contains("bank_local_conflicts,2\n"));
+
+        let json = table.to_json();
+        assert!(json.starts_with("{\"figure\":\"10\","));
+        assert!(json.contains("\"occupancy_cycles\":[40,10,50]"));
+        assert!(json.contains("\"dominant_stall\":\"mfc-slots\""));
+        assert!(json.contains(
+            "\"runs_limited_by\":{\"mfc-slots\":1,\"sync\":0,\"eib\":0,\"mem\":0},\
+             \"runs_unstalled\":0"
+        ));
+        assert!(json.contains("\"bank\":\"local\""));
+        assert!(json.ends_with("}"));
     }
 }

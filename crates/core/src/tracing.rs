@@ -5,6 +5,16 @@
 //! The analysis methods turn that into the quantities an architect asks
 //! for — a throughput timeline, per-ring grant shares, per-SPE delivery
 //! breakdowns — without re-running the simulation.
+//!
+//! The trace buffer is bounded; once it fills, later events are counted
+//! but not stored ([`FabricTrace::dropped`]). A paper-scale run (32 MiB ×
+//! 8 SPEs) generates ~8M events and overflows the default capacity, so
+//! every aggregate analysis method returns `Err(`[`TraceTruncated`]`)`
+//! rather than a silently-partial answer; size the buffer with
+//! [`crate::CellSystem::run_traced_with_capacity`] when you need complete
+//! aggregates.
+
+use std::fmt;
 
 use cellsim_eib::RingId;
 use cellsim_kernel::trace::Trace;
@@ -44,6 +54,30 @@ pub enum FabricEvent {
     },
 }
 
+/// The trace buffer overflowed: aggregate analyses over it would be
+/// silently wrong, so they refuse instead. Re-run with a larger capacity
+/// ([`crate::CellSystem::run_traced_with_capacity`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceTruncated {
+    /// Events recorded before the buffer filled.
+    pub recorded: usize,
+    /// Events that arrived after the buffer filled and were not stored.
+    pub dropped: u64,
+}
+
+impl fmt::Display for TraceTruncated {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace truncated: {} events dropped after {} recorded; \
+             re-run with a larger trace capacity",
+            self.dropped, self.recorded
+        )
+    }
+}
+
+impl std::error::Error for TraceTruncated {}
+
 /// A recorded fabric run.
 #[derive(Debug, Clone, Default)]
 pub struct FabricTrace {
@@ -56,6 +90,17 @@ impl FabricTrace {
         FabricTrace::default()
     }
 
+    /// An empty trace that stores up to `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> FabricTrace {
+        FabricTrace {
+            trace: Trace::with_capacity(capacity),
+        }
+    }
+
     /// The raw events, in time order.
     pub fn events(&self) -> &[cellsim_kernel::trace::TraceEvent<FabricEvent>] {
         self.trace.events()
@@ -66,8 +111,29 @@ impl FabricTrace {
         self.trace.dropped()
     }
 
+    /// `Err` iff the trace overflowed and aggregates would be partial.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceTruncated`] when any event was dropped.
+    pub fn require_complete(&self) -> Result<(), TraceTruncated> {
+        if self.trace.dropped() > 0 {
+            Err(TraceTruncated {
+                recorded: self.trace.events().len(),
+                dropped: self.trace.dropped(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
     /// Delivered-bytes throughput (GB/s) per `bucket_cycles` window —
     /// the time-resolved version of the experiment's single number.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceTruncated`] when events were dropped: a timeline over a
+    /// truncated trace would silently undercount the tail of the run.
     ///
     /// # Panics
     ///
@@ -76,8 +142,9 @@ impl FabricTrace {
         &self,
         clock: &MachineClock,
         bucket_cycles: u64,
-    ) -> Vec<(Cycle, f64)> {
+    ) -> Result<Vec<(Cycle, f64)>, TraceTruncated> {
         assert!(bucket_cycles > 0, "bucket must be non-zero");
+        self.require_complete()?;
         let mut buckets: Vec<u64> = Vec::new();
         for e in self.trace.events() {
             if let FabricEvent::Delivered { bytes, .. } = e.kind {
@@ -88,7 +155,7 @@ impl FabricTrace {
                 buckets[idx] += u64::from(bytes);
             }
         }
-        buckets
+        Ok(buckets
             .into_iter()
             .enumerate()
             .map(|(i, b)| {
@@ -97,11 +164,16 @@ impl FabricTrace {
                     clock.gbytes_per_sec(b, bucket_cycles),
                 )
             })
-            .collect()
+            .collect())
     }
 
     /// Bytes granted per ring: how evenly the arbiter spread the load.
-    pub fn ring_shares(&self) -> Vec<(RingId, u64)> {
+    ///
+    /// # Errors
+    ///
+    /// [`TraceTruncated`] when events were dropped.
+    pub fn ring_shares(&self) -> Result<Vec<(RingId, u64)>, TraceTruncated> {
+        self.require_complete()?;
         let mut shares: Vec<(RingId, u64)> = Vec::new();
         for e in self.trace.events() {
             if let FabricEvent::Granted { ring, bytes, .. } = e.kind {
@@ -112,10 +184,15 @@ impl FabricTrace {
             }
         }
         shares.sort_by_key(|&(r, _)| r);
-        shares
+        Ok(shares)
     }
 
     /// Mean hop count over all grants — the placement-quality metric.
+    ///
+    /// Unlike the byte-exact aggregates, a mean over the recorded prefix
+    /// is still a meaningful estimate, so this method stays infallible on
+    /// a truncated trace; check [`FabricTrace::dropped`] if exactness
+    /// matters.
     pub fn mean_hops(&self) -> f64 {
         let (sum, n) = self
             .trace
@@ -134,7 +211,12 @@ impl FabricTrace {
     }
 
     /// Delivered bytes per logical SPE.
-    pub fn per_spe_bytes(&self) -> Vec<(usize, u64)> {
+    ///
+    /// # Errors
+    ///
+    /// [`TraceTruncated`] when events were dropped.
+    pub fn per_spe_bytes(&self) -> Result<Vec<(usize, u64)>, TraceTruncated> {
+        self.require_complete()?;
         let mut out: Vec<(usize, u64)> = Vec::new();
         for e in self.trace.events() {
             if let FabricEvent::Delivered { spe, bytes } = e.kind {
@@ -145,11 +227,16 @@ impl FabricTrace {
             }
         }
         out.sort_by_key(|&(s, _)| s);
-        out
+        Ok(out)
     }
 
     /// Bytes served per memory bank.
-    pub fn bank_bytes(&self) -> Vec<(BankId, u64)> {
+    ///
+    /// # Errors
+    ///
+    /// [`TraceTruncated`] when events were dropped.
+    pub fn bank_bytes(&self) -> Result<Vec<(BankId, u64)>, TraceTruncated> {
+        self.require_complete()?;
         let mut out: Vec<(BankId, u64)> = Vec::new();
         for e in self.trace.events() {
             if let FabricEvent::MemoryAccess { bank, bytes } = e.kind {
@@ -159,7 +246,7 @@ impl FabricTrace {
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -200,7 +287,7 @@ mod tests {
         let trace = traced_run();
         let clock = MachineClock::default();
         let bucket = 1000;
-        let timeline = trace.throughput_timeline(&clock, bucket);
+        let timeline = trace.throughput_timeline(&clock, bucket).unwrap();
         assert!(!timeline.is_empty());
         let total: f64 = timeline
             .iter()
@@ -212,7 +299,7 @@ mod tests {
     #[test]
     fn banks_split_the_two_spe_load() {
         let trace = traced_run();
-        let banks = trace.bank_bytes();
+        let banks = trace.bank_bytes().unwrap();
         assert_eq!(banks.len(), 2, "round-robin regions use both banks");
         for (_, bytes) in banks {
             assert_eq!(bytes, 256 << 10);
@@ -222,7 +309,10 @@ mod tests {
     #[test]
     fn per_spe_accounting_matches_the_plan() {
         let trace = traced_run();
-        assert_eq!(trace.per_spe_bytes(), vec![(0, 256 << 10), (1, 256 << 10)]);
+        assert_eq!(
+            trace.per_spe_bytes().unwrap(),
+            vec![(0, 256 << 10), (1, 256 << 10)]
+        );
     }
 
     #[test]
@@ -230,5 +320,42 @@ mod tests {
         let trace = traced_run();
         let h = trace.mean_hops();
         assert!((1.0..=6.0).contains(&h), "h={h}");
+    }
+
+    #[test]
+    fn truncated_trace_refuses_aggregate_analysis() {
+        // A tiny buffer overflows immediately; before this regression
+        // test, the analyses silently returned prefix-only aggregates.
+        let sys = CellSystem::blade();
+        let plan = TransferPlan::builder()
+            .get_from_memory(0, 64 << 10, 16 * 1024, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let (report, trace) = sys.run_traced_with_capacity(&Placement::identity(), &plan, 8);
+        assert!(trace.dropped() > 0, "64 KiB must overflow 8 events");
+        let err = trace.per_spe_bytes().unwrap_err();
+        assert_eq!(err.recorded, 8);
+        assert!(err.dropped > 0);
+        assert!(trace.bank_bytes().is_err());
+        assert!(trace.ring_shares().is_err());
+        assert!(trace
+            .throughput_timeline(&MachineClock::default(), 1000)
+            .is_err());
+        // The always-on metrics are unaffected by trace truncation.
+        assert_eq!(report.metrics.per_spe[0].occupancy_cycles.len(), 9);
+    }
+
+    #[test]
+    fn sized_capacity_keeps_the_trace_complete() {
+        let sys = CellSystem::blade();
+        let plan = TransferPlan::builder()
+            .get_from_memory(0, 64 << 10, 16 * 1024, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        // 512 packets × ≤4 phases each.
+        let (_, trace) = sys.run_traced_with_capacity(&Placement::identity(), &plan, 4 * 512);
+        assert_eq!(trace.dropped(), 0);
+        assert!(trace.require_complete().is_ok());
+        assert_eq!(trace.per_spe_bytes().unwrap(), vec![(0, 64 << 10)]);
     }
 }

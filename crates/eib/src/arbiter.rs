@@ -114,6 +114,19 @@ pub struct EibStats {
     pub segment_cycles: u64,
 }
 
+/// Per-ring counters (rings are indexed as in [`RingId`]: clockwise rings
+/// first, then counter-clockwise).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Transfers this ring carried.
+    pub grants: u64,
+    /// Payload bytes this ring carried.
+    pub bytes: u64,
+    /// Cycles this ring spent moving data (wire time, including any
+    /// source-switch dead cycles ahead of the payload).
+    pub busy_cycles: u64,
+}
+
 #[derive(Debug)]
 struct Pending {
     token: u64,
@@ -145,6 +158,7 @@ pub struct Eib {
     last_send_class: Vec<Option<FlowClass>>,
     pending: VecDeque<Pending>,
     stats: EibStats,
+    ring_stats: Vec<RingStats>,
 }
 
 impl Eib {
@@ -167,6 +181,7 @@ impl Eib {
         for _ in 0..cfg.rings_per_direction {
             rings.push(Ring::new(Direction::CounterClockwise, n));
         }
+        let ring_count = rings.len();
         Eib {
             topology,
             cfg,
@@ -176,6 +191,7 @@ impl Eib {
             last_send_class: vec![None; n],
             pending: VecDeque::new(),
             stats: EibStats::default(),
+            ring_stats: vec![RingStats::default(); ring_count],
         }
     }
 
@@ -192,6 +208,11 @@ impl Eib {
     /// Occupancy and fairness counters.
     pub fn stats(&self) -> &EibStats {
         &self.stats
+    }
+
+    /// Per-ring counters, indexed by [`RingId`] (clockwise rings first).
+    pub fn ring_stats(&self) -> &[RingStats] {
+        &self.ring_stats
     }
 
     /// Queues a transfer request. `token` is an opaque caller identifier
@@ -321,6 +342,10 @@ impl Eib {
                 self.stats.grants += 1;
                 self.stats.bytes += u64::from(req.bytes);
                 self.stats.segment_cycles += route.hops as u64 * duration;
+                let ring_stats = &mut self.ring_stats[idx];
+                ring_stats.grants += 1;
+                ring_stats.bytes += u64::from(req.bytes);
+                ring_stats.busy_cycles += duration;
                 return Some(Grant {
                     ring: RingId(idx),
                     direction: route.direction,

@@ -42,7 +42,9 @@ mod cmdbus;
 mod ring;
 mod topology;
 
-pub use arbiter::{Eib, EibConfig, EibStats, FlowClass, Grant, RingOccupancy, TransferRequest};
+pub use arbiter::{
+    Eib, EibConfig, EibStats, FlowClass, Grant, RingOccupancy, RingStats, TransferRequest,
+};
 pub use cmdbus::CommandBus;
 pub use ring::{Ring, RingId};
 pub use topology::{Direction, Element, RampIndex, Route, Topology};

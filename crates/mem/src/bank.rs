@@ -85,6 +85,11 @@ pub struct BankStats {
     pub turnaround_cycles: u64,
     /// Cycles lost to refresh.
     pub refresh_cycles: u64,
+    /// Cycles the data pipe spent serving accesses.
+    pub busy_cycles: u64,
+    /// Accesses that found the pipe still busy with earlier work and had
+    /// to queue (bank contention).
+    pub conflicts: u64,
 }
 
 /// One XDR DRAM bank modelled as a latency/throughput queue.
@@ -170,6 +175,9 @@ impl XdrBank {
     /// Panics if `bytes` is zero.
     pub fn submit(&mut self, now: Cycle, op: Op, bytes: u32) -> Access {
         assert!(bytes > 0, "zero-byte DRAM access");
+        if self.next_free > now {
+            self.stats.conflicts += 1;
+        }
         let mut start = now.max(self.next_free);
 
         // Read/write turnaround.
@@ -197,6 +205,7 @@ impl XdrBank {
         self.next_free = service_done;
         self.stats.accesses += 1;
         self.stats.bytes += u64::from(bytes);
+        self.stats.busy_cycles += service;
         Access {
             start,
             service_done,

@@ -195,6 +195,13 @@ pub struct MfcEngine {
     next_seq: u64,
     next_token: u64,
     stats: MfcStats,
+    /// Time-weighted outstanding-slot histogram: `occupancy[k]` is how
+    /// many cycles exactly `k` packets were in flight. Bucket
+    /// `max_outstanding_packets` saturated time is the Little's-law
+    /// signature of the single-SPE bandwidth ceiling.
+    occupancy: Vec<u64>,
+    /// Cycle since which `outstanding` has held its current value.
+    occ_since: Cycle,
 }
 
 impl MfcEngine {
@@ -223,6 +230,8 @@ impl MfcEngine {
             next_seq: 0,
             next_token: 0,
             stats: MfcStats::default(),
+            occupancy: vec![0; cfg.max_outstanding_packets + 1],
+            occ_since: Cycle::ZERO,
         }
     }
 
@@ -254,6 +263,31 @@ impl MfcEngine {
     /// Tag-group status (for wait/sync decisions).
     pub fn tags(&self) -> &TagSet {
         &self.tags
+    }
+
+    /// Packets currently in flight on the bus.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Time-weighted outstanding-slot histogram: entry `k` is how many
+    /// cycles exactly `k` packets were in flight. Counts are exact up to
+    /// the last issue/delivery; call [`MfcEngine::flush_occupancy`] at the
+    /// end of a run to account the final interval.
+    pub fn occupancy_cycles(&self) -> &[u64] {
+        &self.occupancy
+    }
+
+    /// Accounts the interval since the last occupancy change up to `now`.
+    /// Idempotent; later issues/deliveries continue from `now`.
+    pub fn flush_occupancy(&mut self, now: Cycle) {
+        self.note_occupancy(now);
+    }
+
+    fn note_occupancy(&mut self, now: Cycle) {
+        let dt = now.saturating_since(self.occ_since);
+        self.occupancy[self.outstanding] += dt;
+        self.occ_since = self.occ_since.max(now);
     }
 
     /// Admits a single-chunk (DMA-elem) command.
@@ -395,6 +429,7 @@ impl MfcEngine {
             }
         }
 
+        self.note_occupancy(now);
         self.outstanding += 1;
         self.next_issue = now + self.cfg.issue_interval;
         self.stats.packets += 1;
@@ -408,12 +443,13 @@ impl MfcEngine {
     /// # Panics
     ///
     /// Panics if `token` was never issued or is reported twice.
-    pub fn packet_delivered(&mut self, _now: Cycle, token: PacketToken) -> bool {
+    pub fn packet_delivered(&mut self, now: Cycle, token: PacketToken) -> bool {
         let meta = self
             .packets
             .remove(&token.0)
             .expect("unknown or double-delivered packet token");
         assert!(self.outstanding > 0, "delivery with no packets outstanding");
+        self.note_occupancy(now);
         self.outstanding -= 1;
         self.stats.bytes_delivered += u64::from(meta.bytes);
         let pos = self

@@ -5,11 +5,13 @@
 //! cargo run --release --example trace_analysis
 //! ```
 
-use cellsim::{CellSystem, Placement, PlanError, SyncPolicy, TransferPlan};
+use std::error::Error;
+
+use cellsim::{CellSystem, Placement, SyncPolicy, TransferPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), PlanError> {
+fn main() -> Result<(), Box<dyn Error>> {
     let system = CellSystem::blade();
     // The paper's most contended pattern: the 8-SPE cycle.
     let mut b = TransferPlan::builder();
@@ -20,7 +22,10 @@ fn main() -> Result<(), PlanError> {
     let mut rng = StdRng::seed_from_u64(99);
     let placement = Placement::random(&mut rng);
 
-    let (report, trace) = system.run_traced(&placement, &plan);
+    // Size the trace for the plan (≤4 phases per 128-byte bus packet) so
+    // the aggregate analyses below cannot hit TraceTruncated.
+    let capacity = 4 * usize::try_from(plan.total_bytes() / 128 + 1024)?;
+    let (report, trace) = system.run_traced_with_capacity(&placement, &plan, capacity);
     let clock = system.config().clock;
 
     println!("8-SPE cycle under {placement}");
@@ -32,18 +37,29 @@ fn main() -> Result<(), PlanError> {
     );
 
     println!("ring occupancy (bytes granted per data ring):");
-    let total: u64 = trace.ring_shares().iter().map(|&(_, b)| b).sum();
-    for (ring, bytes) in trace.ring_shares() {
+    let shares = trace.ring_shares()?;
+    let total: u64 = shares.iter().map(|&(_, b)| b).sum();
+    for (ring, bytes) in shares {
         let share = 100.0 * bytes as f64 / total as f64;
         let bar = "#".repeat((share / 2.0) as usize);
         println!("  ring {} : {share:>5.1} %  {bar}", ring.0);
     }
 
     println!("\nthroughput timeline (10k-cycle buckets):");
-    for (at, gbps) in trace.throughput_timeline(&clock, 10_000) {
+    for (at, gbps) in trace.throughput_timeline(&clock, 10_000)? {
         let bar = "#".repeat((gbps / 4.0) as usize);
         println!("  t={:>7} : {gbps:>6.1} GB/s  {bar}", at.as_u64());
     }
+
+    // The always-on metrics tell the same story without a trace buffer:
+    // where each SPE's cycles went, straight from the report.
+    let m = &report.metrics;
+    let stalled: u64 = m.per_spe.iter().map(|s| s.stall_cycles()).sum();
+    let busy: u64 = m.per_spe.iter().map(|s| s.busy_cycles).sum();
+    println!(
+        "\nstall accounting: {busy} busy vs {stalled} stalled SPE-cycles \
+         across the run"
+    );
 
     println!(
         "\nThe ramp-up at the start is the MFC queues filling; the\n\

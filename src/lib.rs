@@ -50,6 +50,8 @@ pub use cellsim_runtime as runtime;
 pub use cellsim_spe as spe;
 
 pub use cellsim_core::{
-    exec, experiments, report, CellConfig, CellSystem, FabricReport, MachineState, Placement,
-    PlanError, SpeScript, SyncPolicy, TransferPlan, TransferPlanBuilder, REGION_STRIDE, SPE_COUNT,
+    exec, experiments, metrics, report, BankMetrics, CellConfig, CellSystem, FabricEvent,
+    FabricMetrics, FabricReport, FabricTrace, MachineState, MetricsSummary, Placement, PlanError,
+    SpeMetrics, SpeScript, SyncPolicy, TraceTruncated, TransferPlan, TransferPlanBuilder,
+    REGION_STRIDE, SPE_COUNT,
 };

@@ -3,7 +3,10 @@
 //! workers, or entirely from a warm run cache.
 
 use cellsim::exec::SweepExecutor;
-use cellsim::experiments::{all_figures_with, figure12_with, ExperimentConfig};
+use cellsim::experiments::{
+    all_figures_with, figure12_with, figure_metrics_with, ExperimentConfig, FIGURE_IDS,
+};
+use cellsim::report::MetricsTable;
 use cellsim::CellSystem;
 use proptest::prelude::*;
 
@@ -22,6 +25,24 @@ fn rendered(
     for f in &figs.1 {
         out.push_str(&f.to_string());
         out.push_str(&f.to_csv());
+    }
+    out
+}
+
+/// Renders every figure's metrics digest exactly as `repro --verbose
+/// --metrics` would print and export it.
+fn rendered_metrics(exec: &SweepExecutor, sys: &CellSystem, cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    for id in FIGURE_IDS {
+        if let Some(summary) = figure_metrics_with(exec, sys, cfg, id).unwrap() {
+            let table = MetricsTable {
+                id: (*id).to_string(),
+                summary,
+            };
+            out.push_str(&table.to_string());
+            out.push_str(&table.to_csv());
+            out.push_str(&table.to_json());
+        }
     }
     out
 }
@@ -51,6 +72,35 @@ fn all_figures_quick_identical_serial_parallel_and_cached() {
     assert_eq!(
         after.misses, before.misses,
         "warm pass must not simulate anything"
+    );
+}
+
+#[test]
+fn metrics_digests_identical_serial_parallel_and_cached() {
+    let sys = CellSystem::blade();
+    let cfg = ExperimentConfig::quick();
+
+    let serial_exec = SweepExecutor::new(1);
+    let serial = rendered_metrics(&serial_exec, &sys, &cfg);
+    assert!(!serial.is_empty(), "fabric figures must produce digests");
+
+    let parallel_exec = SweepExecutor::new(4);
+    let parallel = rendered_metrics(&parallel_exec, &sys, &cfg);
+    assert_eq!(
+        serial, parallel,
+        "metrics are counters in the cached report: byte-identical for any job count"
+    );
+
+    // Digests re-sweep the figures' own points, so after the figures
+    // have run, a digest pass is all cache hits.
+    rendered(&all_figures_with(&parallel_exec, &sys, &cfg).unwrap());
+    let before = parallel_exec.stats();
+    let cached = rendered_metrics(&parallel_exec, &sys, &cfg);
+    let after = parallel_exec.stats();
+    assert_eq!(serial, cached);
+    assert_eq!(
+        after.misses, before.misses,
+        "a digest after its figure must be answered entirely from the cache"
     );
 }
 
