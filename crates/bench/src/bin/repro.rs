@@ -4,7 +4,8 @@
 //! ```text
 //! repro [--quick|--full] [--figure <id>]... [--ablations] [--seed N]
 //!       [--jobs N] [--verbose] [--csv <dir>] [--metrics <dir>]
-//!       [--trace-out <file>]
+//!       [--trace-out <file>] [--baseline-out <file>] [--check <file>]
+//!       [--tolerance N]
 //!
 //!   --quick             reduced sweep (fast smoke run)
 //!   --full              paper-scale protocol (32 MiB per SPE, slow)
@@ -23,6 +24,15 @@
 //!   --trace-out <file>  record the 8-SPE cycle at the largest swept
 //!                       element size and write a Chrome tracing JSON
 //!                       (open with chrome://tracing or Perfetto)
+//!   --baseline-out <f>  snapshot every figure's bandwidths and latency
+//!                       percentiles into <f> (JSON) and exit; uses the
+//!                       active --quick/--full/--seed configuration
+//!   --check <f>         re-run the experiment configuration embedded in
+//!                       baseline <f> and compare; prints every drifted
+//!                       figure/percentile and exits non-zero on drift
+//!   --tolerance N       relative tolerance band (e.g. 0.01 = 1%):
+//!                       recorded into the file with --baseline-out,
+//!                       overrides the recorded band with --check
 //! ```
 //!
 //! Figure tables go to stdout; timing and cache statistics go to stderr,
@@ -38,6 +48,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use cellsim_bench::all_ablations_with;
+use cellsim_core::baseline::Baseline;
 use cellsim_core::exec::SweepExecutor;
 use cellsim_core::experiments::{
     figure10_with, figure12_with, figure13_with, figure15_with, figure16_with, figure3, figure4,
@@ -56,6 +67,9 @@ struct Args {
     csv_dir: Option<PathBuf>,
     metrics_dir: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    baseline_out: Option<PathBuf>,
+    check: Option<PathBuf>,
+    tolerance: Option<f64>,
     jobs: Option<usize>,
     verbose: bool,
 }
@@ -68,6 +82,9 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir = None;
     let mut metrics_dir = None;
     let mut trace_out = None;
+    let mut baseline_out = None;
+    let mut check = None;
+    let mut tolerance = None;
     let mut jobs = None;
     let mut verbose = false;
     let mut argv = std::env::args().skip(1);
@@ -99,6 +116,19 @@ fn parse_args() -> Result<Args, String> {
                 let file = argv.next().ok_or("--trace-out needs a file path")?;
                 trace_out = Some(PathBuf::from(file));
             }
+            "--baseline-out" => {
+                let file = argv.next().ok_or("--baseline-out needs a file path")?;
+                baseline_out = Some(PathBuf::from(file));
+            }
+            "--check" => {
+                let file = argv.next().ok_or("--check needs a baseline file")?;
+                check = Some(PathBuf::from(file));
+            }
+            "--tolerance" => {
+                let n = argv.next().ok_or("--tolerance needs a value")?;
+                let t: f64 = n.parse().map_err(|_| format!("bad tolerance: {n}"))?;
+                tolerance = Some(t);
+            }
             "--seed" => {
                 let n = argv.next().ok_or("--seed needs a value")?;
                 cfg.seed = n.parse().map_err(|_| format!("bad seed: {n}"))?;
@@ -115,7 +145,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "repro [--quick|--full] [--figure <id>]... [--ablations] [--kernels] \
-                     [--csv <dir>] [--metrics <dir>] [--trace-out <file>] [--seed N] \
+                     [--csv <dir>] [--metrics <dir>] [--trace-out <file>] \
+                     [--baseline-out <file>] [--check <file>] [--tolerance N] [--seed N] \
                      [--jobs N] [--verbose]"
                 );
                 std::process::exit(0);
@@ -131,10 +162,18 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         metrics_dir,
         trace_out,
+        baseline_out,
+        check,
+        tolerance,
         jobs,
         verbose,
     })
 }
+
+/// Relative tolerance recorded by `--baseline-out` when `--tolerance`
+/// is not given: 1%, wide enough for float formatting, far tighter than
+/// any modelling change moves a figure.
+const DEFAULT_TOLERANCE: f64 = 0.01;
 
 fn wanted(figures: &[String], id: &str) -> bool {
     figures.is_empty() || figures.iter().any(|f| f == id)
@@ -146,11 +185,11 @@ fn slug(id: &str) -> String {
         .collect()
 }
 
-fn write_artifact(dir: &Path, name: &str, contents: &str) {
-    let _ = std::fs::create_dir_all(dir);
-    if let Err(e) = std::fs::write(dir.join(name), contents) {
-        eprintln!("warning: could not write {name}: {e}");
-    }
+fn write_artifact(dir: &Path, name: &str, contents: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("could not create directory {}: {e}", dir.display()))?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents).map_err(|e| format!("could not write {}: {e}", path.display()))
 }
 
 /// A result table repro can print and export: both figure shapes.
@@ -177,12 +216,13 @@ impl Emittable for SpreadFigure {
     }
 }
 
-fn emit<T: Emittable>(csv_dir: &Option<PathBuf>, fig: &T) {
+fn emit<T: Emittable>(csv_dir: &Option<PathBuf>, fig: &T) -> Result<(), String> {
     println!("{fig}");
     if let Some(dir) = csv_dir {
         let name = format!("figure_{}.csv", slug(fig.id()));
-        write_artifact(dir, &name, &fig.to_csv());
+        write_artifact(dir, &name, &fig.to_csv())?;
     }
+    Ok(())
 }
 
 /// Prints (under `--verbose`) and exports (under `--metrics`) the digest
@@ -193,11 +233,12 @@ fn emit_metrics(
     exec: &SweepExecutor,
     system: &CellSystem,
     id: &str,
-) -> Result<(), ExperimentError> {
+) -> Result<(), String> {
     if !args.verbose && args.metrics_dir.is_none() {
         return Ok(());
     }
-    let Some(summary) = figure_metrics_with(exec, system, &args.cfg, id)? else {
+    let Some(summary) = figure_metrics_with(exec, system, &args.cfg, id).map_err(err_string)?
+    else {
         return Ok(());
     };
     let table = MetricsTable {
@@ -208,79 +249,140 @@ fn emit_metrics(
         println!("{table}");
     }
     if let Some(dir) = &args.metrics_dir {
-        write_artifact(dir, &format!("metrics_{}.csv", slug(id)), &table.to_csv());
-        write_artifact(dir, &format!("metrics_{}.json", slug(id)), &table.to_json());
+        write_artifact(dir, &format!("metrics_{}.csv", slug(id)), &table.to_csv())?;
+        write_artifact(dir, &format!("metrics_{}.json", slug(id)), &table.to_json())?;
     }
     Ok(())
 }
 
-fn run(args: &Args, exec: &SweepExecutor) -> Result<(), ExperimentError> {
+fn err_string(e: ExperimentError) -> String {
+    e.to_string()
+}
+
+fn run(args: &Args, exec: &SweepExecutor) -> Result<(), String> {
     let system = CellSystem::blade();
     let cfg = &args.cfg;
     let csv = &args.csv_dir;
     if wanted(&args.figures, "3") {
         for f in figure3(&system) {
-            emit(csv, &f);
+            emit(csv, &f)?;
         }
     }
     if wanted(&args.figures, "4") {
         for f in figure4(&system) {
-            emit(csv, &f);
+            emit(csv, &f)?;
         }
     }
     if wanted(&args.figures, "6") {
         for f in figure6(&system) {
-            emit(csv, &f);
+            emit(csv, &f)?;
         }
     }
     if wanted(&args.figures, "8") {
-        for f in figure8_with(exec, &system, cfg)? {
-            emit(csv, &f);
+        for f in figure8_with(exec, &system, cfg).map_err(err_string)? {
+            emit(csv, &f)?;
         }
         emit_metrics(args, exec, &system, "8")?;
     }
     if wanted(&args.figures, "4.2.2") {
-        emit(csv, &section_4_2_2(&system));
+        emit(csv, &section_4_2_2(&system))?;
     }
     if wanted(&args.figures, "10") {
-        emit(csv, &figure10_with(exec, &system, cfg)?);
+        emit(csv, &figure10_with(exec, &system, cfg).map_err(err_string)?)?;
         emit_metrics(args, exec, &system, "10")?;
     }
     if wanted(&args.figures, "12") {
-        for f in figure12_with(exec, &system, cfg)? {
-            emit(csv, &f);
+        for f in figure12_with(exec, &system, cfg).map_err(err_string)? {
+            emit(csv, &f)?;
         }
         emit_metrics(args, exec, &system, "12")?;
     }
     if wanted(&args.figures, "13") {
-        for f in figure13_with(exec, &system, cfg)? {
-            emit(csv, &f);
+        for f in figure13_with(exec, &system, cfg).map_err(err_string)? {
+            emit(csv, &f)?;
         }
         emit_metrics(args, exec, &system, "13")?;
     }
     if wanted(&args.figures, "15") {
-        for f in figure15_with(exec, &system, cfg)? {
-            emit(csv, &f);
+        for f in figure15_with(exec, &system, cfg).map_err(err_string)? {
+            emit(csv, &f)?;
         }
         emit_metrics(args, exec, &system, "15")?;
     }
     if wanted(&args.figures, "16") {
-        for f in figure16_with(exec, &system, cfg)? {
-            emit(csv, &f);
+        for f in figure16_with(exec, &system, cfg).map_err(err_string)? {
+            emit(csv, &f)?;
         }
         emit_metrics(args, exec, &system, "16")?;
     }
     if args.ablations {
         println!("— ablations —\n");
         for f in all_ablations_with(exec, cfg) {
-            emit(csv, &f);
+            emit(csv, &f)?;
         }
     }
     if args.kernels {
         println!("— small kernels (paper §5 future work) —\n");
-        emit(csv, &roofline_figure(&system));
+        emit(csv, &roofline_figure(&system))?;
     }
     Ok(())
+}
+
+/// Snapshots the active experiment configuration into a baseline file.
+fn write_baseline(args: &Args, exec: &SweepExecutor, path: &Path) -> Result<(), String> {
+    let system = CellSystem::blade();
+    let tolerance = args.tolerance.unwrap_or(DEFAULT_TOLERANCE);
+    let baseline = Baseline::collect(exec, &system, &args.cfg, tolerance).map_err(err_string)?;
+    std::fs::write(path, baseline.to_json())
+        .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+    eprintln!(
+        "baseline: {} figures, {} spreads, {} latency digests, tolerance {:.2}% -> {}",
+        baseline.figures.len(),
+        baseline.spreads.len(),
+        baseline.latency.len(),
+        100.0 * tolerance,
+        path.display()
+    );
+    Ok(())
+}
+
+/// Re-runs the experiment configuration embedded in the baseline at
+/// `path` and reports every drifted value. `Ok(true)` means no drift.
+fn check_baseline(args: &Args, exec: &SweepExecutor, path: &Path) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+    let baseline = Baseline::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let system = CellSystem::blade();
+    let current = Baseline::collect(exec, &system, &baseline.experiment, baseline.tolerance)
+        .map_err(err_string)?;
+    let drifts = baseline.compare(&current, args.tolerance);
+    let tolerance = args.tolerance.unwrap_or(baseline.tolerance);
+    if drifts.is_empty() {
+        eprintln!(
+            "check: {} within {:.2}% — {} figures, {} spreads, {} latency digests",
+            path.display(),
+            100.0 * tolerance,
+            baseline.figures.len(),
+            baseline.spreads.len(),
+            baseline.latency.len()
+        );
+        return Ok(true);
+    }
+    eprintln!(
+        "check: {} FAILED — {} drift(s) outside {:.2}%:",
+        path.display(),
+        drifts.len(),
+        100.0 * tolerance
+    );
+    for d in &drifts {
+        eprintln!("  {d}");
+    }
+    eprintln!(
+        "if the change is intentional, re-baseline with: \
+         repro --baseline-out {}",
+        path.display()
+    );
+    Ok(false)
 }
 
 /// Records the paper's most contended pattern — the 8-SPE cycle at the
@@ -382,6 +484,25 @@ fn main() -> ExitCode {
         None => SweepExecutor::default(),
     };
     let cfg = &args.cfg;
+    if let Some(path) = &args.baseline_out {
+        return match write_baseline(&args, &exec, path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(path) = &args.check {
+        return match check_baseline(&args, &exec, path) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     println!(
         "cellsim repro — 2.1 GHz CBE blade, {} KiB/SPE, {} placements, seed {:#x}\n",
         cfg.volume_per_spe >> 10,

@@ -278,7 +278,7 @@ pub fn figure_metrics_with(
     let groups = sweep(exec, system, cfg, &points);
     let mut summary = MetricsSummary::default();
     for report in groups.iter().flatten() {
-        summary.accumulate(&report.metrics);
+        summary.accumulate_report(report);
     }
     Ok(Some(summary))
 }

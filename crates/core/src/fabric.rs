@@ -24,6 +24,7 @@ use cellsim_mfc::{DmaKind, EffectiveAddr, Issue, LsAddr, MfcEngine, PacketOut, P
 
 use crate::config::CellConfig;
 use crate::data::MachineState;
+use crate::latency::LatencyMetrics;
 use crate::metrics::{BankMetrics, FabricMetrics, SpeMetrics};
 use crate::placement::Placement;
 use crate::plan::{Planned, SyncPolicy, TransferPlan};
@@ -59,6 +60,11 @@ pub struct FabricReport {
     /// Always-on cycle accounting: per-SPE stall breakdown, per-ring and
     /// per-bank occupancy, MFC outstanding-slot histogram.
     pub metrics: FabricMetrics,
+    /// Per-command latency digest: end-to-end log2 histograms per DMA
+    /// path with phase attribution (queue/slot/ring/service), folded in
+    /// at each command's retirement. Deterministic and `PartialEq`, so
+    /// the sweep executor's serial/parallel/cached equivalence covers it.
+    pub latency: LatencyMetrics,
 }
 
 /// Events of the fabric simulation.
@@ -185,6 +191,8 @@ struct Fabric<'d> {
     packets: Vec<PacketInfo>,
     kick_scheduled: Option<Cycle>,
     delivered_packets: u64,
+    /// Per-command latency digest, folded in at retirement.
+    latency: LatencyMetrics,
     /// Optional functional storage: when present, every delivered packet
     /// copies real bytes.
     data: Option<&'d mut MachineState>,
@@ -360,6 +368,9 @@ impl Fabric<'_> {
         match (info.kind, info.bank) {
             (DmaKind::Get, Some(bank)) => {
                 let access = self.mem.submit(now, bank, Op::Read, info.bytes);
+                self.spes[info.spe]
+                    .mfc
+                    .note_bank_service(info.token, access.service_cycles());
                 if let Some(t) = self.trace.as_deref_mut() {
                     t.trace.record(
                         now,
@@ -417,8 +428,12 @@ impl Fabric<'_> {
     fn kick(&mut self, now: Cycle, sched: &mut Scheduler<Ev>) {
         for (token, grant) in self.eib.arbitrate(now) {
             let id = u32::try_from(token).expect("token is a packet id");
-            let spe = self.packets[id as usize].spe;
-            self.spes[spe].pkts_waiting_eib -= 1;
+            let info = self.packets[id as usize];
+            self.spes[info.spe].pkts_waiting_eib -= 1;
+            self.spes[info.spe]
+                .mfc
+                .note_grant(now, info.token, grant.waited);
+            let spe = info.spe;
             self.note_spe_state(spe, now);
             if let Some(t) = self.trace.as_deref_mut() {
                 t.trace.record(
@@ -464,6 +479,9 @@ impl Fabric<'_> {
                 // this is why the paper measures PUT ≈ GET ≈ 10 GB/s for
                 // a single SPE rather than fire-and-forget write speed.
                 let access = self.mem.submit(now, bank, Op::Write, info.bytes);
+                self.spes[info.spe]
+                    .mfc
+                    .note_bank_service(info.token, access.service_cycles());
                 if let Some(t) = self.trace.as_deref_mut() {
                     t.trace.record(
                         now,
@@ -483,9 +501,16 @@ impl Fabric<'_> {
     fn retire(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
         let info = self.packets[id as usize];
         let ctx = &mut self.spes[info.spe];
-        ctx.mfc.packet_delivered(now, info.token);
+        let completed = ctx.mfc.packet_delivered(now, info.token);
         ctx.bytes += u64::from(info.bytes);
         ctx.last_delivery = now;
+        if completed {
+            let life = ctx
+                .mfc
+                .take_completed()
+                .expect("completed command has a lifecycle record");
+            self.latency.observe(&life);
+        }
         self.delivered_packets += 1;
         // An outstanding slot freed: the MFC may issue again. Enqueue-side
         // sync waits are also re-evaluated here.
@@ -579,6 +604,7 @@ pub(crate) fn run_plan_traced(
         packets: Vec::new(),
         kick_scheduled: None,
         delivered_packets: 0,
+        latency: LatencyMetrics::default(),
         data,
         trace,
     };
@@ -654,6 +680,7 @@ pub(crate) fn run_plan_traced(
         eib: *fabric.eib.stats(),
         packets: fabric.delivered_packets,
         metrics,
+        latency: fabric.latency,
     }
 }
 
@@ -830,6 +857,29 @@ mod tests {
         );
         assert_eq!(id.total_bytes, rev.total_bytes);
         assert!(id.aggregate_gbps > 0.0 && rev.aggregate_gbps > 0.0);
+    }
+
+    #[test]
+    fn latency_digest_counts_every_command_and_conserves() {
+        use crate::latency::DmaPathClass;
+        let plan = TransferPlan::builder()
+            .get_from_memory(0, MIB, 4096, SyncPolicy::AfterAll)
+            .build()
+            .unwrap();
+        let r = system().run(&Placement::identity(), &plan);
+        // 1 MiB in 4 KiB commands = 256 commands, all on the mem-get path.
+        assert_eq!(r.latency.total_commands(), 256);
+        let path = r.latency.path(DmaPathClass::MemGet);
+        assert_eq!(path.commands, 256);
+        assert_eq!(path.end_to_end.count, 256);
+        // Phase attribution conserves: Σ per-phase cycles == Σ latencies.
+        assert_eq!(path.phase_cycles.iter().sum::<u64>(), path.end_to_end.total);
+        assert_eq!(path.dominant_counts.iter().sum::<u64>(), 256);
+        // Every command saw the ring and the bank.
+        assert!(path.phase_cycles[3] > 0, "service phase cannot be empty");
+        assert_eq!(r.latency.element_service.count, 256);
+        // Other paths stayed empty.
+        assert_eq!(r.latency.path(DmaPathClass::LsGet).commands, 0);
     }
 
     #[test]

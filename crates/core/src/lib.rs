@@ -45,14 +45,18 @@ mod placement;
 mod plan;
 mod tracing;
 
+pub mod baseline;
 pub mod exec;
 pub mod experiments;
+pub mod json;
+pub mod latency;
 pub mod metrics;
 pub mod report;
 
 pub use config::{CellConfig, CellSystem};
 pub use data::{MachineState, REGION_STRIDE};
 pub use fabric::FabricReport;
+pub use latency::{DmaPathClass, LatencyHistogram, LatencyMetrics, PathLatency};
 pub use metrics::{BankMetrics, FabricMetrics, MetricsSummary, SpeMetrics};
 pub use placement::Placement;
 pub use plan::{PlanError, Planned, SpeScript, SyncPolicy, TransferPlan, TransferPlanBuilder};

@@ -20,6 +20,7 @@ use cellsim_eib::RingStats;
 use cellsim_mem::{BankId, BankStats};
 
 use crate::fabric::FabricReport;
+use crate::latency::LatencyMetrics;
 
 /// Per-SPE cycle accounting over one run.
 ///
@@ -159,6 +160,11 @@ pub struct MetricsSummary {
     pub limiter_runs: [u64; 4],
     /// Runs in which no SPE ever stalled.
     pub unstalled_runs: u64,
+    /// Per-command latency digest merged over all runs: per-path
+    /// histograms, phase attribution, dominant-phase tallies. Empty when
+    /// the summary was built via the metrics-only
+    /// [`MetricsSummary::accumulate`].
+    pub latency: LatencyMetrics,
 }
 
 impl MetricsSummary {
@@ -196,14 +202,22 @@ impl MetricsSummary {
         }
     }
 
-    /// Builds a summary over a set of reports.
+    /// Folds one run's full report into the summary: its cycle metrics
+    /// *and* its per-command latency digest.
+    pub fn accumulate_report(&mut self, r: &FabricReport) {
+        self.accumulate(&r.metrics);
+        self.latency.merge(&r.latency);
+    }
+
+    /// Builds a summary (including the latency digest) over a set of
+    /// reports.
     pub fn from_reports<'a, I>(reports: I) -> MetricsSummary
     where
         I: IntoIterator<Item = &'a FabricReport>,
     {
         let mut summary = MetricsSummary::default();
         for r in reports {
-            summary.accumulate(&r.metrics);
+            summary.accumulate_report(r);
         }
         summary
     }

@@ -11,7 +11,9 @@
 use std::fmt;
 
 use cellsim_kernel::stats::Summary;
+use cellsim_mfc::DmaPhase;
 
+use crate::latency::{DmaPathClass, LatencyHistogram};
 use crate::metrics::MetricsSummary;
 
 /// One plotted point: a swept-parameter label and a bandwidth.
@@ -301,7 +303,53 @@ impl MetricsTable {
                 b.stats.refresh_cycles.to_string(),
             );
         }
+        // Latency digest: every path and phase is always emitted (zeros
+        // included) so the column set is schema-stable.
+        for (pi, path) in DmaPathClass::ALL.iter().enumerate() {
+            let p = &s.latency.paths[pi];
+            let key = path.name().replace('-', "_");
+            let h = &p.end_to_end;
+            row(&format!("latency_{key}_commands"), p.commands.to_string());
+            row(&format!("latency_{key}_p50"), h.percentile(50).to_string());
+            row(&format!("latency_{key}_p95"), h.percentile(95).to_string());
+            row(&format!("latency_{key}_p99"), h.percentile(99).to_string());
+            row(&format!("latency_{key}_max"), h.max.to_string());
+            row(&format!("latency_{key}_mean"), h.mean().to_string());
+            for (phase, &cycles) in DmaPhase::ALL.iter().zip(&p.phase_cycles) {
+                let pk = phase.name().replace('-', "_");
+                row(&format!("latency_{key}_phase_{pk}"), cycles.to_string());
+            }
+            for (phase, &n) in DmaPhase::ALL.iter().zip(&p.dominant_counts) {
+                let pk = phase.name().replace('-', "_");
+                row(&format!("latency_{key}_dominant_{pk}"), n.to_string());
+            }
+        }
+        let es = &s.latency.element_service;
+        row("latency_element_service_count", es.count.to_string());
+        row("latency_element_service_p50", es.percentile(50).to_string());
+        row("latency_element_service_p95", es.percentile(95).to_string());
+        row("latency_element_service_p99", es.percentile(99).to_string());
+        row("latency_element_service_max", es.max.to_string());
         out
+    }
+
+    /// One histogram as a JSON object with its digest percentiles and
+    /// the log2 bucket counts (trailing zero buckets trimmed — a pure
+    /// function of the counts, so still deterministic).
+    fn hist_json(h: &LatencyHistogram) -> String {
+        let last = h.buckets.iter().rposition(|&n| n > 0).map_or(0, |i| i + 1);
+        let buckets: Vec<String> = h.buckets[..last].iter().map(u64::to_string).collect();
+        format!(
+            "{{\"count\":{},\"total\":{},\"max\":{},\"p50\":{},\"p95\":{},\
+             \"p99\":{},\"buckets\":[{}]}}",
+            h.count,
+            h.total,
+            h.max,
+            h.percentile(50),
+            h.percentile(95),
+            h.percentile(99),
+            buckets.join(",")
+        )
     }
 
     /// Renders the digest as a JSON object (hand-rolled; every value is
@@ -339,6 +387,32 @@ impl MetricsTable {
                 )
             })
             .collect();
+        let paths: Vec<String> = DmaPathClass::ALL
+            .iter()
+            .enumerate()
+            .map(|(pi, path)| {
+                let p = &s.latency.paths[pi];
+                let phases: Vec<String> = DmaPhase::ALL
+                    .iter()
+                    .zip(&p.phase_cycles)
+                    .map(|(phase, n)| format!("\"{}\":{n}", phase.name()))
+                    .collect();
+                let dominant: Vec<String> = DmaPhase::ALL
+                    .iter()
+                    .zip(&p.dominant_counts)
+                    .map(|(phase, n)| format!("\"{}\":{n}", phase.name()))
+                    .collect();
+                format!(
+                    "{{\"path\":\"{}\",\"commands\":{},\"end_to_end\":{},\
+                     \"phase_cycles\":{{{}}},\"dominant_commands\":{{{}}}}}",
+                    path.name(),
+                    p.commands,
+                    Self::hist_json(&p.end_to_end),
+                    phases.join(","),
+                    dominant.join(",")
+                )
+            })
+            .collect();
         format!(
             "{{\"figure\":\"{}\",\"runs\":{},\"run_cycles\":{},\
              \"spe\":{{\"busy_cycles\":{},\"idle_cycles\":{},\
@@ -349,7 +423,8 @@ impl MetricsTable {
              \"occupancy_saturated_share\":{:.4},\
              \"dominant_stall\":\"{}\",\
              \"runs_limited_by\":{{{}}},\"runs_unstalled\":{},\
-             \"rings\":[{}],\"banks\":[{}]}}",
+             \"rings\":[{}],\"banks\":[{}],\
+             \"latency\":{{\"paths\":[{}],\"element_service\":{}}}}}",
             self.id.replace('\\', "\\\\").replace('"', "\\\""),
             s.runs,
             s.run_cycles,
@@ -371,7 +446,9 @@ impl MetricsTable {
                 .join(","),
             s.unstalled_runs,
             rings.join(","),
-            banks.join(",")
+            banks.join(","),
+            paths.join(","),
+            Self::hist_json(&s.latency.element_service)
         )
     }
 }
@@ -436,6 +513,37 @@ impl fmt::Display for MetricsTable {
             "  limiter     runs by dominant stall: {}",
             limiters.join(", ")
         )?;
+        // Per-path latency digest (empty paths elided from the human
+        // view; CSV/JSON always carry all four).
+        for (pi, path) in DmaPathClass::ALL.iter().enumerate() {
+            let p = &s.latency.paths[pi];
+            if p.commands == 0 {
+                continue;
+            }
+            let h = &p.end_to_end;
+            let dom = DmaPhase::ALL
+                .iter()
+                .zip(&p.dominant_counts)
+                .max_by_key(|&(_, n)| n)
+                .map(|(phase, _)| phase.name())
+                .unwrap_or("none");
+            writeln!(
+                f,
+                "  lat {:<8} {} cmds  p50/p95/p99/max {}/{}/{}/{} cyc  \
+                 phases q/s/r/b {:.0}%/{:.0}%/{:.0}%/{:.0}%  dominant {}",
+                path.name(),
+                p.commands,
+                h.percentile(50),
+                h.percentile(95),
+                h.percentile(99),
+                h.max,
+                Self::pct(p.phase_cycles[0], h.total),
+                Self::pct(p.phase_cycles[1], h.total),
+                Self::pct(p.phase_cycles[2], h.total),
+                Self::pct(p.phase_cycles[3], h.total),
+                dom,
+            )?;
+        }
         for (i, ring) in s.rings.iter().enumerate() {
             writeln!(
                 f,

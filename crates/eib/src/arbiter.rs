@@ -99,6 +99,9 @@ pub struct Grant {
     /// Cycle the payload is available at the destination
     /// (`wire_done` + hop latency).
     pub delivered_at: Cycle,
+    /// Cycles the request sat in the arbiter's queue before this grant
+    /// (submit → grant), for per-command latency attribution.
+    pub waited: u64,
 }
 
 /// Counters the experiments use to explain their results.
@@ -273,9 +276,10 @@ impl Eib {
                     i += 1;
                     continue;
                 }
-                if let Some(grant) = self.try_grant(now, &candidate) {
+                if let Some(mut grant) = self.try_grant(now, &candidate) {
                     let p = self.pending.remove(i).expect("index in range");
-                    self.stats.wait_cycles += now.saturating_since(p.enqueued);
+                    grant.waited = now.saturating_since(p.enqueued);
+                    self.stats.wait_cycles += grant.waited;
                     granted.push((p.token, grant));
                 } else {
                     *blocked = true;
@@ -353,6 +357,7 @@ impl Eib {
                     start: now,
                     wire_done,
                     delivered_at,
+                    waited: 0, // stamped by `arbitrate` from the queue entry
                 });
             }
         }

@@ -74,6 +74,14 @@ pub struct Access {
     pub data_ready: Cycle,
 }
 
+impl Access {
+    /// Data-pipe cycles this access occupied (`service_done − start`) —
+    /// the bank-service share attributed to the owning DMA command.
+    pub fn service_cycles(&self) -> u64 {
+        self.service_done.saturating_since(self.start)
+    }
+}
+
 /// Occupancy counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BankStats {

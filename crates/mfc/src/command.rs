@@ -1,8 +1,10 @@
-//! DMA commands and the CBE validity rules.
+//! DMA commands, the CBE validity rules, and per-command lifecycle
+//! records.
 
 use std::error::Error;
 use std::fmt;
 
+use cellsim_kernel::Cycle;
 use cellsim_mem::RegionId;
 
 use crate::tag::TagId;
@@ -247,6 +249,197 @@ impl DmaCommand {
     /// The tag group this command completes under.
     pub fn tag(&self) -> TagId {
         self.tag
+    }
+}
+
+/// What a command's effective address targets, for latency-path
+/// classification (main memory behind the MIC/IOIF vs another SPE's
+/// Local Store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetClass {
+    /// The effective address is main memory.
+    Memory,
+    /// The effective address is a (remote) Local Store.
+    LocalStore,
+}
+
+impl From<&EffectiveAddr> for TargetClass {
+    fn from(ea: &EffectiveAddr) -> TargetClass {
+        match ea {
+            EffectiveAddr::Memory { .. } => TargetClass::Memory,
+            EffectiveAddr::LocalStore { .. } => TargetClass::LocalStore,
+        }
+    }
+}
+
+/// The four lifecycle phases a command's end-to-end latency partitions
+/// into, in timeline order. Each phase is the span between two stamps of
+/// the [`CommandLifecycle`], so the four always sum to the command's
+/// end-to-end latency exactly (conservation by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaPhase {
+    /// Enqueue → first packet issue: decode/startup, fences, waiting for
+    /// the unroller behind older commands, the first outstanding slot.
+    QueueWait,
+    /// First → last packet issue: the unroll window, paced by the
+    /// outstanding-packet budget (the Little's-law phase).
+    SlotWait,
+    /// Last packet issue → last EIB ring grant: command-bus snoop, source
+    /// readiness and data-arbiter queueing for the trailing packets.
+    RingWait,
+    /// Last ring grant → completion: wire time plus bank service/retire
+    /// of the trailing packets.
+    Service,
+}
+
+impl DmaPhase {
+    /// All phases in timeline (and reporting) order.
+    pub const ALL: [DmaPhase; 4] = [
+        DmaPhase::QueueWait,
+        DmaPhase::SlotWait,
+        DmaPhase::RingWait,
+        DmaPhase::Service,
+    ];
+
+    /// Stable reporting name (`queue-wait`, `slot-wait`, `ring-wait`,
+    /// `service`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DmaPhase::QueueWait => "queue-wait",
+            DmaPhase::SlotWait => "slot-wait",
+            DmaPhase::RingWait => "ring-wait",
+            DmaPhase::Service => "service",
+        }
+    }
+}
+
+/// Lifecycle stamps of one element of a DMA-list command (a DMA-elem
+/// command is a one-element list for this purpose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElementLifecycle {
+    /// Element payload bytes.
+    pub bytes: u32,
+    /// When the unroller issued the element's first packet.
+    pub first_issue_at: Cycle,
+    /// When the element's last packet was delivered (and, for memory
+    /// PUTs, retired in DRAM).
+    pub completed_at: Cycle,
+}
+
+impl ElementLifecycle {
+    /// The element's transfer latency: first packet issue → last packet
+    /// retired. This is the latency double-buffering depth is tuned
+    /// against.
+    pub fn service_latency(&self) -> u64 {
+        self.completed_at.saturating_since(self.first_issue_at)
+    }
+}
+
+/// The full lifecycle record of one completed MFC command, stamped at
+/// every point the command passes through: enqueue, first packet issue
+/// (MFC slot grant), last packet issue (fully unrolled), first/last EIB
+/// ring grant, accumulated bank service, and tag-group completion (the
+/// cycle the command left the queue and its tag could quiesce).
+///
+/// Stamps are monotone by construction of the fabric protocol; the
+/// derived phase partition clamps defensively so conservation
+/// (`Σ phases == end-to-end latency`) holds even for harnesses that skip
+/// some stamps (e.g. driving an [`MfcEngine`](crate::MfcEngine) without
+/// a bus and never reporting grants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandLifecycle {
+    /// Transfer direction.
+    pub kind: DmaKind,
+    /// Memory vs Local Store target.
+    pub target: TargetClass,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// List elements (1 for a DMA-elem command).
+    pub elements: u32,
+    /// Bus packets the command unrolled into.
+    pub packets: u32,
+    /// When the command was admitted into the MFC queue.
+    pub enqueued_at: Cycle,
+    /// When the serial decoder finished this command.
+    pub decoded_at: Cycle,
+    /// When the first packet issued (the command won the unroller).
+    pub first_issue_at: Cycle,
+    /// When the last packet issued (fully unrolled).
+    pub last_issue_at: Cycle,
+    /// First EIB data-ring grant over the command's packets.
+    pub first_grant_at: Cycle,
+    /// Last EIB data-ring grant over the command's packets.
+    pub last_grant_at: Cycle,
+    /// Packets that reported a ring grant (0 when the harness never
+    /// stamps grants).
+    pub packets_granted: u32,
+    /// Σ cycles the command's packets waited at the EIB data arbiter.
+    pub eib_wait_cycles: u64,
+    /// Σ DRAM data-pipe service cycles of the command's packets.
+    pub bank_service_cycles: u64,
+    /// When the last packet was delivered/retired and the queue entry
+    /// freed (tag-group completion for this command).
+    pub completed_at: Cycle,
+    /// Per-element stamps, in element order.
+    pub element_records: Vec<ElementLifecycle>,
+}
+
+impl CommandLifecycle {
+    /// The clamped stamp timeline `[enqueue, first issue, last issue,
+    /// last grant, completion]` the phase partition is cut from. Clamping
+    /// makes each stamp at least its predecessor; when no grant was ever
+    /// reported the grant stamp collapses onto last issue (ring-wait 0).
+    fn timeline(&self) -> [Cycle; 5] {
+        let t0 = self.enqueued_at;
+        let t1 = self.first_issue_at.max(t0);
+        let t2 = self.last_issue_at.max(t1);
+        let t3 = if self.packets_granted > 0 {
+            self.last_grant_at.max(t2)
+        } else {
+            t2
+        };
+        let t4 = self.completed_at.max(t3);
+        [t0, t1, t2, t3, t4]
+    }
+
+    /// End-to-end latency: enqueue → completion.
+    pub fn latency(&self) -> u64 {
+        let t = self.timeline();
+        t[4].saturating_since(t[0])
+    }
+
+    /// The four-phase partition in [`DmaPhase::ALL`] order; sums to
+    /// [`CommandLifecycle::latency`] exactly.
+    pub fn phases(&self) -> [u64; 4] {
+        let t = self.timeline();
+        [
+            t[1].saturating_since(t[0]),
+            t[2].saturating_since(t[1]),
+            t[3].saturating_since(t[2]),
+            t[4].saturating_since(t[3]),
+        ]
+    }
+
+    /// Cycles spent in one phase.
+    pub fn phase(&self, phase: DmaPhase) -> u64 {
+        let idx = DmaPhase::ALL
+            .iter()
+            .position(|&p| p == phase)
+            .expect("phase in ALL");
+        self.phases()[idx]
+    }
+
+    /// The phase holding the most cycles (earliest phase wins ties) —
+    /// the per-command dominant-phase attribution.
+    pub fn dominant_phase(&self) -> DmaPhase {
+        let phases = self.phases();
+        let mut best = 0;
+        for (i, &cycles) in phases.iter().enumerate() {
+            if cycles > phases[best] {
+                best = i;
+            }
+        }
+        DmaPhase::ALL[best]
     }
 }
 

@@ -4,7 +4,10 @@ use std::collections::{HashMap, VecDeque};
 
 use cellsim_kernel::Cycle;
 
-use crate::command::{DmaCommand, DmaError, DmaKind, EffectiveAddr, LsAddr};
+use crate::command::{
+    CommandLifecycle, DmaCommand, DmaError, DmaKind, EffectiveAddr, ElementLifecycle, LsAddr,
+    TargetClass,
+};
 use crate::list::DmaListCommand;
 use crate::tag::{TagId, TagSet};
 
@@ -125,6 +128,24 @@ impl Work {
             Work::List(l) => l.elements().len(),
         }
     }
+    fn total_bytes(&self) -> u64 {
+        match self {
+            Work::Elem(c) => u64::from(c.bytes()),
+            Work::List(l) => l.elements().iter().map(|e| u64::from(e.bytes)).sum(),
+        }
+    }
+    fn target(&self) -> TargetClass {
+        match self {
+            Work::Elem(c) => TargetClass::from(&c.ea()),
+            Work::List(l) => TargetClass::from(&l.ea_base()),
+        }
+    }
+    fn element_bytes(&self, idx: usize) -> u32 {
+        match self {
+            Work::Elem(c) => c.bytes(),
+            Work::List(l) => l.elements()[idx].bytes,
+        }
+    }
     /// (effective address, size) of element `idx`.
     fn element(&self, idx: usize) -> (EffectiveAddr, u32) {
         match self {
@@ -157,6 +178,9 @@ struct ActiveCommand {
     ready_at: Cycle,
     /// Packets issued but not yet delivered.
     in_flight: u32,
+    /// Lifecycle stamps accumulated while the command is in the queue;
+    /// handed out whole via [`MfcEngine::take_completed`] at retirement.
+    life: CommandLifecycle,
 }
 
 impl ActiveCommand {
@@ -169,6 +193,8 @@ impl ActiveCommand {
 struct PacketMeta {
     cmd_seq: u64,
     bytes: u32,
+    /// List element the packet was carved from (0 for DMA-elem).
+    elem_idx: usize,
 }
 
 /// One SPE's Memory Flow Controller.
@@ -202,6 +228,11 @@ pub struct MfcEngine {
     occupancy: Vec<u64>,
     /// Cycle since which `outstanding` has held its current value.
     occ_since: Cycle,
+    /// Lifecycle record of the most recently completed command, until
+    /// claimed via [`MfcEngine::take_completed`]. At most one command can
+    /// complete per [`MfcEngine::packet_delivered`] call, so draining
+    /// right after a `true` return is lossless.
+    last_completed: Option<CommandLifecycle>,
 }
 
 impl MfcEngine {
@@ -232,6 +263,7 @@ impl MfcEngine {
             stats: MfcStats::default(),
             occupancy: vec![0; cfg.max_outstanding_packets + 1],
             occ_since: Cycle::ZERO,
+            last_completed: None,
         }
     }
 
@@ -321,6 +353,30 @@ impl MfcEngine {
         // Decode is serialized across commands but pipelined with issue.
         let decoded = now.max(self.decoder_free) + self.cfg.command_startup;
         self.decoder_free = decoded;
+        let life = CommandLifecycle {
+            kind: work.kind(),
+            target: work.target(),
+            bytes: work.total_bytes(),
+            elements: u32::try_from(work.element_count()).expect("list length fits u32"),
+            packets: 0,
+            enqueued_at: now,
+            decoded_at: decoded,
+            first_issue_at: Cycle::ZERO,
+            last_issue_at: Cycle::ZERO,
+            first_grant_at: Cycle::ZERO,
+            last_grant_at: Cycle::ZERO,
+            packets_granted: 0,
+            eib_wait_cycles: 0,
+            bank_service_cycles: 0,
+            completed_at: Cycle::ZERO,
+            element_records: (0..work.element_count())
+                .map(|i| ElementLifecycle {
+                    bytes: work.element_bytes(i),
+                    first_issue_at: Cycle::ZERO,
+                    completed_at: Cycle::ZERO,
+                })
+                .collect(),
+        };
         self.queue.push_back(ActiveCommand {
             seq,
             work,
@@ -329,6 +385,7 @@ impl MfcEngine {
             ls_cursor,
             ready_at: decoded,
             in_flight: 0,
+            life,
         });
         self.stats.commands += 1;
         Ok(())
@@ -413,9 +470,19 @@ impl MfcEngine {
             PacketMeta {
                 cmd_seq: cmd.seq,
                 bytes: chunk,
+                elem_idx: cmd.elem_idx,
             },
         );
         self.next_token += 1;
+
+        if cmd.life.packets == 0 {
+            cmd.life.first_issue_at = now;
+        }
+        cmd.life.last_issue_at = now;
+        cmd.life.packets += 1;
+        if cmd.byte_in_elem == 0 {
+            cmd.life.element_records[cmd.elem_idx].first_issue_at = now;
+        }
 
         cmd.byte_in_elem += u64::from(chunk);
         cmd.ls_cursor += chunk;
@@ -459,15 +526,66 @@ impl MfcEngine {
             .expect("delivered packet's command not in queue");
         let cmd = &mut self.queue[pos];
         cmd.in_flight -= 1;
+        let elem = &mut cmd.life.element_records[meta.elem_idx];
+        elem.completed_at = elem.completed_at.max(now);
         if cmd.fully_issued() && cmd.in_flight == 0 {
             let tag = cmd.work.tag();
-            self.queue.remove(pos);
+            let mut done = self.queue.remove(pos).expect("pos in bounds");
+            done.life.completed_at = now;
+            self.last_completed = Some(done.life);
             self.tags.release(tag);
             self.stats.completed += 1;
             true
         } else {
             false
         }
+    }
+
+    /// Records an EIB data-ring grant for an in-flight packet: stamps the
+    /// owning command's first/last grant times and accumulates `waited`
+    /// cycles of data-arbiter queueing. Call between issue and delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is not currently in flight.
+    pub fn note_grant(&mut self, now: Cycle, token: PacketToken, waited: u64) {
+        let cmd = self.in_flight_mut(token);
+        if cmd.life.packets_granted == 0 {
+            cmd.life.first_grant_at = now;
+        }
+        cmd.life.last_grant_at = cmd.life.last_grant_at.max(now);
+        cmd.life.packets_granted += 1;
+        cmd.life.eib_wait_cycles += waited;
+    }
+
+    /// Accumulates DRAM data-pipe service cycles for an in-flight packet
+    /// (its slice of bank busy time). Call between issue and delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is not currently in flight.
+    pub fn note_bank_service(&mut self, token: PacketToken, cycles: u64) {
+        self.in_flight_mut(token).life.bank_service_cycles += cycles;
+    }
+
+    fn in_flight_mut(&mut self, token: PacketToken) -> &mut ActiveCommand {
+        let meta = self
+            .packets
+            .get(&token.0)
+            .expect("packet token not in flight");
+        let seq = meta.cmd_seq;
+        self.queue
+            .iter_mut()
+            .find(|c| c.seq == seq)
+            .expect("in-flight packet's command not in queue")
+    }
+
+    /// Claims the lifecycle record of the most recently completed command.
+    /// Call right after [`MfcEngine::packet_delivered`] returns `true`;
+    /// records left unclaimed are overwritten by the next completion
+    /// (harnesses that don't track latency can simply never call this).
+    pub fn take_completed(&mut self) -> Option<CommandLifecycle> {
+        self.last_completed.take()
     }
 }
 
@@ -665,6 +783,64 @@ mod tests {
         let packets = drain(&mut mfc);
         assert_eq!(packets.len(), 1);
         assert_eq!(packets[0].bytes, 8);
+    }
+
+    #[test]
+    fn lifecycle_stamps_partition_the_latency() {
+        use crate::command::DmaPhase;
+        let mut mfc = MfcEngine::new(MfcConfig::default());
+        mfc.enqueue(Cycle::ZERO, get(0, 0, 512)).unwrap();
+        let mut now = Cycle::ZERO;
+        let mut pending = Vec::new();
+        loop {
+            match mfc.try_issue(now) {
+                Issue::Packet(p) => {
+                    pending.push(p.token);
+                    now += 1;
+                }
+                Issue::Stalled { retry_at } => now = retry_at,
+                Issue::Blocked | Issue::Idle => break,
+            }
+        }
+        // Deliver with grant + bank stamps, 10 cycles after issue ended.
+        let mut done = false;
+        for tok in pending {
+            now += 10;
+            mfc.note_grant(now, tok, 3);
+            mfc.note_bank_service(tok, 5);
+            done = mfc.packet_delivered(now, tok);
+        }
+        assert!(done);
+        let life = mfc.take_completed().expect("lifecycle record");
+        assert!(mfc.take_completed().is_none(), "drained exactly once");
+        assert_eq!(life.bytes, 512);
+        assert_eq!(life.packets, 4);
+        assert_eq!(life.packets_granted, 4);
+        assert_eq!(life.eib_wait_cycles, 12);
+        assert_eq!(life.bank_service_cycles, 20);
+        assert_eq!(life.enqueued_at, Cycle::ZERO);
+        assert_eq!(life.first_issue_at, Cycle::new(24)); // command_startup
+        assert_eq!(life.completed_at.saturating_since(life.enqueued_at), {
+            let phases = life.phases();
+            phases.iter().sum::<u64>()
+        });
+        assert_eq!(life.latency(), life.phases().iter().sum::<u64>());
+        // Enqueue→first-issue is the startup window: queue-wait = 24.
+        assert_eq!(life.phase(DmaPhase::QueueWait), 24);
+        assert_eq!(life.element_records.len(), 1);
+        assert_eq!(life.element_records[0].completed_at, life.completed_at);
+    }
+
+    #[test]
+    fn lifecycle_without_grant_stamps_still_conserves() {
+        // Harnesses that bypass the EIB (like `drain`) never call
+        // note_grant; ring-wait collapses to zero, conservation holds.
+        let mut mfc = MfcEngine::new(MfcConfig::default());
+        mfc.enqueue(Cycle::ZERO, get(0, 0, 256)).unwrap();
+        drain(&mut mfc);
+        let life = mfc.take_completed().expect("lifecycle record");
+        assert_eq!(life.packets_granted, 0);
+        assert_eq!(life.latency(), life.phases().iter().sum::<u64>());
     }
 
     #[test]

@@ -56,7 +56,10 @@ mod engine;
 mod list;
 mod tag;
 
-pub use command::{DmaCommand, DmaError, DmaKind, EffectiveAddr, LsAddr};
+pub use command::{
+    CommandLifecycle, DmaCommand, DmaError, DmaKind, DmaPhase, EffectiveAddr, ElementLifecycle,
+    LsAddr, TargetClass,
+};
 pub use engine::{Issue, MfcConfig, MfcEngine, MfcStats, PacketOut, PacketToken};
 pub use list::{DmaListCommand, ListElement};
 pub use tag::{TagId, TagSet};

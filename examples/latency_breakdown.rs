@@ -1,0 +1,78 @@
+//! Where does a DMA's time go at Figure 8's most contended sweep point?
+//!
+//! Eight SPEs stream GETs from main memory at the smallest element size
+//! the paper sweeps (128 B) — the worst point of Figure 8a, where the
+//! per-command startup overhead and the shared XDR banks crush
+//! bandwidth. The always-on latency digest attributes every cycle of
+//! every command to one of four phases, so the table below shows *why*
+//! this point is slow, not just that it is.
+//!
+//! ```text
+//! cargo run --release --example latency_breakdown
+//! ```
+
+use cellsim::latency::DmaPathClass;
+use cellsim::mfc::DmaPhase;
+use cellsim::{CellSystem, Placement, PlanError, SyncPolicy, TransferPlan};
+
+const VOLUME: u64 = 1 << 20; // per SPE, enough for steady state
+const ELEM: u32 = 128; // the paper's smallest (and slowest) element
+
+fn main() -> Result<(), PlanError> {
+    let system = CellSystem::blade();
+    let mut b = TransferPlan::builder();
+    for spe in 0..8 {
+        b = b.get_from_memory(spe, VOLUME, ELEM, SyncPolicy::AfterAll);
+    }
+    let plan: TransferPlan = b.build()?;
+    let report = system.run(&Placement::identity(), &plan);
+
+    let path = report.latency.path(DmaPathClass::MemGet);
+    let h = &path.end_to_end;
+    println!(
+        "figure 8a worst point — 8 SPEs GET, {ELEM} B elements, {} MiB/SPE",
+        VOLUME >> 20
+    );
+    println!(
+        "aggregate bandwidth: {:.2} GB/s over {} cycles\n",
+        report.aggregate_gbps, report.cycles
+    );
+    println!(
+        "{} commands on the {} path; end-to-end latency per command:",
+        path.commands,
+        DmaPathClass::MemGet
+    );
+    println!(
+        "  p50 {} / p95 {} / p99 {} / max {} cycles (mean {})\n",
+        h.percentile(50),
+        h.percentile(95),
+        h.percentile(99),
+        h.max,
+        h.mean()
+    );
+    println!("phase                 cycles         share   dominant-in");
+    for (i, phase) in DmaPhase::ALL.iter().enumerate() {
+        let cycles = path.phase_cycles[i];
+        let share = 100.0 * cycles as f64 / h.total.max(1) as f64;
+        println!(
+            "{:<12} {:>15} {:>13.1}%  {:>8} cmds",
+            phase.name(),
+            cycles,
+            share,
+            path.dominant_counts[i]
+        );
+    }
+    println!(
+        "\nWhy: 128-byte commands pay the full MFC startup per element and\n\
+         give the unroller a single bus packet each, so time splits\n\
+         between waiting in the command queue behind the startup\n\
+         serialisation and waiting for a ring grant among eight SPEs'\n\
+         worth of tiny packets — while actual bank service is a rounding\n\
+         error. The paper's argument for larger DMA elements, visible\n\
+         one phase at a time."
+    );
+
+    // The digest is exact: phases partition the end-to-end latency.
+    assert_eq!(path.phase_cycles.iter().sum::<u64>(), h.total);
+    Ok(())
+}

@@ -50,8 +50,9 @@ pub use cellsim_runtime as runtime;
 pub use cellsim_spe as spe;
 
 pub use cellsim_core::{
-    exec, experiments, metrics, report, BankMetrics, CellConfig, CellSystem, FabricEvent,
-    FabricMetrics, FabricReport, FabricTrace, MachineState, MetricsSummary, Placement, PlanError,
+    baseline, exec, experiments, json, latency, metrics, report, BankMetrics, CellConfig,
+    CellSystem, DmaPathClass, FabricEvent, FabricMetrics, FabricReport, FabricTrace,
+    LatencyHistogram, LatencyMetrics, MachineState, MetricsSummary, Placement, PlanError,
     SpeMetrics, SpeScript, SyncPolicy, TraceTruncated, TransferPlan, TransferPlanBuilder,
     REGION_STRIDE, SPE_COUNT,
 };

@@ -1,0 +1,159 @@
+//! Invariants of the per-DMA latency digests: bucket counts account for
+//! every retired command, the percentile ladder is monotone, and the
+//! four-phase attribution partitions each path's end-to-end latency
+//! exactly. Like `metrics_conservation`, these hold for *every* workload
+//! the planner can express — a property, not an example.
+
+use cellsim::latency::LATENCY_BUCKETS;
+use cellsim::{
+    CellSystem, DmaPathClass, FabricReport, LatencyHistogram, Placement, SyncPolicy, TransferPlan,
+};
+use proptest::prelude::*;
+
+const VOLUME: u64 = 64 << 10;
+
+#[derive(Debug, Clone, Copy)]
+enum Pattern {
+    MemGet,
+    MemPut,
+    Cycle,
+}
+
+fn plan_for(pattern: Pattern, spes: usize, elem: u32, sync: SyncPolicy) -> TransferPlan {
+    let mut b = TransferPlan::builder();
+    for spe in 0..spes {
+        b = match pattern {
+            Pattern::MemGet => b.get_from_memory(spe, VOLUME, elem, sync),
+            Pattern::MemPut => b.put_to_memory(spe, VOLUME, elem, sync),
+            Pattern::Cycle => {
+                // Self-exchange is invalid for a single SPE; fall back to
+                // memory traffic there.
+                if spes == 1 {
+                    b.get_from_memory(spe, VOLUME, elem, sync)
+                } else {
+                    b.exchange_with(spe, (spe + 1) % spes, VOLUME, elem, sync)
+                }
+            }
+        };
+    }
+    b.build().expect("valid plan")
+}
+
+fn assert_histogram_sane(h: &LatencyHistogram, what: &str) {
+    assert_eq!(
+        h.buckets.iter().sum::<u64>(),
+        h.count,
+        "{what}: bucket counts must sum to the observation count"
+    );
+    let p50 = h.percentile(50);
+    let p95 = h.percentile(95);
+    let p99 = h.percentile(99);
+    assert!(
+        p50 <= p95 && p95 <= p99 && p99 <= h.max,
+        "{what}: percentile ladder must be monotone: \
+         p50 {p50} / p95 {p95} / p99 {p99} / max {}",
+        h.max
+    );
+    if h.count > 0 {
+        assert!(h.max <= h.total, "{what}: max observation bounded by total");
+        // The top observation lands in the bucket that covers it.
+        let top = h
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("non-empty histogram has a populated bucket");
+        assert!(top < LATENCY_BUCKETS);
+        assert!(
+            top == 0 || (1u64 << (top - 1)) <= h.max.max(1),
+            "{what}: max {} below its bucket {top}",
+            h.max
+        );
+    } else {
+        assert_eq!(h.max, 0);
+        assert_eq!(h.total, 0);
+    }
+}
+
+fn assert_latency_conservation(r: &FabricReport) {
+    let lat = &r.latency;
+    for path in DmaPathClass::ALL {
+        let p = lat.path(path);
+        assert_eq!(
+            p.end_to_end.count, p.commands,
+            "{path}: one end-to-end observation per retired command"
+        );
+        assert_histogram_sane(&p.end_to_end, path.name());
+        // The four-phase attribution partitions the latency exactly.
+        assert_eq!(
+            p.phase_cycles.iter().sum::<u64>(),
+            p.end_to_end.total,
+            "{path}: queue+slot+ring+service must equal end-to-end"
+        );
+        // Every command has exactly one dominant phase.
+        assert_eq!(
+            p.dominant_counts.iter().sum::<u64>(),
+            p.commands,
+            "{path}: one dominant phase per command"
+        );
+    }
+    assert_histogram_sane(&lat.element_service, "element-service");
+    assert!(
+        lat.element_service.count >= lat.total_commands(),
+        "every command carries at least one element"
+    );
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(12))]
+
+    #[test]
+    fn latency_digest_is_conserved_for_every_plan(
+        pattern_idx in 0usize..3,
+        spes in 1usize..=8,
+        elem_idx in 0usize..3,
+        sync_idx in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let pattern = [Pattern::MemGet, Pattern::MemPut, Pattern::Cycle][pattern_idx];
+        let elem = [128u32, 2048, 16384][elem_idx];
+        let sync = [SyncPolicy::AfterAll, SyncPolicy::Every(1), SyncPolicy::Every(4)][sync_idx];
+        let plan = plan_for(pattern, spes, elem, sync);
+        let report = CellSystem::blade().run(&Placement::lottery(seed, 0), &plan);
+        assert_latency_conservation(&report);
+        // The digest is part of the deterministic report.
+        let again = CellSystem::blade().run(&Placement::lottery(seed, 0), &plan);
+        prop_assert_eq!(report.latency, again.latency);
+    }
+}
+
+#[test]
+fn memory_get_commands_are_all_counted_on_the_get_path() {
+    let spes = 4;
+    let elem = 2048u32;
+    let plan = plan_for(Pattern::MemGet, spes, elem, SyncPolicy::AfterAll);
+    let r = CellSystem::blade().run(&Placement::identity(), &plan);
+    assert_latency_conservation(&r);
+    let expected = spes as u64 * (VOLUME / u64::from(elem));
+    let get = r.latency.path(DmaPathClass::MemGet);
+    assert_eq!(get.commands, expected, "every planned GET retired once");
+    assert_eq!(r.latency.total_commands(), expected, "no other path used");
+    // Large streaming GETs against DRAM latency are dominated by the
+    // wait for a free outstanding slot or by service, never by the
+    // command queue (it is refilled immediately).
+    assert!(get.end_to_end.mean() > 0);
+}
+
+#[test]
+fn spe_exchange_traffic_lands_on_the_local_store_paths() {
+    let plan = plan_for(Pattern::Cycle, 4, 4096, SyncPolicy::AfterAll);
+    let r = CellSystem::blade().run(&Placement::identity(), &plan);
+    assert_latency_conservation(&r);
+    let ls =
+        r.latency.path(DmaPathClass::LsGet).commands + r.latency.path(DmaPathClass::LsPut).commands;
+    assert!(ls > 0, "SPE↔SPE exchange must use the local-store paths");
+    assert_eq!(
+        r.latency.path(DmaPathClass::MemGet).commands,
+        0,
+        "no memory traffic in a pure SPE cycle"
+    );
+}
