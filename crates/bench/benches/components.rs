@@ -60,7 +60,8 @@ fn bench_eib(c: &mut Criterion) {
 fn bench_mfc(c: &mut Criterion) {
     c.bench_function("mfc/unroll_16k_command", |b| {
         b.iter(|| {
-            let mut mfc = MfcEngine::new(MfcConfig::default());
+            let mut mfc =
+                MfcEngine::new(MfcConfig::default()).expect("default MFC config is valid");
             let cmd = DmaCommand::new(
                 DmaKind::Get,
                 LsAddr(0),

@@ -3,14 +3,20 @@
 //!
 //! ```text
 //! repro [--quick|--full] [--figure <id>]... [--ablations] [--seed N]
-//!       [--jobs N] [--verbose] [--csv <dir>] [--metrics <dir>]
-//!       [--trace-out <file>] [--baseline-out <file>] [--check <file>]
-//!       [--tolerance N]
+//!       [--faults <plan.json>] [--jobs N] [--verbose] [--csv <dir>]
+//!       [--metrics <dir>] [--trace-out <file>] [--baseline-out <file>]
+//!       [--check <file>] [--tolerance N]
 //!
 //!   --quick             reduced sweep (fast smoke run)
 //!   --full              paper-scale protocol (32 MiB per SPE, slow)
 //!   --figure <id>       only the named figure: 3, 4, 6, 8, 10, 12, 13,
-//!                       15, 16 or 4.2.2 (repeatable)
+//!                       15, 16, 4.2.2 or degraded (repeatable)
+//!   --faults <f>        run every figure on a degraded machine: <f> is a
+//!                       FaultPlan JSON (see README). Plans with
+//!                       fused_spes need --figure degraded — the paper
+//!                       figures drive all 8 SPEs. Incompatible with
+//!                       --baseline-out/--check (baselines snapshot the
+//!                       healthy blade).
 //!   --ablations         also run the design-choice ablations
 //!   --seed N            placement-lottery seed (default 0xCE11)
 //!   --jobs N            worker threads for the sweeps (default:
@@ -52,16 +58,17 @@ use cellsim_core::baseline::Baseline;
 use cellsim_core::exec::SweepExecutor;
 use cellsim_core::experiments::{
     figure10_with, figure12_with, figure13_with, figure15_with, figure16_with, figure3, figure4,
-    figure6, figure8_with, figure_metrics_with, section_4_2_2, ExperimentConfig, ExperimentError,
-    FIGURE_IDS,
+    figure6, figure8_with, figure_degraded_with, figure_metrics_with, section_4_2_2,
+    ExperimentConfig, ExperimentError, FIGURE_IDS,
 };
 use cellsim_core::report::{Figure, MetricsTable, SpreadFigure};
-use cellsim_core::{CellSystem, Placement, SyncPolicy, TransferPlan};
+use cellsim_core::{CellSystem, FaultPlan, Placement, SyncPolicy, TransferPlan};
 use cellsim_kernels::roofline_figure;
 
 struct Args {
     cfg: ExperimentConfig,
     figures: Vec<String>,
+    faults: Option<FaultPlan>,
     ablations: bool,
     kernels: bool,
     csv_dir: Option<PathBuf>,
@@ -77,6 +84,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut cfg = ExperimentConfig::default();
     let mut figures = Vec::new();
+    let mut faults = None;
     let mut ablations = false;
     let mut kernels = false;
     let mut csv_dir = None;
@@ -101,6 +109,12 @@ fn parse_args() -> Result<Args, String> {
                     ));
                 }
                 figures.push(id);
+            }
+            "--faults" => {
+                let file = argv.next().ok_or("--faults needs a plan file")?;
+                let text = std::fs::read_to_string(&file)
+                    .map_err(|e| format!("could not read {file}: {e}"))?;
+                faults = Some(FaultPlan::parse(&text).map_err(|e| format!("{file}: {e}"))?);
             }
             "--ablations" => ablations = true,
             "--kernels" => kernels = true,
@@ -144,19 +158,39 @@ fn parse_args() -> Result<Args, String> {
             "--verbose" => verbose = true,
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick|--full] [--figure <id>]... [--ablations] [--kernels] \
-                     [--csv <dir>] [--metrics <dir>] [--trace-out <file>] \
-                     [--baseline-out <file>] [--check <file>] [--tolerance N] [--seed N] \
-                     [--jobs N] [--verbose]"
+                    "repro [--quick|--full] [--figure <id>]... [--faults <plan.json>] \
+                     [--ablations] [--kernels] [--csv <dir>] [--metrics <dir>] \
+                     [--trace-out <file>] [--baseline-out <file>] [--check <file>] \
+                     [--tolerance N] [--seed N] [--jobs N] [--verbose]\n\n\
+                     figure ids: {}",
+                    FIGURE_IDS.join(", ")
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
+    if let Some(plan) = &faults {
+        if baseline_out.is_some() || check.is_some() {
+            return Err("--faults cannot combine with --baseline-out/--check \
+                 (baselines snapshot the healthy blade)"
+                .into());
+        }
+        if plan.fused_mask() != 0 {
+            let only_degraded = !figures.is_empty() && figures.iter().all(|f| f == "degraded");
+            if !only_degraded || trace_out.is_some() {
+                return Err(
+                    "fault plans with fused_spes need --figure degraded: the paper \
+                     figures and --trace-out drive all 8 SPEs"
+                        .into(),
+                );
+            }
+        }
+    }
     Ok(Args {
         cfg,
         figures,
+        faults,
         ablations,
         kernels,
         csv_dir,
@@ -259,8 +293,17 @@ fn err_string(e: ExperimentError) -> String {
     e.to_string()
 }
 
+/// The machine the figures run on: the paper's blade, degraded by the
+/// `--faults` plan when one was given.
+fn machine(args: &Args) -> CellSystem {
+    match &args.faults {
+        Some(plan) => CellSystem::blade().with_faults(plan.clone()),
+        None => CellSystem::blade(),
+    }
+}
+
 fn run(args: &Args, exec: &SweepExecutor) -> Result<(), String> {
-    let system = CellSystem::blade();
+    let system = machine(args);
     let cfg = &args.cfg;
     let csv = &args.csv_dir;
     if wanted(&args.figures, "3") {
@@ -314,6 +357,18 @@ fn run(args: &Args, exec: &SweepExecutor) -> Result<(), String> {
             emit(csv, &f)?;
         }
         emit_metrics(args, exec, &system, "16")?;
+    }
+    if wanted(&args.figures, "degraded") {
+        let (fig, table) = figure_degraded_with(exec, &system, cfg).map_err(err_string)?;
+        emit(csv, &fig)?;
+        // The degraded digest carries the NACK/retry counters the ladder
+        // exists to surface, so it prints with the figure, not only
+        // under --verbose.
+        println!("{table}");
+        if let Some(dir) = &args.metrics_dir {
+            write_artifact(dir, "metrics_degraded.csv", &table.to_csv())?;
+            write_artifact(dir, "metrics_degraded.json", &table.to_json())?;
+        }
     }
     if args.ablations {
         println!("— ablations —\n");
@@ -504,10 +559,14 @@ fn main() -> ExitCode {
         };
     }
     println!(
-        "cellsim repro — 2.1 GHz CBE blade, {} KiB/SPE, {} placements, seed {:#x}\n",
+        "cellsim repro — 2.1 GHz CBE blade, {} KiB/SPE, {} placements, seed {:#x}{}\n",
         cfg.volume_per_spe >> 10,
         cfg.placements,
-        cfg.seed
+        cfg.seed,
+        match &args.faults {
+            Some(plan) => format!(", fault plan {:#018x}", plan.fingerprint()),
+            None => String::new(),
+        }
     );
 
     let start = Instant::now();
@@ -516,7 +575,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if let Some(path) = &args.trace_out {
-        if let Err(e) = write_chrome_trace(path, &CellSystem::blade(), cfg) {
+        if let Err(e) = write_chrome_trace(path, &machine(&args), cfg) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }

@@ -1,6 +1,9 @@
 //! Machine configuration and the top-level [`CellSystem`] handle.
 
+use std::sync::Arc;
+
 use cellsim_eib::EibConfig;
+use cellsim_faults::FaultPlan;
 use cellsim_kernel::MachineClock;
 use cellsim_mem::{BankConfig, NumaPolicy};
 use cellsim_mfc::MfcConfig;
@@ -72,6 +75,13 @@ impl Default for CellConfig {
 #[derive(Debug, Clone, Default)]
 pub struct CellSystem {
     config: CellConfig,
+    /// Installed fault plan. `None` (and an installed *empty* plan, which
+    /// [`CellSystem::with_faults`] normalizes away) means the healthy
+    /// fabric runs with zero fault-layer overhead. Kept off [`CellConfig`]
+    /// so machine fingerprints and persisted baselines are unaffected;
+    /// the plan contributes to cache identity via
+    /// [`CellSystem::faults_fingerprint`].
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl CellSystem {
@@ -82,7 +92,45 @@ impl CellSystem {
 
     /// A blade with an explicit configuration.
     pub fn new(config: CellConfig) -> CellSystem {
-        CellSystem { config }
+        CellSystem {
+            config,
+            faults: None,
+        }
+    }
+
+    /// The PS3-style 7-SPE machine: the paper's blade with one SPE fused
+    /// off (physical SPE 7), as shipped in every PlayStation 3 console
+    /// for yield. Run plans on it with a placement that avoids the fused
+    /// SPE, e.g. [`Placement::lottery_avoiding`](crate::Placement).
+    pub fn ps3() -> CellSystem {
+        CellSystem::blade().with_faults(FaultPlan {
+            fused_spes: vec![7],
+            ..FaultPlan::default()
+        })
+    }
+
+    /// Returns this machine with `plan` installed. An empty plan is
+    /// normalized to no plan, so a zero-fault plan is *behaviourally and
+    /// cache-identically* the healthy machine.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> CellSystem {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(Arc::new(plan))
+        };
+        self
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref()
+    }
+
+    /// Cache identity of the installed fault plan: its canonical-JSON
+    /// fingerprint, 0 when healthy (no plan or an empty one).
+    pub fn faults_fingerprint(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |p| p.fingerprint())
     }
 
     /// The machine configuration.
@@ -98,7 +146,7 @@ impl CellSystem {
     /// both indicate a simulator bug, not bad input (plans are validated
     /// at construction).
     pub fn run(&self, placement: &Placement, plan: &TransferPlan) -> FabricReport {
-        fabric::run_plan(&self.config, placement, plan, None)
+        fabric::run_plan(&self.config, self.faults(), placement, plan, None)
     }
 
     /// Runs a plan *and moves real bytes*: every delivered packet copies
@@ -114,7 +162,7 @@ impl CellSystem {
         plan: &TransferPlan,
         state: &mut MachineState,
     ) -> FabricReport {
-        fabric::run_plan(&self.config, placement, plan, Some(state))
+        fabric::run_plan(&self.config, self.faults(), placement, plan, Some(state))
     }
 
     /// Runs a plan while recording a [`FabricTrace`] of every packet
@@ -130,7 +178,14 @@ impl CellSystem {
         plan: &TransferPlan,
     ) -> (FabricReport, FabricTrace) {
         let mut trace = FabricTrace::new();
-        let report = fabric::run_plan_traced(&self.config, placement, plan, None, Some(&mut trace));
+        let report = fabric::run_plan_traced(
+            &self.config,
+            self.faults(),
+            placement,
+            plan,
+            None,
+            Some(&mut trace),
+        );
         (report, trace)
     }
 
@@ -150,7 +205,14 @@ impl CellSystem {
         capacity: usize,
     ) -> (FabricReport, FabricTrace) {
         let mut trace = FabricTrace::with_capacity(capacity);
-        let report = fabric::run_plan_traced(&self.config, placement, plan, None, Some(&mut trace));
+        let report = fabric::run_plan_traced(
+            &self.config,
+            self.faults(),
+            placement,
+            plan,
+            None,
+            Some(&mut trace),
+        );
         (report, trace)
     }
 

@@ -99,6 +99,11 @@ pub struct Workload {
 pub struct RunKey {
     /// [`config_fingerprint`] of the machine.
     pub config: u64,
+    /// [`CellSystem::faults_fingerprint`] of the machine: 0 on a healthy
+    /// blade, the fault plan's canonical-JSON fingerprint otherwise —
+    /// degraded and healthy runs of the same point never share a cache
+    /// entry.
+    pub faults: u64,
     /// The experiment point.
     pub workload: Workload,
     /// Logical→physical mapping of the run.
@@ -130,6 +135,7 @@ impl RunSpec {
         RunSpec {
             key: RunKey {
                 config: config_fingerprint(system.config()),
+                faults: system.faults_fingerprint(),
                 workload,
                 placement: *placement.mapping(),
             },

@@ -12,6 +12,7 @@
 //! | [`figure13`] | Fig. 13 (a,b) | Couples: spread over placements |
 //! | [`figure15`] | Fig. 15 (a,b) | Cycle of SPEs, DMA-elem vs DMA-list |
 //! | [`figure16`] | Fig. 16 (a,b) | Cycle: spread over placements |
+//! | [`figure_degraded`] | — (extension) | Fault-injection ladder: healthy → 7 SPE → ring derate → bank NACKs |
 //!
 //! All DMA experiments honour the paper's protocol: weak scaling (a fixed
 //! volume per SPE), warm state (the simulator has no TLB to warm), and
@@ -29,11 +30,13 @@
 //! placement [`Placement::lottery`]`(cfg.seed, k)`, independent of
 //! scheduling.
 
+mod degraded;
 mod ppe;
 mod spe_mem;
 mod spe_pairs;
 mod spu_ls;
 
+pub use degraded::{figure_degraded, figure_degraded_with};
 pub use ppe::{figure3, figure4, figure6};
 pub use spe_mem::{figure8, figure8_with};
 pub use spe_pairs::{
@@ -54,8 +57,14 @@ use crate::placement::Placement;
 use crate::report::{Figure, SpreadFigure};
 use crate::{CellSystem, TransferPlan};
 
-/// Every figure id `repro --figure` accepts, in paper order.
-pub const FIGURE_IDS: &[&str] = &["3", "4", "6", "8", "4.2.2", "10", "12", "13", "15", "16"];
+/// Every figure id `repro --figure` accepts: the paper figures in paper
+/// order, then the `degraded` fault-injection extension. `degraded` is
+/// not part of the baseline set ([`crate::Baseline`] collects only the
+/// healthy paper figures), so committed baselines are unaffected by the
+/// fault subsystem.
+pub const FIGURE_IDS: &[&str] = &[
+    "3", "4", "6", "8", "4.2.2", "10", "12", "13", "15", "16", "degraded",
+];
 
 /// Shared knobs of the DMA experiments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -215,21 +224,27 @@ pub(crate) struct SweepPoint {
 }
 
 /// Expands `points` into per-placement [`RunSpec`]s (run `k` draws
-/// [`Placement::lottery`]`(cfg.seed, k)`), executes the whole batch on
-/// `exec`, and returns the reports grouped per point, in point order.
+/// [`Placement::lottery`]`(cfg.seed, k)` — or, when `system` carries a
+/// fault plan with fused SPEs, [`Placement::lottery_avoiding`], which is
+/// draw-for-draw identical on a healthy machine), executes the whole
+/// batch on `exec`, and returns the reports grouped per point, in point
+/// order.
 pub(crate) fn sweep(
     exec: &SweepExecutor,
     system: &CellSystem,
     cfg: &ExperimentConfig,
     points: &[SweepPoint],
 ) -> Vec<Vec<Arc<FabricReport>>> {
+    let fused = system
+        .faults()
+        .map_or(0, cellsim_faults::FaultPlan::fused_mask);
     let mut specs = Vec::with_capacity(points.len() * cfg.placements);
     for point in points {
         for k in 0..cfg.placements {
             specs.push(RunSpec::new(
                 system,
                 point.workload.clone(),
-                Placement::lottery(cfg.seed, k as u64),
+                Placement::lottery_avoiding(cfg.seed, k as u64, fused),
                 Arc::clone(&point.plan),
             ));
         }

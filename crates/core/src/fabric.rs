@@ -18,14 +18,17 @@
 use std::collections::VecDeque;
 
 use cellsim_eib::{CommandBus, Eib, EibStats, Element, FlowClass, Topology, TransferRequest};
+use cellsim_faults::FaultPlan;
 use cellsim_kernel::{Cycle, Model, Scheduler, Simulation};
 use cellsim_mem::{BankId, MemorySystem, Op};
-use cellsim_mfc::{DmaKind, EffectiveAddr, Issue, LsAddr, MfcEngine, PacketOut, PacketToken};
+use cellsim_mfc::{
+    DmaKind, EffectiveAddr, Issue, LsAddr, MfcEngine, NackVerdict, PacketOut, PacketToken,
+};
 
 use crate::config::CellConfig;
 use crate::data::MachineState;
 use crate::latency::LatencyMetrics;
-use crate::metrics::{BankMetrics, FabricMetrics, SpeMetrics};
+use crate::metrics::{BankMetrics, FabricMetrics, FaultStats, SpeMetrics};
 use crate::placement::Placement;
 use crate::plan::{Planned, SyncPolicy, TransferPlan};
 use crate::tracing::{FabricEvent, FabricTrace};
@@ -78,6 +81,8 @@ enum Ev {
     SrcReady(u32),
     /// Re-check memory write acceptance for a backpressured PUT.
     MemRetry(u32),
+    /// Re-attempt a NACKed bank access after its backoff elapsed.
+    NackRetry(u32),
     /// Re-run data arbitration.
     EibKick,
     /// Packet payload arrived at its destination.
@@ -156,7 +161,9 @@ impl SpeCtx {
         if self.waiting_sync {
             return SpeState::StallSync;
         }
-        if self.mfc.outstanding() >= self.mfc.config().max_outstanding_packets {
+        // `slot_budget` is the configured budget unless a fault plan
+        // installed a tighter slot limit.
+        if self.mfc.outstanding() >= self.mfc.slot_budget() {
             if self.pkts_waiting_mem > 0 {
                 return SpeState::StallMem;
             }
@@ -191,6 +198,8 @@ struct Fabric<'d> {
     packets: Vec<PacketInfo>,
     kick_scheduled: Option<Cycle>,
     delivered_packets: u64,
+    /// NACK/retry tallies (all-zero without an active fault plan).
+    fault_stats: FaultStats,
     /// Per-command latency digest, folded in at retirement.
     latency: LatencyMetrics,
     /// Optional functional storage: when present, every delivered packet
@@ -366,26 +375,82 @@ impl Fabric<'_> {
     fn on_cmd_done(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
         let info = self.packets[id as usize];
         match (info.kind, info.bank) {
-            (DmaKind::Get, Some(bank)) => {
-                let access = self.mem.submit(now, bank, Op::Read, info.bytes);
-                self.spes[info.spe]
-                    .mfc
-                    .note_bank_service(info.token, access.service_cycles());
-                if let Some(t) = self.trace.as_deref_mut() {
-                    t.trace.record(
-                        now,
-                        FabricEvent::MemoryAccess {
-                            bank,
-                            bytes: info.bytes,
-                        },
-                    );
-                }
-                sched.schedule(access.data_ready, Ev::SrcReady(id));
-            }
+            (DmaKind::Get, Some(_)) => self.try_get_from_memory(id, now, sched, cfg),
             (DmaKind::Put, Some(_)) => self.try_put_to_memory(id, now, sched),
             // LS↔LS: a short Local-Store access at the data source.
             (_, None) => sched.schedule(now + cfg.ls_access_latency, Ev::SrcReady(id)),
         }
+    }
+
+    /// Submits a GET's DRAM read. Under an active fault plan the bank may
+    /// transiently NACK instead, in which case the packet backs off and
+    /// this re-runs at the retry time (or the packet is abandoned once
+    /// its command's retry budget is spent).
+    fn try_get_from_memory(
+        &mut self,
+        id: u32,
+        now: Cycle,
+        sched: &mut Scheduler<Ev>,
+        cfg: &CellConfig,
+    ) {
+        let info = self.packets[id as usize];
+        let bank = info.bank.expect("memory get has a bank");
+        if self.mem.nack_roll(bank) {
+            self.on_nack(id, now, sched, cfg);
+            return;
+        }
+        let access = self.mem.submit(now, bank, Op::Read, info.bytes);
+        self.spes[info.spe]
+            .mfc
+            .note_bank_service(info.token, access.service_cycles());
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.trace.record(
+                now,
+                FabricEvent::MemoryAccess {
+                    bank,
+                    bytes: info.bytes,
+                },
+            );
+        }
+        sched.schedule(access.data_ready, Ev::SrcReady(id));
+    }
+
+    /// Answers a bank NACK: count it, then either schedule the backoff
+    /// retry the MFC granted or abandon the packet (budget exhausted —
+    /// the typed `DmaError::RetriesExhausted` surfaces through the
+    /// command's lifecycle record and the run's `FaultStats`).
+    fn on_nack(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
+        let info = self.packets[id as usize];
+        self.fault_stats.nacks += 1;
+        match self.spes[info.spe].mfc.note_nack(now, info.token) {
+            NackVerdict::Retry { at, .. } => {
+                self.fault_stats.retries += 1;
+                sched.schedule(at, Ev::NackRetry(id));
+            }
+            NackVerdict::Exhausted(_) => {
+                self.fault_stats.retries_exhausted += 1;
+                self.abandon(id, now, sched, cfg);
+            }
+        }
+    }
+
+    /// Gives up on a packet whose retry budget ran out: the outstanding
+    /// slot and queue entry drain exactly as on delivery, but no payload
+    /// bytes are credited and the command is marked exhausted.
+    fn abandon(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
+        let info = self.packets[id as usize];
+        self.fault_stats.abandoned_packets += 1;
+        let ctx = &mut self.spes[info.spe];
+        let completed = ctx.mfc.packet_abandoned(now, info.token);
+        ctx.last_delivery = ctx.last_delivery.max(now);
+        if completed {
+            let life = ctx
+                .mfc
+                .take_completed()
+                .expect("completed command has a lifecycle record");
+            self.latency.observe(&life);
+        }
+        self.pump(info.spe, now, sched, cfg);
     }
 
     fn try_put_to_memory(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>) {
@@ -473,29 +538,46 @@ impl Fabric<'_> {
                 },
             );
         }
-        if info.kind == DmaKind::Put {
-            if let Some(bank) = info.bank {
-                // The MFC slot is held until the write retires in DRAM —
-                // this is why the paper measures PUT ≈ GET ≈ 10 GB/s for
-                // a single SPE rather than fire-and-forget write speed.
-                let access = self.mem.submit(now, bank, Op::Write, info.bytes);
-                self.spes[info.spe]
-                    .mfc
-                    .note_bank_service(info.token, access.service_cycles());
-                if let Some(t) = self.trace.as_deref_mut() {
-                    t.trace.record(
-                        now,
-                        FabricEvent::MemoryAccess {
-                            bank,
-                            bytes: info.bytes,
-                        },
-                    );
-                }
-                sched.schedule(access.data_ready, Ev::Retired(id));
-                return;
-            }
+        if info.kind == DmaKind::Put && info.bank.is_some() {
+            self.put_write_to_memory(id, now, sched, cfg);
+            return;
         }
         self.retire(id, now, sched, cfg);
+    }
+
+    /// Enqueues a delivered memory PUT's DRAM write. The MFC slot is held
+    /// until the write retires in DRAM — this is why the paper measures
+    /// PUT ≈ GET ≈ 10 GB/s for a single SPE rather than fire-and-forget
+    /// write speed. Under an active fault plan the bank may transiently
+    /// NACK the write; the payload then sits delivered at the bank's
+    /// front-end until the backoff retry re-runs this.
+    fn put_write_to_memory(
+        &mut self,
+        id: u32,
+        now: Cycle,
+        sched: &mut Scheduler<Ev>,
+        cfg: &CellConfig,
+    ) {
+        let info = self.packets[id as usize];
+        let bank = info.bank.expect("memory put has a bank");
+        if self.mem.nack_roll(bank) {
+            self.on_nack(id, now, sched, cfg);
+            return;
+        }
+        let access = self.mem.submit(now, bank, Op::Write, info.bytes);
+        self.spes[info.spe]
+            .mfc
+            .note_bank_service(info.token, access.service_cycles());
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.trace.record(
+                now,
+                FabricEvent::MemoryAccess {
+                    bank,
+                    bytes: info.bytes,
+                },
+            );
+        }
+        sched.schedule(access.data_ready, Ev::Retired(id));
     }
 
     fn retire(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
@@ -536,6 +618,10 @@ impl Model for FabricModel<'_, '_> {
             Ev::CmdDone(id) => self.fabric.on_cmd_done(id, now, sched, self.cfg),
             Ev::SrcReady(id) => self.fabric.submit_to_eib(id, now, sched),
             Ev::MemRetry(id) => self.fabric.try_put_to_memory(id, now, sched),
+            Ev::NackRetry(id) => match self.fabric.packets[id as usize].kind {
+                DmaKind::Get => self.fabric.try_get_from_memory(id, now, sched, self.cfg),
+                DmaKind::Put => self.fabric.put_write_to_memory(id, now, sched, self.cfg),
+            },
             Ev::EibKick => {
                 if self.fabric.kick_scheduled == Some(now) {
                     self.fabric.kick_scheduled = None;
@@ -556,26 +642,43 @@ impl Model for FabricModel<'_, '_> {
 /// still queued — both are simulator bugs.
 pub(crate) fn run_plan(
     cfg: &CellConfig,
+    faults: Option<&FaultPlan>,
     placement: &Placement,
     plan: &TransferPlan,
     data: Option<&mut MachineState>,
 ) -> FabricReport {
-    run_plan_traced(cfg, placement, plan, data, None)
+    run_plan_traced(cfg, faults, placement, plan, data, None)
 }
 
 pub(crate) fn run_plan_traced(
     cfg: &CellConfig,
+    faults: Option<&FaultPlan>,
     placement: &Placement,
     plan: &TransferPlan,
     data: Option<&mut MachineState>,
     trace: Option<&mut FabricTrace>,
 ) -> FabricReport {
+    // A fused-off SPE has no functioning MFC: driving one is a harness
+    // bug, caught here rather than surfacing as nonsense bandwidth.
+    if let Some(fp) = faults {
+        for spe in plan.active_spes() {
+            let phys = placement.physical(spe);
+            assert!(
+                !fp.fused_spes.contains(&phys),
+                "plan drives logical SPE {spe}, mapped to fused-off physical SPE {phys}"
+            );
+        }
+    }
     let spes = plan
         .scripts()
         .iter()
         .map(|script| {
             let mut ctx = SpeCtx {
-                mfc: MfcEngine::new(cfg.mfc),
+                mfc: match faults {
+                    Some(fp) => MfcEngine::with_faults(cfg.mfc, fp.mfc.clone(), fp.retry),
+                    None => MfcEngine::new(cfg.mfc),
+                }
+                .expect("invalid MFC configuration"),
                 commands: script.commands().iter().cloned().collect(),
                 sync: script.sync(),
                 issued_since_sync: 0,
@@ -595,15 +698,22 @@ pub(crate) fn run_plan_traced(
         })
         .collect();
 
+    let mut eib = Eib::new(Topology::cbe(), cfg.eib);
+    let mut mem = MemorySystem::new(cfg.local_bank, cfg.remote_bank, cfg.numa);
+    if let Some(fp) = faults {
+        eib.set_faults(fp.eib.clone());
+        mem.set_faults(fp.local_bank.clone(), fp.remote_bank.clone(), fp.seed);
+    }
     let fabric = Fabric {
-        eib: Eib::new(Topology::cbe(), cfg.eib),
+        eib,
         cmdbus: CommandBus::new(cfg.cmd_issue_interval, cfg.cmd_latency),
-        mem: MemorySystem::new(cfg.local_bank, cfg.remote_bank, cfg.numa),
+        mem,
         placement: *placement,
         spes,
         packets: Vec::new(),
         kick_scheduled: None,
         delivered_packets: 0,
+        fault_stats: FaultStats::default(),
         latency: LatencyMetrics::default(),
         data,
         trace,
@@ -645,6 +755,10 @@ pub(crate) fn run_plan_traced(
         m.occupancy_cycles = ctx.mfc.occupancy_cycles().to_vec();
         per_spe_metrics.push(m);
     }
+    let mut fault_stats = fabric.fault_stats;
+    if let Some(fp) = faults {
+        fault_stats.degraded_cycles = fp.degraded_cycles(cycles);
+    }
     let metrics = FabricMetrics {
         run_cycles: cycles,
         per_spe: per_spe_metrics,
@@ -656,6 +770,7 @@ pub(crate) fn run_plan_traced(
                 stats: *fabric.mem.bank(bank).stats(),
             })
             .collect(),
+        faults: fault_stats,
     };
     let per_spe_bytes: Vec<u64> = fabric.spes.iter().map(|s| s.bytes).collect();
     let per_spe_cycles: Vec<u64> = fabric

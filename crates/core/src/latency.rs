@@ -181,6 +181,18 @@ pub struct PathLatency {
     /// Commands whose dominant phase was each of [`DmaPhase::ALL`];
     /// sums to `commands`.
     pub dominant_counts: [u64; 4],
+    /// Transient NACKs observed by commands on this path.
+    pub nacks: u64,
+    /// Backoff retries performed in response to those NACKs.
+    pub retries: u64,
+    /// Σ retry backoff cycles across the path's commands. Backoff elapses
+    /// between issue and delivery, so these cycles are already inside
+    /// `phase_cycles` (ring-wait/service) — this field *attributes* them
+    /// without adding a fifth phase, preserving the exact four-phase sum.
+    pub retry_backoff_cycles: u64,
+    /// Commands that exhausted their retry budget (some payload bytes
+    /// were never delivered).
+    pub exhausted_commands: u64,
 }
 
 impl PathLatency {
@@ -197,6 +209,10 @@ impl PathLatency {
             .position(|&p| p == dom)
             .expect("phase in ALL");
         self.dominant_counts[idx] += 1;
+        self.nacks += u64::from(life.nacks);
+        self.retries += u64::from(life.retries);
+        self.retry_backoff_cycles += life.retry_backoff_cycles;
+        self.exhausted_commands += u64::from(life.exhausted);
     }
 
     /// Merges another path accumulator.
@@ -209,6 +225,10 @@ impl PathLatency {
         for (a, b) in self.dominant_counts.iter_mut().zip(other.dominant_counts) {
             *a += b;
         }
+        self.nacks += other.nacks;
+        self.retries += other.retries;
+        self.retry_backoff_cycles += other.retry_backoff_cycles;
+        self.exhausted_commands += other.exhausted_commands;
     }
 }
 

@@ -48,16 +48,27 @@ mod tracing;
 pub mod baseline;
 pub mod exec;
 pub mod experiments;
-pub mod json;
 pub mod latency;
 pub mod metrics;
 pub mod report;
+
+// JSON parsing moved into the kernel crate so serde-free parsing is
+// available below core (the faults crate parses `FaultPlan` files);
+// `cellsim_core::json` stays a valid path for existing callers.
+pub use cellsim_kernel::json;
+
+// The fault-injection vocabulary, re-exported so callers configuring a
+// degraded blade need only this crate.
+pub use cellsim_faults::{
+    BankFaults, DerateWindow, EibFaults, FaultPlan, FaultPlanError, MfcFaults, RetryPolicy,
+    RingOutage, Window,
+};
 
 pub use config::{CellConfig, CellSystem};
 pub use data::{MachineState, REGION_STRIDE};
 pub use fabric::FabricReport;
 pub use latency::{DmaPathClass, LatencyHistogram, LatencyMetrics, PathLatency};
-pub use metrics::{BankMetrics, FabricMetrics, MetricsSummary, SpeMetrics};
+pub use metrics::{BankMetrics, FabricMetrics, FaultStats, MetricsSummary, SpeMetrics};
 pub use placement::Placement;
 pub use plan::{PlanError, Planned, SpeScript, SyncPolicy, TransferPlan, TransferPlanBuilder};
 pub use tracing::{FabricEvent, FabricTrace, TraceTruncated};

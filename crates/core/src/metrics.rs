@@ -89,6 +89,45 @@ impl SpeMetrics {
     }
 }
 
+/// Fault-injection and retry activity of one run. All-zero on a healthy
+/// blade (and when the installed [`FaultPlan`](crate::FaultPlan) is
+/// empty), so the counters are schema-stable: always present, zero when
+/// nothing was injected.
+///
+/// Conservation: every NACK is answered exactly once, so
+/// `nacks == retries + retries_exhausted` holds for every run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient bank NACKs observed by in-flight packets.
+    pub nacks: u64,
+    /// NACKs answered with a backoff retry.
+    pub retries: u64,
+    /// NACKs that found the owning command's retry budget spent.
+    pub retries_exhausted: u64,
+    /// Packets abandoned after exhausting their budget (their payload
+    /// bytes were never credited as delivered).
+    pub abandoned_packets: u64,
+    /// Cycles of the run inside at least one fault window (outage,
+    /// derate, throttle or MFC stall) — the union, not the sum.
+    pub degraded_cycles: u64,
+}
+
+impl FaultStats {
+    /// Whether any fault activity was observed or any window overlapped
+    /// the run.
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+
+    fn add(&mut self, other: &FaultStats) {
+        self.nacks += other.nacks;
+        self.retries += other.retries;
+        self.retries_exhausted += other.retries_exhausted;
+        self.abandoned_packets += other.abandoned_packets;
+        self.degraded_cycles += other.degraded_cycles;
+    }
+}
+
 /// One bank's occupancy counters, tagged with which bank it is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BankMetrics {
@@ -113,6 +152,8 @@ pub struct FabricMetrics {
     pub rings: Vec<RingStats>,
     /// Per-bank occupancy.
     pub banks: Vec<BankMetrics>,
+    /// Fault-injection activity (all-zero on a healthy blade).
+    pub faults: FaultStats,
 }
 
 /// The stall causes a run can be limited by, in reporting order.
@@ -160,6 +201,8 @@ pub struct MetricsSummary {
     pub limiter_runs: [u64; 4],
     /// Runs in which no SPE ever stalled.
     pub unstalled_runs: u64,
+    /// Fault-injection activity summed over all runs.
+    pub faults: FaultStats,
     /// Per-command latency digest merged over all runs: per-path
     /// histograms, phase attribution, dominant-phase tallies. Empty when
     /// the summary was built via the metrics-only
@@ -176,6 +219,7 @@ impl MetricsSummary {
             Some(cause) => self.limiter_runs[cause] += 1,
             None => self.unstalled_runs += 1,
         }
+        self.faults.add(&m.faults);
         for spe in &m.per_spe {
             self.spe.add(spe);
         }
@@ -301,11 +345,24 @@ mod tests {
                     ..BankStats::default()
                 },
             }],
+            faults: FaultStats {
+                nacks: 5,
+                retries: 4,
+                retries_exhausted: 1,
+                abandoned_packets: 1,
+                degraded_cycles: 30,
+            },
         };
         let mut s = MetricsSummary::default();
         s.accumulate(&m);
         s.accumulate(&m);
         assert_eq!(s.runs, 2);
+        assert_eq!(s.faults.nacks, 10);
+        assert_eq!(
+            s.faults.nacks,
+            s.faults.retries + s.faults.retries_exhausted
+        );
+        assert_eq!(s.faults.degraded_cycles, 60);
         assert_eq!(s.run_cycles, 200);
         assert_eq!(s.spe.busy_cycles, 200);
         assert_eq!(s.spe.occupancy_cycles, vec![220, 40, 140]);
@@ -321,6 +378,7 @@ mod tests {
             per_spe: vec![spe(0, vec![50, 10, 40])],
             rings: Vec::new(),
             banks: Vec::new(),
+            faults: FaultStats::default(),
         });
         // 40 of 50 in-flight cycles at the full budget.
         assert!((s.occupancy_saturated_share() - 0.8).abs() < 1e-12);

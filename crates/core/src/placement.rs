@@ -59,6 +59,32 @@ impl Placement {
         Placement::random(&mut rng)
     }
 
+    /// The `index`-th lottery draw over a partially fused-off part:
+    /// physical SPEs whose bit is set in `fused_mask` never receive the
+    /// low logical slots. The healthy SPEs are shuffled into logical
+    /// `0..healthy_count` (the slots transfer plans drive first) and the
+    /// fused ones are pinned, in ascending order, to the highest logical
+    /// slots — so a plan using at most `healthy_count` SPEs never touches
+    /// fused silicon. With `fused_mask == 0` this is exactly
+    /// [`Placement::lottery`].
+    pub fn lottery_avoiding(seed: u64, index: u64, fused_mask: u8) -> Placement {
+        use rand::SeedableRng;
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(cellsim_kernel::rng::derive_seed(seed, index));
+        let mut healthy: Vec<u8> = (0..SPE_COUNT as u8)
+            .filter(|p| fused_mask & (1 << p) == 0)
+            .collect();
+        healthy.shuffle(&mut rng);
+        let fused = (0..SPE_COUNT as u8).filter(|p| fused_mask & (1 << p) != 0);
+        let mut map = [0u8; SPE_COUNT];
+        for (slot, phys) in map.iter_mut().zip(healthy.into_iter().chain(fused)) {
+            *slot = phys;
+        }
+        Placement {
+            logical_to_physical: map,
+        }
+    }
+
     /// Builds a placement from an explicit mapping.
     ///
     /// Returns `None` unless `map` is a permutation of `0..8`.
@@ -136,6 +162,28 @@ mod tests {
         // Determinism under the same seed.
         let mut rng2 = StdRng::seed_from_u64(42);
         assert_eq!(p, Placement::random(&mut rng2));
+    }
+
+    #[test]
+    fn lottery_avoiding_pins_fused_spes_to_the_top() {
+        // Physical SPE 7 fused off (the PS3 part): every draw keeps it in
+        // the last logical slot, and the healthy seven still permute.
+        for index in 0..16 {
+            let p = Placement::lottery_avoiding(9, index, 1 << 7);
+            assert_eq!(p.physical(7), 7);
+            let mut seen = [false; SPE_COUNT];
+            for i in 0..SPE_COUNT {
+                seen[p.physical(i) as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+        // No mask: identical to the plain lottery, draw for draw.
+        for index in 0..8 {
+            assert_eq!(
+                Placement::lottery_avoiding(11, index, 0),
+                Placement::lottery(11, index)
+            );
+        }
     }
 
     #[test]

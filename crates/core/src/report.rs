@@ -303,6 +303,22 @@ impl MetricsTable {
                 b.stats.refresh_cycles.to_string(),
             );
         }
+        // Fault digest: always emitted (zeros included on a healthy run)
+        // so the column set is schema-stable.
+        row("fault_nacks", s.faults.nacks.to_string());
+        row("fault_retries", s.faults.retries.to_string());
+        row(
+            "fault_retries_exhausted",
+            s.faults.retries_exhausted.to_string(),
+        );
+        row(
+            "fault_abandoned_packets",
+            s.faults.abandoned_packets.to_string(),
+        );
+        row(
+            "fault_degraded_cycles",
+            s.faults.degraded_cycles.to_string(),
+        );
         // Latency digest: every path and phase is always emitted (zeros
         // included) so the column set is schema-stable.
         for (pi, path) in DmaPathClass::ALL.iter().enumerate() {
@@ -310,6 +326,16 @@ impl MetricsTable {
             let key = path.name().replace('-', "_");
             let h = &p.end_to_end;
             row(&format!("latency_{key}_commands"), p.commands.to_string());
+            row(&format!("latency_{key}_nacks"), p.nacks.to_string());
+            row(&format!("latency_{key}_retries"), p.retries.to_string());
+            row(
+                &format!("latency_{key}_retry_backoff_cycles"),
+                p.retry_backoff_cycles.to_string(),
+            );
+            row(
+                &format!("latency_{key}_exhausted_commands"),
+                p.exhausted_commands.to_string(),
+            );
             row(&format!("latency_{key}_p50"), h.percentile(50).to_string());
             row(&format!("latency_{key}_p95"), h.percentile(95).to_string());
             row(&format!("latency_{key}_p99"), h.percentile(99).to_string());
@@ -403,10 +429,16 @@ impl MetricsTable {
                     .map(|(phase, n)| format!("\"{}\":{n}", phase.name()))
                     .collect();
                 format!(
-                    "{{\"path\":\"{}\",\"commands\":{},\"end_to_end\":{},\
+                    "{{\"path\":\"{}\",\"commands\":{},\"nacks\":{},\
+                     \"retries\":{},\"retry_backoff_cycles\":{},\
+                     \"exhausted_commands\":{},\"end_to_end\":{},\
                      \"phase_cycles\":{{{}}},\"dominant_commands\":{{{}}}}}",
                     path.name(),
                     p.commands,
+                    p.nacks,
+                    p.retries,
+                    p.retry_backoff_cycles,
+                    p.exhausted_commands,
                     Self::hist_json(&p.end_to_end),
                     phases.join(","),
                     dominant.join(",")
@@ -424,6 +456,9 @@ impl MetricsTable {
              \"dominant_stall\":\"{}\",\
              \"runs_limited_by\":{{{}}},\"runs_unstalled\":{},\
              \"rings\":[{}],\"banks\":[{}],\
+             \"faults\":{{\"nacks\":{},\"retries\":{},\
+             \"retries_exhausted\":{},\"abandoned_packets\":{},\
+             \"degraded_cycles\":{}}},\
              \"latency\":{{\"paths\":[{}],\"element_service\":{}}}}}",
             self.id.replace('\\', "\\\\").replace('"', "\\\""),
             s.runs,
@@ -447,6 +482,11 @@ impl MetricsTable {
             s.unstalled_runs,
             rings.join(","),
             banks.join(","),
+            s.faults.nacks,
+            s.faults.retries,
+            s.faults.retries_exhausted,
+            s.faults.abandoned_packets,
+            s.faults.degraded_cycles,
             paths.join(","),
             Self::hist_json(&s.latency.element_service)
         )
@@ -513,6 +553,19 @@ impl fmt::Display for MetricsTable {
             "  limiter     runs by dominant stall: {}",
             limiters.join(", ")
         )?;
+        // Fault digest (elided on healthy runs; CSV/JSON always carry it).
+        if s.faults.any() {
+            writeln!(
+                f,
+                "  faults      {} NACKs → {} retried, {} exhausted \
+                 ({} packets abandoned); degraded {:.1}% of run",
+                s.faults.nacks,
+                s.faults.retries,
+                s.faults.retries_exhausted,
+                s.faults.abandoned_packets,
+                Self::pct(s.faults.degraded_cycles, s.run_cycles),
+            )?;
+        }
         // Per-path latency digest (empty paths elided from the human
         // view; CSV/JSON always carry all four).
         for (pi, path) in DmaPathClass::ALL.iter().enumerate() {
@@ -730,6 +783,7 @@ mod tests {
                     ..cellsim_mem::BankStats::default()
                 },
             }],
+            faults: crate::metrics::FaultStats::default(),
         });
         let table = MetricsTable {
             id: "10".into(),
@@ -743,9 +797,16 @@ mod tests {
         assert!(text.contains("runs by dominant stall: slots-full 1 (wire 1)"));
         assert!(text.contains("bank local"));
 
+        // Healthy run: the human view elides the fault line; CSV/JSON
+        // still carry the (zero) fault schema.
+        assert!(!text.contains("faults"));
+
         let csv = table.to_csv();
         assert!(csv.starts_with("metric,value\n"));
         assert!(csv.contains("stall_mfc_full_cycles,60\n"));
+        assert!(csv.contains("fault_nacks,0\n"));
+        assert!(csv.contains("fault_degraded_cycles,0\n"));
+        assert!(csv.contains("latency_mem_get_retries,0\n"));
         assert!(csv.contains("runs_limited_by_mfc_slots,1\n"));
         assert!(csv.contains("occupancy_cycles_2,50\n"));
         assert!(csv.contains("ring_0_bytes,512\n"));
@@ -760,6 +821,30 @@ mod tests {
              \"runs_unstalled\":0"
         ));
         assert!(json.contains("\"bank\":\"local\""));
+        assert!(json.contains(
+            "\"faults\":{\"nacks\":0,\"retries\":0,\"retries_exhausted\":0,\
+             \"abandoned_packets\":0,\"degraded_cycles\":0}"
+        ));
         assert!(json.ends_with("}"));
+    }
+
+    #[test]
+    fn metrics_table_json_parses_back() {
+        let table = MetricsTable {
+            id: "8".into(),
+            summary: MetricsSummary::default(),
+        };
+        let v = crate::json::parse(&table.to_json()).unwrap();
+        assert_eq!(v.get("figure").unwrap().as_str(), Some("8"));
+        assert_eq!(
+            v.get("latency")
+                .unwrap()
+                .get("paths")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            4
+        );
     }
 }

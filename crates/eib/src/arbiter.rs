@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use cellsim_faults::EibFaults;
 use cellsim_kernel::Cycle;
 
 use crate::ring::{Ring, RingId};
@@ -162,6 +163,7 @@ pub struct Eib {
     pending: VecDeque<Pending>,
     stats: EibStats,
     ring_stats: Vec<RingStats>,
+    faults: EibFaults,
 }
 
 impl Eib {
@@ -195,7 +197,16 @@ impl Eib {
             pending: VecDeque::new(),
             stats: EibStats::default(),
             ring_stats: vec![RingStats::default(); ring_count],
+            faults: EibFaults::default(),
         }
+    }
+
+    /// Installs fault windows (ring outages, bus derating). Faults gate
+    /// only *new* grants: transfers already on a ring when a window
+    /// opens drain at the rate they were granted with. Outages naming
+    /// rings this bus does not have are inert.
+    pub fn set_faults(&mut self, faults: EibFaults) {
+        self.faults = faults;
     }
 
     /// The bus topology.
@@ -312,7 +323,16 @@ impl Eib {
             Some(prev) if prev != req.class => self.cfg.source_switch_penalty,
             _ => 0,
         };
-        let duration = u64::from(req.bytes.div_ceil(self.cfg.bytes_per_cycle)) + switch;
+        let wire = u64::from(req.bytes.div_ceil(self.cfg.bytes_per_cycle));
+        // Inside a derating window every ring moves data at reduced
+        // capacity, so the same payload holds the wire longer.
+        let capacity = self.faults.capacity_percent(now.as_u64());
+        let wire = if capacity < 100 {
+            (wire * 100).div_ceil(u64::from(capacity))
+        } else {
+            wire
+        };
+        let duration = wire + switch;
         for route in self.topology.routes(req.src, req.dst) {
             // The head arrives at the destination after the hop latency;
             // the receive port must be free from then on.
@@ -322,6 +342,9 @@ impl Eib {
             }
             for (idx, ring) in self.rings.iter_mut().enumerate() {
                 if ring.direction() != route.direction {
+                    continue;
+                }
+                if self.faults.ring_out(idx, now.as_u64()) {
                     continue;
                 }
                 let wire_done = now + duration;
@@ -380,10 +403,17 @@ impl Eib {
             .copied()
             .filter(|&t| t > now)
             .min();
-        match (ring_next, port_next) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        // Fault windows open and close independently of reservations: a
+        // request blocked only by a ring outage must still get a wake-up
+        // at the window boundary.
+        let fault_next = self
+            .faults
+            .next_boundary_after(now.as_u64())
+            .map(Cycle::new);
+        [ring_next, port_next, fault_next]
+            .into_iter()
+            .flatten()
+            .min()
     }
 }
 
@@ -502,6 +532,76 @@ mod tests {
     fn idle_bus_has_no_release() {
         let eib = bus();
         assert_eq!(eib.next_release_after(Cycle::ZERO), None);
+    }
+
+    #[test]
+    fn ring_outage_blocks_then_recovers_at_the_boundary() {
+        use cellsim_faults::{RingOutage, Window};
+        let mut eib = Eib::new(
+            Topology::cbe(),
+            EibConfig {
+                rings_per_direction: 1,
+                ..EibConfig::default()
+            },
+        );
+        // Both rings (one CW, one CCW) out until cycle 40: nothing can
+        // be granted, but next_release_after points at the boundary.
+        eib.set_faults(EibFaults {
+            ring_outages: (0..2)
+                .map(|ring| RingOutage {
+                    ring,
+                    window: Window {
+                        start: 0,
+                        cycles: 40,
+                    },
+                })
+                .collect(),
+            derate: Vec::new(),
+        });
+        eib.submit(Cycle::ZERO, 0, req(Element::spe(0), Element::spe(2)));
+        assert!(eib.arbitrate(Cycle::ZERO).is_empty());
+        assert!(eib.has_pending());
+        let wake = eib.next_release_after(Cycle::ZERO).expect("boundary");
+        assert_eq!(wake, Cycle::new(40));
+        let grants = eib.arbitrate(wake);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].1.waited, 40);
+    }
+
+    #[test]
+    fn derate_window_stretches_wire_time() {
+        use cellsim_faults::{DerateWindow, Window};
+        let mut eib = bus();
+        eib.set_faults(EibFaults {
+            ring_outages: Vec::new(),
+            derate: vec![DerateWindow {
+                window: Window {
+                    start: 0,
+                    cycles: 1000,
+                },
+                capacity_percent: 25,
+            }],
+        });
+        eib.submit(Cycle::ZERO, 0, req(Element::spe(0), Element::Mic));
+        let grants = eib.arbitrate(Cycle::ZERO);
+        assert_eq!(grants.len(), 1);
+        // 128 B at a quarter of 16 B/cycle: 32 wire cycles, not 8.
+        assert_eq!(grants[0].1.wire_done, Cycle::new(32));
+    }
+
+    #[test]
+    fn empty_faults_change_nothing() {
+        let mut healthy = bus();
+        let mut faulted = bus();
+        faulted.set_faults(EibFaults::default());
+        for eib in [&mut healthy, &mut faulted] {
+            eib.submit(Cycle::ZERO, 0, req(Element::spe(0), Element::Mic));
+        }
+        assert_eq!(
+            healthy.arbitrate(Cycle::ZERO),
+            faulted.arbitrate(Cycle::ZERO)
+        );
+        assert_eq!(healthy.stats(), faulted.stats());
     }
 
     #[test]

@@ -371,26 +371,4 @@ mod tests {
         let json = format!("\"{}\"", escape(nasty));
         assert_eq!(parse(&json).unwrap().as_str(), Some(nasty));
     }
-
-    #[test]
-    fn parses_a_metrics_table_artifact() {
-        use crate::metrics::MetricsSummary;
-        use crate::report::MetricsTable;
-        let table = MetricsTable {
-            id: "8".into(),
-            summary: MetricsSummary::default(),
-        };
-        let v = parse(&table.to_json()).unwrap();
-        assert_eq!(v.get("figure").unwrap().as_str(), Some("8"));
-        assert_eq!(
-            v.get("latency")
-                .unwrap()
-                .get("paths")
-                .unwrap()
-                .as_array()
-                .unwrap()
-                .len(),
-            4
-        );
-    }
 }

@@ -1,5 +1,6 @@
 //! Latency/throughput model of one XDR DRAM bank.
 
+use cellsim_faults::{BankFaults, NackStream};
 use cellsim_kernel::Cycle;
 
 /// Direction of a DRAM access.
@@ -117,6 +118,8 @@ pub struct XdrBank {
     /// rate matches `bytes_per_cycle` exactly.
     debt: f64,
     stats: BankStats,
+    faults: BankFaults,
+    nacks: NackStream,
 }
 
 impl XdrBank {
@@ -142,7 +145,26 @@ impl XdrBank {
             debt: 0.0,
             cfg,
             stats: BankStats::default(),
+            faults: BankFaults::default(),
+            nacks: NackStream::disabled(),
         }
+    }
+
+    /// Installs fault behaviour: throttle windows applied to later
+    /// accesses, and a NACK stream seeded from the plan seed and this
+    /// bank's `stream_index` (so banks draw independent, deterministic
+    /// decision sequences).
+    pub fn set_faults(&mut self, faults: BankFaults, seed: u64, stream_index: u64) {
+        self.nacks = NackStream::new(seed, stream_index, faults.nack_ppm);
+        self.faults = faults;
+    }
+
+    /// Draws the next NACK decision for an access arriving now. Callers
+    /// that model retry semantics ask this *before* [`XdrBank::submit`];
+    /// a `true` answer means the access was refused transiently and the
+    /// requester must back off and retry. Always `false` without faults.
+    pub fn nack_roll(&mut self) -> bool {
+        self.nacks.roll()
     }
 
     /// The bank's configuration.
@@ -202,8 +224,15 @@ impl XdrBank {
             self.stats.refresh_cycles += self.cfg.refresh_cycles;
         }
 
-        // Service time with fractional carry.
-        let exact = f64::from(bytes) / self.cfg.bytes_per_cycle + self.debt;
+        // Service time with fractional carry. Inside a throttle window
+        // the pipe runs at reduced capacity.
+        let capacity = self.faults.capacity_percent(start.as_u64());
+        let rate = if capacity < 100 {
+            self.cfg.bytes_per_cycle * f64::from(capacity) / 100.0
+        } else {
+            self.cfg.bytes_per_cycle
+        };
+        let exact = f64::from(bytes) / rate + self.debt;
         let service = exact.floor() as u64;
         self.debt = exact - service as f64;
         // Never let an access be free even if the carry says so.
@@ -301,6 +330,51 @@ mod tests {
         let t = bank.next_accept_time(Cycle::ZERO);
         assert_eq!(t, Cycle::new(320 - 256));
         assert!(bank.can_accept(t));
+    }
+
+    #[test]
+    fn throttle_window_slows_the_pipe() {
+        use cellsim_faults::{DerateWindow, Window};
+        let mut bank = XdrBank::new(quiet(BankConfig::local_xdr()));
+        bank.set_faults(
+            BankFaults {
+                throttle: vec![DerateWindow {
+                    window: Window {
+                        start: 0,
+                        cycles: 100,
+                    },
+                    capacity_percent: 50,
+                }],
+                nack_ppm: 0,
+            },
+            0,
+            0,
+        );
+        // 128 B at half of 16 B/cycle: 16 service cycles, not 8.
+        let a = bank.submit(Cycle::ZERO, Op::Read, 128);
+        assert_eq!(a.service_done, Cycle::new(16));
+        // Outside the window the pipe is healthy again.
+        let b = bank.submit(Cycle::new(200), Op::Read, 128);
+        assert_eq!(b.service_cycles(), 8);
+    }
+
+    #[test]
+    fn nack_stream_is_deterministic_per_bank() {
+        let mut a = XdrBank::new(quiet(BankConfig::local_xdr()));
+        let mut b = XdrBank::new(quiet(BankConfig::local_xdr()));
+        let faults = BankFaults {
+            throttle: Vec::new(),
+            nack_ppm: 300_000,
+        };
+        a.set_faults(faults.clone(), 9, 0);
+        b.set_faults(faults, 9, 0);
+        let rolls_a: Vec<bool> = (0..64).map(|_| a.nack_roll()).collect();
+        let rolls_b: Vec<bool> = (0..64).map(|_| b.nack_roll()).collect();
+        assert_eq!(rolls_a, rolls_b);
+        assert!(rolls_a.iter().any(|&r| r));
+        // A healthy bank never NACKs.
+        let mut healthy = XdrBank::new(quiet(BankConfig::local_xdr()));
+        assert!((0..64).all(|_| !healthy.nack_roll()));
     }
 
     #[test]

@@ -48,6 +48,27 @@ impl MemorySystem {
         }
     }
 
+    /// Installs per-bank fault behaviour. The NACK decision streams are
+    /// seeded from `seed` with one stream index per bank, so the two
+    /// banks draw independent deterministic sequences.
+    pub fn set_faults(
+        &mut self,
+        local: cellsim_faults::BankFaults,
+        remote: cellsim_faults::BankFaults,
+        seed: u64,
+    ) {
+        self.local.set_faults(local, seed, 0);
+        self.remote.set_faults(remote, seed, 1);
+    }
+
+    /// Draws the next NACK decision for an access arriving at `bank`.
+    /// Consult before [`MemorySystem::submit`]; `true` means the access
+    /// was refused transiently and must be retried. Always `false`
+    /// without faults installed.
+    pub fn nack_roll(&mut self, bank: BankId) -> bool {
+        self.bank_mut(bank).nack_roll()
+    }
+
     /// The active NUMA policy.
     pub fn policy(&self) -> NumaPolicy {
         self.policy

@@ -98,6 +98,9 @@ pub enum DmaError {
     BadSpe(u8),
     /// A tag value outside 0..32.
     BadTag(u8),
+    /// A packet's access was NACKed until the owning command's retry
+    /// budget ran out; the carried count is the retries performed.
+    RetriesExhausted(u32),
 }
 
 impl fmt::Display for DmaError {
@@ -119,6 +122,9 @@ impl fmt::Display for DmaError {
             }
             DmaError::BadSpe(s) => write!(f, "logical SPE index {s} out of range"),
             DmaError::BadTag(t) => write!(f, "tag {t} out of range 0..32"),
+            DmaError::RetriesExhausted(n) => {
+                write!(f, "access NACKed; retry budget exhausted after {n} retries")
+            }
         }
     }
 }
@@ -380,6 +386,19 @@ pub struct CommandLifecycle {
     /// When the last packet was delivered/retired and the queue entry
     /// freed (tag-group completion for this command).
     pub completed_at: Cycle,
+    /// Transient NACKs observed across the command's packets.
+    pub nacks: u32,
+    /// Retries performed in response to NACKs (≤ `nacks`; the shortfall
+    /// is NACKs that found the budget already spent).
+    pub retries: u32,
+    /// Σ backoff cycles scheduled for those retries. Backoff elapses
+    /// between issue and delivery, so it is already inside the ring-wait
+    /// and service phases — this field *attributes* it, it does not add
+    /// a fifth phase (the exact four-phase sum is preserved).
+    pub retry_backoff_cycles: u64,
+    /// Whether any packet was abandoned after exhausting its retry
+    /// budget (the command's bytes were then not fully delivered).
+    pub exhausted: bool,
     /// Per-element stamps, in element order.
     pub element_records: Vec<ElementLifecycle>,
 }

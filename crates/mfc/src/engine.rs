@@ -1,7 +1,9 @@
 //! The MFC DMA engine: command queue, unroller, outstanding budget.
 
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 
+use cellsim_faults::{MfcFaults, RetryPolicy};
 use cellsim_kernel::Cycle;
 
 use crate::command::{
@@ -10,6 +12,47 @@ use crate::command::{
 };
 use crate::list::DmaListCommand;
 use crate::tag::{TagId, TagSet};
+
+/// Why an [`MfcConfig`] cannot build an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `queue_depth` is zero.
+    ZeroQueueDepth,
+    /// `max_outstanding_packets` is zero.
+    ZeroOutstandingBudget,
+    /// `packet_bytes` is zero.
+    ZeroPacketBytes,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroQueueDepth => write!(f, "MFC queue depth must be non-zero"),
+            ConfigError::ZeroOutstandingBudget => {
+                write!(f, "MFC outstanding-packet budget must be non-zero")
+            }
+            ConfigError::ZeroPacketBytes => write!(f, "MFC packet size must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The engine's answer to a NACKed in-flight packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NackVerdict {
+    /// Back off and re-attempt the access at `at`.
+    Retry {
+        /// Earliest cycle the retry may be attempted.
+        at: Cycle,
+        /// Which retry this is for the owning command (1-based).
+        attempt: u32,
+    },
+    /// The owning command's retry budget is spent; the packet must be
+    /// abandoned via [`MfcEngine::packet_abandoned`]. Carries the typed
+    /// error for reporting.
+    Exhausted(DmaError),
+}
 
 /// Structural parameters of one MFC. Times are bus cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -233,23 +276,44 @@ pub struct MfcEngine {
     /// complete per [`MfcEngine::packet_delivered`] call, so draining
     /// right after a `true` return is lossless.
     last_completed: Option<CommandLifecycle>,
+    /// Degraded-mode behaviour (slot-count reduction, queue stalls).
+    faults: MfcFaults,
+    /// NACK retry policy (budget + backoff).
+    retry: RetryPolicy,
 }
 
 impl MfcEngine {
     /// Creates an idle engine.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration has a zero queue depth, outstanding
-    /// budget, or packet size.
-    pub fn new(cfg: MfcConfig) -> MfcEngine {
-        assert!(cfg.queue_depth > 0, "queue depth must be non-zero");
-        assert!(
-            cfg.max_outstanding_packets > 0,
-            "outstanding budget must be non-zero"
-        );
-        assert!(cfg.packet_bytes > 0, "packet size must be non-zero");
-        MfcEngine {
+    /// Returns a [`ConfigError`] if the configuration has a zero queue
+    /// depth, outstanding budget, or packet size.
+    pub fn new(cfg: MfcConfig) -> Result<MfcEngine, ConfigError> {
+        MfcEngine::with_faults(cfg, MfcFaults::default(), RetryPolicy::default())
+    }
+
+    /// Creates an idle engine with degraded-mode behaviour installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] under the same conditions as
+    /// [`MfcEngine::new`].
+    pub fn with_faults(
+        cfg: MfcConfig,
+        faults: MfcFaults,
+        retry: RetryPolicy,
+    ) -> Result<MfcEngine, ConfigError> {
+        if cfg.queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if cfg.max_outstanding_packets == 0 {
+            return Err(ConfigError::ZeroOutstandingBudget);
+        }
+        if cfg.packet_bytes == 0 {
+            return Err(ConfigError::ZeroPacketBytes);
+        }
+        Ok(MfcEngine {
             cfg,
             queue: VecDeque::new(),
             packets: HashMap::new(),
@@ -264,6 +328,17 @@ impl MfcEngine {
             occupancy: vec![0; cfg.max_outstanding_packets + 1],
             occ_since: Cycle::ZERO,
             last_completed: None,
+            faults,
+            retry,
+        })
+    }
+
+    /// The outstanding-packet budget currently in force: the configured
+    /// budget, clipped by a fault-plan slot limit when one is installed.
+    pub fn slot_budget(&self) -> usize {
+        match self.faults.slot_limit {
+            Some(limit) => (limit as usize).min(self.cfg.max_outstanding_packets),
+            None => self.cfg.max_outstanding_packets,
         }
     }
 
@@ -369,6 +444,10 @@ impl MfcEngine {
             eib_wait_cycles: 0,
             bank_service_cycles: 0,
             completed_at: Cycle::ZERO,
+            nacks: 0,
+            retries: 0,
+            retry_backoff_cycles: 0,
+            exhausted: false,
             element_records: (0..work.element_count())
                 .map(|i| ElementLifecycle {
                     bytes: work.element_bytes(i),
@@ -396,7 +475,15 @@ impl MfcEngine {
         if self.queue.is_empty() {
             return Issue::Idle;
         }
-        if self.outstanding >= self.cfg.max_outstanding_packets {
+        // A fault-plan stall window freezes the unroller outright: nothing
+        // issues until the longest containing window ends. Checked before
+        // the budget so a stalled engine reports a concrete wake-up time.
+        if let Some(until) = self.faults.stalled_until(now.as_u64()) {
+            return Issue::Stalled {
+                retry_at: Cycle::new(until),
+            };
+        }
+        if self.outstanding >= self.slot_budget() {
             return Issue::Blocked;
         }
         if self.next_issue > now {
@@ -511,6 +598,25 @@ impl MfcEngine {
     ///
     /// Panics if `token` was never issued or is reported twice.
     pub fn packet_delivered(&mut self, now: Cycle, token: PacketToken) -> bool {
+        self.retire_packet(now, token, true)
+    }
+
+    /// Retires an in-flight packet whose access was given up on after its
+    /// retry budget ran out (see [`MfcEngine::note_nack`]). Identical to
+    /// [`MfcEngine::packet_delivered`] except the payload bytes are *not*
+    /// credited as delivered and the owning command is marked exhausted —
+    /// the queue entry, outstanding slot, and tag group still drain so the
+    /// fabric keeps making progress. Returns `true` when this freed the
+    /// owning command's queue entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` was never issued or is reported twice.
+    pub fn packet_abandoned(&mut self, now: Cycle, token: PacketToken) -> bool {
+        self.retire_packet(now, token, false)
+    }
+
+    fn retire_packet(&mut self, now: Cycle, token: PacketToken, credited: bool) -> bool {
         let meta = self
             .packets
             .remove(&token.0)
@@ -518,7 +624,9 @@ impl MfcEngine {
         assert!(self.outstanding > 0, "delivery with no packets outstanding");
         self.note_occupancy(now);
         self.outstanding -= 1;
-        self.stats.bytes_delivered += u64::from(meta.bytes);
+        if credited {
+            self.stats.bytes_delivered += u64::from(meta.bytes);
+        }
         let pos = self
             .queue
             .iter()
@@ -526,6 +634,9 @@ impl MfcEngine {
             .expect("delivered packet's command not in queue");
         let cmd = &mut self.queue[pos];
         cmd.in_flight -= 1;
+        if !credited {
+            cmd.life.exhausted = true;
+        }
         let elem = &mut cmd.life.element_records[meta.elem_idx];
         elem.completed_at = elem.completed_at.max(now);
         if cmd.fully_issued() && cmd.in_flight == 0 {
@@ -538,6 +649,32 @@ impl MfcEngine {
             true
         } else {
             false
+        }
+    }
+
+    /// Records a transient NACK against an in-flight packet and decides
+    /// its fate: a bounded-exponential-backoff retry while the owning
+    /// command's budget lasts, [`NackVerdict::Exhausted`] once it is
+    /// spent. Retry backoff cycles are stamped onto the command's
+    /// lifecycle so latency attribution can separate retry time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is not currently in flight.
+    pub fn note_nack(&mut self, now: Cycle, token: PacketToken) -> NackVerdict {
+        let (max_retries, policy) = (self.retry.max_retries, self.retry);
+        let cmd = self.in_flight_mut(token);
+        cmd.life.nacks += 1;
+        if cmd.life.retries >= max_retries {
+            return NackVerdict::Exhausted(DmaError::RetriesExhausted(cmd.life.retries));
+        }
+        cmd.life.retries += 1;
+        let attempt = cmd.life.retries;
+        let delay = policy.backoff(attempt);
+        cmd.life.retry_backoff_cycles += delay;
+        NackVerdict::Retry {
+            at: now + delay,
+            attempt,
         }
     }
 
@@ -634,7 +771,7 @@ mod tests {
 
     #[test]
     fn command_unrolls_into_aligned_packets() {
-        let mut mfc = MfcEngine::new(MfcConfig::default());
+        let mut mfc = MfcEngine::new(MfcConfig::default()).unwrap();
         mfc.enqueue(Cycle::ZERO, get(0, 0, 512)).unwrap();
         let packets = drain(&mut mfc);
         assert_eq!(packets.len(), 4);
@@ -648,7 +785,7 @@ mod tests {
     #[test]
     fn unaligned_ea_splits_on_packet_boundary() {
         // 128 bytes starting at EA offset 64: two 64-byte packets.
-        let mut mfc = MfcEngine::new(MfcConfig::default());
+        let mut mfc = MfcEngine::new(MfcConfig::default()).unwrap();
         mfc.enqueue(Cycle::ZERO, get(0, 64, 128)).unwrap();
         let packets = drain(&mut mfc);
         assert_eq!(packets.len(), 2);
@@ -662,7 +799,7 @@ mod tests {
             queue_depth: 2,
             ..MfcConfig::default()
         };
-        let mut mfc = MfcEngine::new(cfg);
+        let mut mfc = MfcEngine::new(cfg).unwrap();
         mfc.enqueue(Cycle::ZERO, get(0, 0, 128)).unwrap();
         mfc.enqueue(Cycle::ZERO, get(128, 128, 128)).unwrap();
         assert_eq!(
@@ -687,7 +824,7 @@ mod tests {
             command_startup: 0,
             ..MfcConfig::default()
         };
-        let mut mfc = MfcEngine::new(cfg);
+        let mut mfc = MfcEngine::new(cfg).unwrap();
         mfc.enqueue(Cycle::ZERO, get(0, 0, 1024)).unwrap();
         let mut now = Cycle::ZERO;
         let mut tokens = Vec::new();
@@ -714,7 +851,7 @@ mod tests {
             command_startup: 24,
             ..MfcConfig::default()
         };
-        let mut mfc = MfcEngine::new(cfg);
+        let mut mfc = MfcEngine::new(cfg).unwrap();
         mfc.enqueue(Cycle::ZERO, get(0, 0, 256)).unwrap();
         // First issue attempt stalls for the startup window.
         let Issue::Stalled { retry_at } = mfc.try_issue(Cycle::ZERO) else {
@@ -733,7 +870,7 @@ mod tests {
             list_element_overhead: 2,
             ..MfcConfig::default()
         };
-        let mut mfc = MfcEngine::new(cfg);
+        let mut mfc = MfcEngine::new(cfg).unwrap();
         let list =
             DmaListCommand::contiguous(DmaKind::Get, LsAddr(0), mem_at(0), 128, 4, tag(0)).unwrap();
         mfc.enqueue_list(Cycle::ZERO, list).unwrap();
@@ -761,7 +898,8 @@ mod tests {
         let mut mfc = MfcEngine::new(MfcConfig {
             command_startup: 0,
             ..MfcConfig::default()
-        });
+        })
+        .unwrap();
         mfc.enqueue(Cycle::ZERO, get(0, 0, 256)).unwrap();
         assert!(mfc.tags().is_pending(tag(0)));
         let Issue::Packet(a) = mfc.try_issue(Cycle::ZERO) else {
@@ -778,7 +916,7 @@ mod tests {
 
     #[test]
     fn small_transfers_are_single_packets() {
-        let mut mfc = MfcEngine::new(MfcConfig::default());
+        let mut mfc = MfcEngine::new(MfcConfig::default()).unwrap();
         mfc.enqueue(Cycle::ZERO, get(16, 16, 8)).unwrap();
         let packets = drain(&mut mfc);
         assert_eq!(packets.len(), 1);
@@ -788,7 +926,7 @@ mod tests {
     #[test]
     fn lifecycle_stamps_partition_the_latency() {
         use crate::command::DmaPhase;
-        let mut mfc = MfcEngine::new(MfcConfig::default());
+        let mut mfc = MfcEngine::new(MfcConfig::default()).unwrap();
         mfc.enqueue(Cycle::ZERO, get(0, 0, 512)).unwrap();
         let mut now = Cycle::ZERO;
         let mut pending = Vec::new();
@@ -835,11 +973,207 @@ mod tests {
     fn lifecycle_without_grant_stamps_still_conserves() {
         // Harnesses that bypass the EIB (like `drain`) never call
         // note_grant; ring-wait collapses to zero, conservation holds.
-        let mut mfc = MfcEngine::new(MfcConfig::default());
+        let mut mfc = MfcEngine::new(MfcConfig::default()).unwrap();
         mfc.enqueue(Cycle::ZERO, get(0, 0, 256)).unwrap();
         drain(&mut mfc);
         let life = mfc.take_completed().expect("lifecycle record");
         assert_eq!(life.packets_granted, 0);
+        assert_eq!(life.latency(), life.phases().iter().sum::<u64>());
+    }
+
+    #[test]
+    fn zero_config_fields_are_typed_errors() {
+        let base = MfcConfig::default();
+        let cases = [
+            (
+                MfcConfig {
+                    queue_depth: 0,
+                    ..base
+                },
+                ConfigError::ZeroQueueDepth,
+            ),
+            (
+                MfcConfig {
+                    max_outstanding_packets: 0,
+                    ..base
+                },
+                ConfigError::ZeroOutstandingBudget,
+            ),
+            (
+                MfcConfig {
+                    packet_bytes: 0,
+                    ..base
+                },
+                ConfigError::ZeroPacketBytes,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(MfcEngine::new(cfg).err(), Some(want));
+            assert!(!want.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn slot_limit_clips_the_outstanding_budget() {
+        let faults = MfcFaults {
+            slot_limit: Some(2),
+            ..MfcFaults::default()
+        };
+        let mut mfc = MfcEngine::with_faults(
+            MfcConfig {
+                command_startup: 0,
+                ..MfcConfig::default()
+            },
+            faults,
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(mfc.slot_budget(), 2);
+        mfc.enqueue(Cycle::ZERO, get(0, 0, 1024)).unwrap();
+        let mut now = Cycle::ZERO;
+        let mut tokens = Vec::new();
+        loop {
+            match mfc.try_issue(now) {
+                Issue::Packet(p) => tokens.push(p.token),
+                Issue::Stalled { retry_at } => {
+                    now = retry_at;
+                    continue;
+                }
+                Issue::Blocked => break,
+                Issue::Idle => panic!("should not be idle"),
+            }
+            now += 1;
+        }
+        // Only 2 of the configured 8 slots usable.
+        assert_eq!(tokens.len(), 2);
+        mfc.packet_delivered(now, tokens[0]);
+        assert!(matches!(mfc.try_issue(now), Issue::Packet(_)));
+    }
+
+    #[test]
+    fn queue_stall_window_freezes_the_unroller() {
+        use cellsim_faults::Window;
+        let faults = MfcFaults {
+            queue_stalls: vec![Window {
+                start: 10,
+                cycles: 30,
+            }],
+            ..MfcFaults::default()
+        };
+        let mut mfc = MfcEngine::with_faults(
+            MfcConfig {
+                command_startup: 0,
+                ..MfcConfig::default()
+            },
+            faults,
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        mfc.enqueue(Cycle::ZERO, get(0, 0, 256)).unwrap();
+        // Before the window: issues normally.
+        assert!(matches!(mfc.try_issue(Cycle::ZERO), Issue::Packet(_)));
+        // Inside the window: stalled until its end.
+        assert_eq!(
+            mfc.try_issue(Cycle::new(10)),
+            Issue::Stalled {
+                retry_at: Cycle::new(40)
+            }
+        );
+        assert_eq!(
+            mfc.try_issue(Cycle::new(39)),
+            Issue::Stalled {
+                retry_at: Cycle::new(40)
+            }
+        );
+        // At the boundary: issues again.
+        assert!(matches!(mfc.try_issue(Cycle::new(40)), Issue::Packet(_)));
+    }
+
+    #[test]
+    fn nacks_back_off_then_exhaust() {
+        let retry = RetryPolicy {
+            max_retries: 2,
+            backoff_base: 4,
+            backoff_cap: 64,
+        };
+        let mut mfc = MfcEngine::with_faults(
+            MfcConfig {
+                command_startup: 0,
+                ..MfcConfig::default()
+            },
+            MfcFaults::default(),
+            retry,
+        )
+        .unwrap();
+        mfc.enqueue(Cycle::ZERO, get(0, 0, 128)).unwrap();
+        let Issue::Packet(p) = mfc.try_issue(Cycle::ZERO) else {
+            panic!("expected packet")
+        };
+        assert_eq!(
+            mfc.note_nack(Cycle::new(5), p.token),
+            NackVerdict::Retry {
+                at: Cycle::new(9), // 5 + base·2^0
+                attempt: 1,
+            }
+        );
+        assert_eq!(
+            mfc.note_nack(Cycle::new(9), p.token),
+            NackVerdict::Retry {
+                at: Cycle::new(17), // 9 + base·2^1
+                attempt: 2,
+            }
+        );
+        // Budget spent: third NACK is terminal.
+        assert_eq!(
+            mfc.note_nack(Cycle::new(17), p.token),
+            NackVerdict::Exhausted(DmaError::RetriesExhausted(2))
+        );
+        // Abandon: slot and queue entry drain, no bytes credited.
+        assert!(mfc.packet_abandoned(Cycle::new(20), p.token));
+        assert!(mfc.is_idle());
+        assert_eq!(mfc.stats().bytes_delivered, 0);
+        assert_eq!(mfc.stats().completed, 1);
+        assert!(!mfc.tags().is_pending(tag(0)));
+        let life = mfc.take_completed().expect("lifecycle record");
+        assert!(life.exhausted);
+        assert_eq!(life.nacks, 3);
+        assert_eq!(life.retries, 2);
+        assert_eq!(life.retry_backoff_cycles, 4 + 8);
+        assert_eq!(life.latency(), life.phases().iter().sum::<u64>());
+    }
+
+    #[test]
+    fn retried_then_delivered_command_conserves_latency() {
+        let mut mfc = MfcEngine::new(MfcConfig::default()).unwrap();
+        mfc.enqueue(Cycle::ZERO, get(0, 0, 256)).unwrap();
+        let mut now = Cycle::ZERO;
+        let mut pending = Vec::new();
+        loop {
+            match mfc.try_issue(now) {
+                Issue::Packet(p) => {
+                    pending.push(p.token);
+                    now += 1;
+                }
+                Issue::Stalled { retry_at } => now = retry_at,
+                Issue::Blocked | Issue::Idle => break,
+            }
+        }
+        // First packet NACKs once, retries, then both deliver.
+        let NackVerdict::Retry { at, attempt } = mfc.note_nack(now, pending[0]) else {
+            panic!("budget not exhausted")
+        };
+        assert_eq!(attempt, 1);
+        let mut done = false;
+        for tok in pending {
+            done = mfc.packet_delivered(at + 10, tok);
+        }
+        assert!(done);
+        let life = mfc.take_completed().expect("lifecycle record");
+        assert!(!life.exhausted);
+        assert_eq!(life.nacks, 1);
+        assert_eq!(life.retries, 1);
+        assert!(life.retry_backoff_cycles > 0);
+        assert_eq!(life.bytes, 256);
         assert_eq!(life.latency(), life.phases().iter().sum::<u64>());
     }
 
@@ -849,7 +1183,8 @@ mod tests {
         let mut mfc = MfcEngine::new(MfcConfig {
             command_startup: 0,
             ..MfcConfig::default()
-        });
+        })
+        .unwrap();
         mfc.enqueue(Cycle::ZERO, get(0, 0, 128)).unwrap();
         let Issue::Packet(p) = mfc.try_issue(Cycle::ZERO) else {
             panic!()

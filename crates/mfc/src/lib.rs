@@ -27,7 +27,7 @@
 //! use cellsim_mem::RegionId;
 //! use cellsim_mfc::{DmaCommand, DmaKind, EffectiveAddr, Issue, LsAddr, MfcConfig, MfcEngine, TagId};
 //!
-//! let mut mfc = MfcEngine::new(MfcConfig::default());
+//! let mut mfc = MfcEngine::new(MfcConfig::default()).expect("default config is valid");
 //! let cmd = DmaCommand::new(
 //!     DmaKind::Get,
 //!     LsAddr(0),
@@ -60,7 +60,9 @@ pub use command::{
     CommandLifecycle, DmaCommand, DmaError, DmaKind, DmaPhase, EffectiveAddr, ElementLifecycle,
     LsAddr, TargetClass,
 };
-pub use engine::{Issue, MfcConfig, MfcEngine, MfcStats, PacketOut, PacketToken};
+pub use engine::{
+    ConfigError, Issue, MfcConfig, MfcEngine, MfcStats, NackVerdict, PacketOut, PacketToken,
+};
 pub use list::{DmaListCommand, ListElement};
 pub use tag::{TagId, TagSet};
 

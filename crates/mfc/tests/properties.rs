@@ -72,7 +72,7 @@ proptest! {
             command_startup: 0,
             ..MfcConfig::default()
         };
-        let mut mfc = MfcEngine::new(cfg);
+        let mut mfc = MfcEngine::new(cfg).unwrap();
         mfc.enqueue(Cycle::ZERO, cmd).unwrap();
 
         let mut now = Cycle::ZERO;
@@ -125,7 +125,7 @@ proptest! {
         )
         .unwrap();
         let expected = list.total_bytes();
-        let mut mfc = MfcEngine::new(MfcConfig::default());
+        let mut mfc = MfcEngine::new(MfcConfig::default()).unwrap();
         mfc.enqueue_list(Cycle::ZERO, list).unwrap();
         prop_assert!(mfc.tags().is_pending(tag));
 
@@ -157,7 +157,7 @@ proptest! {
             command_startup: 0,
             ..MfcConfig::default()
         };
-        let mut mfc = MfcEngine::new(cfg);
+        let mut mfc = MfcEngine::new(cfg).unwrap();
         let mut ls = 0u32;
         for (i, &s16) in sizes.iter().enumerate() {
             let bytes = s16 * 128;

@@ -15,6 +15,9 @@
 //! * [`mem`] — dual XDR banks (MIC + IOIF paths) and NUMA placement;
 //! * [`mfc`] — the per-SPE DMA engines: command validation, 16-entry
 //!   queues, tag groups, DMA lists, outstanding-packet budgets;
+//! * [`faults`] — deterministic fault injection: seeded [`FaultPlan`]s
+//!   describing ring outages, bandwidth derates, bank NACKs, MFC slot
+//!   loss and fused-off SPEs (the PS3 part, [`CellSystem::ps3`]);
 //! * [`spe`] — Local Store and the SPU load/store pipeline;
 //! * [`ppe`] — the SMT PPU with its L1/L2 hierarchy and store queues;
 //! * [`core`] — the assembled machine, transfer plans and the paper's
@@ -41,6 +44,7 @@
 
 pub use cellsim_core as core;
 pub use cellsim_eib as eib;
+pub use cellsim_faults as faults;
 pub use cellsim_kernel as kernel;
 pub use cellsim_kernels as kernels;
 pub use cellsim_mem as mem;
@@ -50,9 +54,10 @@ pub use cellsim_runtime as runtime;
 pub use cellsim_spe as spe;
 
 pub use cellsim_core::{
-    baseline, exec, experiments, json, latency, metrics, report, BankMetrics, CellConfig,
-    CellSystem, DmaPathClass, FabricEvent, FabricMetrics, FabricReport, FabricTrace,
-    LatencyHistogram, LatencyMetrics, MachineState, MetricsSummary, Placement, PlanError,
-    SpeMetrics, SpeScript, SyncPolicy, TraceTruncated, TransferPlan, TransferPlanBuilder,
-    REGION_STRIDE, SPE_COUNT,
+    baseline, exec, experiments, json, latency, metrics, report, BankFaults, BankMetrics,
+    CellConfig, CellSystem, DerateWindow, DmaPathClass, EibFaults, FabricEvent, FabricMetrics,
+    FabricReport, FabricTrace, FaultPlan, FaultPlanError, FaultStats, LatencyHistogram,
+    LatencyMetrics, MachineState, MetricsSummary, MfcFaults, Placement, PlanError, RetryPolicy,
+    RingOutage, SpeMetrics, SpeScript, SyncPolicy, TraceTruncated, TransferPlan,
+    TransferPlanBuilder, Window, REGION_STRIDE, SPE_COUNT,
 };

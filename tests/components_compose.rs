@@ -73,7 +73,7 @@ fn drive(mfc: &mut MfcEngine, eib: &mut Eib, src: Element, dst: Element) -> (Cyc
 
 #[test]
 fn hand_wired_mfc_saturates_one_ramp_port() {
-    let mut mfc = MfcEngine::new(MfcConfig::default());
+    let mut mfc = MfcEngine::new(MfcConfig::default()).expect("default MFC config is valid");
     let mut eib = Eib::new(Topology::cbe(), EibConfig::default());
     let tag = TagId::new(0).unwrap();
     // Fill the 16-entry queue with 16 KB puts into a neighbour's LS.

@@ -6,7 +6,8 @@
 
 use cellsim::latency::LATENCY_BUCKETS;
 use cellsim::{
-    CellSystem, DmaPathClass, FabricReport, LatencyHistogram, Placement, SyncPolicy, TransferPlan,
+    CellSystem, DmaPathClass, FabricReport, FaultPlan, LatencyHistogram, Placement, RetryPolicy,
+    SyncPolicy, TransferPlan,
 };
 use proptest::prelude::*;
 
@@ -103,6 +104,66 @@ fn assert_latency_conservation(r: &FabricReport) {
     );
 }
 
+/// A machine where both XDR banks NACK aggressively with a tight retry
+/// budget, so retries *and* exhaustion both occur.
+fn nack_storm(seed: u64) -> CellSystem {
+    let mut plan = FaultPlan {
+        seed,
+        ..FaultPlan::default()
+    };
+    plan.local_bank.nack_ppm = 80_000;
+    plan.remote_bank.nack_ppm = 80_000;
+    plan.retry = RetryPolicy {
+        max_retries: 2,
+        backoff_base: 16,
+        backoff_cap: 256,
+    };
+    CellSystem::blade().with_faults(plan)
+}
+
+/// The retry ledger balances between the fabric's fault counters and the
+/// per-path latency digests: every NACK either retried or exhausted,
+/// every exhaustion abandoned exactly one packet, and the per-path
+/// lifecycle sums agree with the fabric totals.
+fn assert_fault_conservation(r: &FabricReport) {
+    let f = r.metrics.faults;
+    assert_eq!(
+        f.nacks,
+        f.retries + f.retries_exhausted,
+        "every NACK is either retried or exhausts the budget"
+    );
+    assert_eq!(
+        f.retries_exhausted, f.abandoned_packets,
+        "every exhaustion abandons exactly one packet"
+    );
+    let path_sum = |field: fn(&cellsim::latency::PathLatency) -> u64| {
+        DmaPathClass::ALL
+            .iter()
+            .map(|&p| field(r.latency.path(p)))
+            .sum::<u64>()
+    };
+    assert_eq!(
+        path_sum(|p| p.nacks),
+        f.nacks,
+        "per-path NACK counts must sum to the fabric total"
+    );
+    assert_eq!(
+        path_sum(|p| p.retries),
+        f.retries,
+        "per-path retry counts must sum to the fabric total"
+    );
+    let exhausted_commands = path_sum(|p| p.exhausted_commands);
+    assert!(
+        exhausted_commands <= f.abandoned_packets,
+        "a command is marked exhausted once, however many packets it lost"
+    );
+    assert_eq!(
+        exhausted_commands == 0,
+        f.abandoned_packets == 0,
+        "abandoned packets and exhausted commands appear together"
+    );
+}
+
 proptest! {
     #![proptest_config(proptest::test_runner::Config::with_cases(12))]
 
@@ -124,6 +185,47 @@ proptest! {
         let again = CellSystem::blade().run(&Placement::lottery(seed, 0), &plan);
         prop_assert_eq!(report.latency, again.latency);
     }
+
+    #[test]
+    fn latency_digest_is_conserved_under_nack_retries(
+        pattern_idx in 0usize..3,
+        spes in 1usize..=8,
+        elem_idx in 0usize..3,
+        sync_idx in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let pattern = [Pattern::MemGet, Pattern::MemPut, Pattern::Cycle][pattern_idx];
+        let elem = [128u32, 2048, 16384][elem_idx];
+        let sync = [SyncPolicy::AfterAll, SyncPolicy::Every(1), SyncPolicy::Every(4)][sync_idx];
+        let plan = plan_for(pattern, spes, elem, sync);
+        let system = nack_storm(seed);
+        let report = system.run(&Placement::lottery(seed, 0), &plan);
+        // Retry backoff elapses *inside* the existing phases, so the
+        // exact four-phase partition must survive a NACK storm untouched.
+        assert_latency_conservation(&report);
+        assert_fault_conservation(&report);
+        // The fault path is as deterministic as the healthy one.
+        let again = system.run(&Placement::lottery(seed, 0), &plan);
+        prop_assert_eq!(report.latency, again.latency);
+        prop_assert_eq!(report.metrics.faults, again.metrics.faults);
+    }
+}
+
+#[test]
+fn nack_storm_actually_exercises_retries_and_exhaustion() {
+    // Guard against the property above passing vacuously: at 8% NACKs
+    // with a 2-retry budget, a 4-SPE GET stream must see retries and at
+    // least one exhausted command.
+    let plan = plan_for(Pattern::MemGet, 4, 2048, SyncPolicy::AfterAll);
+    let r = nack_storm(11).run(&Placement::identity(), &plan);
+    let f = r.metrics.faults;
+    assert!(f.nacks > 0, "storm produced no NACKs");
+    assert!(f.retries > 0, "storm produced no retries");
+    assert!(f.retries_exhausted > 0, "storm never exhausted a budget");
+    assert_fault_conservation(&r);
+    let get = r.latency.path(DmaPathClass::MemGet);
+    assert!(get.retry_backoff_cycles > 0, "retries must accrue backoff");
+    assert!(get.exhausted_commands > 0);
 }
 
 #[test]

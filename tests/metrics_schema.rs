@@ -97,6 +97,12 @@ fn csv_schema_does_not_depend_on_the_workload() {
         "latency_ls_put_dominant_ring_wait",
         "latency_mem_put_phase_service",
         "latency_element_service_count",
+        "fault_nacks",
+        "fault_retries_exhausted",
+        "fault_degraded_cycles",
+        "latency_mem_get_retries",
+        "latency_ls_get_retry_backoff_cycles",
+        "latency_mem_put_exhausted_commands",
     ] {
         assert!(
             a.iter().any(|m| m == needle),
@@ -150,6 +156,7 @@ fn json_parses_back_with_the_fixed_key_set() {
         "runs_unstalled",
         "rings",
         "banks",
+        "faults",
         "latency",
     ];
     expected.sort_unstable(); // JsonValue objects iterate in key order
@@ -171,9 +178,28 @@ fn json_parses_back_with_the_fixed_key_set() {
         ["mem-get", "mem-put", "ls-get", "ls-put"],
         "all four paths present even when idle"
     );
+    let faults = doc.get("faults").expect("faults object present");
+    for key in [
+        "nacks",
+        "retries",
+        "retries_exhausted",
+        "abandoned_packets",
+        "degraded_cycles",
+    ] {
+        assert_eq!(
+            faults.get(key).and_then(JsonValue::as_u64),
+            Some(0),
+            "healthy run must emit zero fault counter '{key}'"
+        );
+    }
+
     for p in paths {
         for key in [
             "commands",
+            "nacks",
+            "retries",
+            "retry_backoff_cycles",
+            "exhausted_commands",
             "end_to_end",
             "phase_cycles",
             "dominant_commands",
