@@ -43,7 +43,7 @@ fn bench_fabric(c: &mut Criterion) {
     for (name, plan) in plans() {
         g.throughput(Throughput::Bytes(plan.total_bytes()));
         g.bench_function(name, |b| {
-            b.iter(|| black_box(system.run(&placement, &plan)))
+            b.iter(|| black_box(system.try_run(&placement, &plan).unwrap()))
         });
     }
     g.finish();

@@ -3,9 +3,9 @@
 //!
 //! ```text
 //! repro [--quick|--full] [--figure <id>]... [--ablations] [--seed N]
-//!       [--faults <plan.json>] [--jobs N] [--verbose] [--csv <dir>]
-//!       [--metrics <dir>] [--trace-out <file>] [--baseline-out <file>]
-//!       [--check <file>] [--tolerance N]
+//!       [--faults <plan.json>] [--jobs N] [--cache-dir <dir>] [--verbose]
+//!       [--csv <dir>] [--metrics <dir>] [--trace-out <file>]
+//!       [--baseline-out <file>] [--check <file>] [--tolerance N]
 //!
 //!   --quick             reduced sweep (fast smoke run)
 //!   --full              paper-scale protocol (32 MiB per SPE, slow)
@@ -22,6 +22,12 @@
 //!   --jobs N            worker threads for the sweeps (default:
 //!                       CELLSIM_JOBS or all cores; figures are
 //!                       bit-identical for any N)
+//!   --cache-dir <dir>   persist finished runs into <dir>, one verified
+//!                       JSON entry per run key; later invocations (any
+//!                       --jobs) reload them bit-identically, and
+//!                       corrupt or stale entries are silently
+//!                       recomputed. An interrupted --full sweep resumes
+//!                       where it was killed.
 //!   --verbose           print each fabric figure's metrics digest to
 //!                       stdout and cache statistics to stderr
 //!   --csv <dir>         write each figure as CSV into <dir>
@@ -39,6 +45,13 @@
 //!   --tolerance N       relative tolerance band (e.g. 0.01 = 1%):
 //!                       recorded into the file with --baseline-out,
 //!                       overrides the recorded band with --check
+//!
+//! exit codes:
+//!   0  success
+//!   1  --check found baseline drift
+//!   2  one or more runs failed (stall or panic); each failed run key is
+//!      named on stderr, completed points still print (marked `*`)
+//!   3  bad invocation or I/O error
 //! ```
 //!
 //! Figure tables go to stdout; timing and cache statistics go to stderr,
@@ -78,6 +91,7 @@ struct Args {
     check: Option<PathBuf>,
     tolerance: Option<f64>,
     jobs: Option<usize>,
+    cache_dir: Option<PathBuf>,
     verbose: bool,
 }
 
@@ -94,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
     let mut check = None;
     let mut tolerance = None;
     let mut jobs = None;
+    let mut cache_dir = None;
     let mut verbose = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -155,14 +170,25 @@ fn parse_args() -> Result<Args, String> {
                 }
                 jobs = Some(n);
             }
+            "--cache-dir" => {
+                let dir = argv.next().ok_or("--cache-dir needs a directory")?;
+                cache_dir = Some(PathBuf::from(dir));
+            }
             "--verbose" => verbose = true,
             "--help" | "-h" => {
                 println!(
                     "repro [--quick|--full] [--figure <id>]... [--faults <plan.json>] \
                      [--ablations] [--kernels] [--csv <dir>] [--metrics <dir>] \
                      [--trace-out <file>] [--baseline-out <file>] [--check <file>] \
-                     [--tolerance N] [--seed N] [--jobs N] [--verbose]\n\n\
-                     figure ids: {}",
+                     [--tolerance N] [--seed N] [--jobs N] [--cache-dir <dir>] \
+                     [--verbose]\n\n\
+                     figure ids: {}\n\n\
+                     exit codes:\n  \
+                     0  success\n  \
+                     1  --check found baseline drift\n  \
+                     2  one or more runs failed (stall or panic); failed run keys \
+                     are named on stderr\n  \
+                     3  bad invocation or I/O error",
                     FIGURE_IDS.join(", ")
                 );
                 std::process::exit(0);
@@ -200,9 +226,15 @@ fn parse_args() -> Result<Args, String> {
         check,
         tolerance,
         jobs,
+        cache_dir,
         verbose,
     })
 }
+
+/// Exit codes, enumerated in `--help`: success is `ExitCode::SUCCESS`.
+const EXIT_DRIFT: u8 = 1;
+const EXIT_FAILED_RUNS: u8 = 2;
+const EXIT_BAD_INVOCATION: u8 = 3;
 
 /// Relative tolerance recorded by `--baseline-out` when `--tolerance`
 /// is not given: 1%, wide enough for float formatting, far tighter than
@@ -469,7 +501,9 @@ fn write_chrome_trace(
     let capacity = usize::try_from(4 * (plan.total_bytes() / 128) + 4096)
         .map_err(|_| "trace capacity overflows usize".to_string())?;
     let placement = Placement::lottery(cfg.seed, 0);
-    let (report, trace) = system.run_traced_with_capacity(&placement, &plan, capacity);
+    let (report, trace) = system
+        .try_run_traced_with_capacity(&placement, &plan, capacity)
+        .map_err(|failure| format!("trace run stalled: {failure}"))?;
     trace
         .require_complete()
         .map_err(|e| format!("refusing to write a truncated trace: {e}"))?;
@@ -526,35 +560,70 @@ fn write_chrome_trace(
     Ok(())
 }
 
+/// Prints every failed run to stderr, deduplicated by run key (in-batch
+/// duplicates of one key share a single failure), and returns how many
+/// distinct runs failed.
+fn report_failures(exec: &SweepExecutor) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    let mut distinct = 0;
+    for failure in exec.failures() {
+        if seen.insert(failure.key().to_string()) {
+            eprintln!("failed run: {failure}");
+            distinct += 1;
+        }
+    }
+    if distinct > 0 {
+        eprintln!("repro: {distinct} run(s) failed; affected figure points are marked `*`");
+    }
+    distinct
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_BAD_INVOCATION);
         }
     };
-    let exec = match args.jobs {
-        Some(n) => SweepExecutor::new(n),
-        None => SweepExecutor::default(),
+    let jobs = args
+        .jobs
+        .unwrap_or_else(|| cellsim_core::exec::jobs_from_env().unwrap_or(0));
+    let exec = match &args.cache_dir {
+        Some(dir) => match SweepExecutor::with_cache_dir(jobs, dir) {
+            Ok(exec) => exec,
+            Err(e) => {
+                eprintln!("error: could not open cache dir {}: {e}", dir.display());
+                return ExitCode::from(EXIT_BAD_INVOCATION);
+            }
+        },
+        None => SweepExecutor::new(jobs),
     };
     let cfg = &args.cfg;
     if let Some(path) = &args.baseline_out {
         return match write_baseline(&args, &exec, path) {
+            Ok(()) if report_failures(&exec) > 0 => ExitCode::from(EXIT_FAILED_RUNS),
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                ExitCode::from(EXIT_BAD_INVOCATION)
             }
         };
     }
     if let Some(path) = &args.check {
         return match check_baseline(&args, &exec, path) {
-            Ok(true) => ExitCode::SUCCESS,
-            Ok(false) => ExitCode::FAILURE,
+            Ok(clean) => {
+                if report_failures(&exec) > 0 {
+                    ExitCode::from(EXIT_FAILED_RUNS)
+                } else if clean {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(EXIT_DRIFT)
+                }
+            }
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                ExitCode::from(EXIT_BAD_INVOCATION)
             }
         };
     }
@@ -572,12 +641,12 @@ fn main() -> ExitCode {
     let start = Instant::now();
     if let Err(e) = run(&args, &exec) {
         eprintln!("error: {e}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_BAD_INVOCATION);
     }
     if let Some(path) = &args.trace_out {
         if let Err(e) = write_chrome_trace(path, &machine(&args), cfg) {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_BAD_INVOCATION);
         }
     }
     let elapsed = start.elapsed();
@@ -591,6 +660,15 @@ fn main() -> ExitCode {
             stats.misses,
             stats.hit_rate() * 100.0
         );
+        if let Some(disk) = exec.disk_stats() {
+            eprintln!(
+                "repro: disk cache: {} loaded, {} stored, {} discarded",
+                disk.loaded, disk.stored, disk.discarded
+            );
+        }
+    }
+    if report_failures(&exec) > 0 {
+        return ExitCode::from(EXIT_FAILED_RUNS);
     }
     ExitCode::SUCCESS
 }

@@ -24,7 +24,11 @@ fn main() {
             let plan = b.build().unwrap();
             let mut rng = StdRng::seed_from_u64(99);
             let mean: f64 = (0..10)
-                .map(|_| sys.run(&Placement::random(&mut rng), &plan).sum_gbps)
+                .map(|_| {
+                    sys.try_run(&Placement::random(&mut rng), &plan)
+                        .unwrap()
+                        .sum_gbps
+                })
                 .sum::<f64>()
                 / 10.0;
             print!("  {op} {n}: {mean:.1}  ");
@@ -38,7 +42,7 @@ fn main() {
             .exchange_with(0, 1, MIB, elem, SyncPolicy::AfterAll)
             .build()
             .unwrap();
-        let r = sys.run(&id, &plan);
+        let r = sys.try_run(&id, &plan).unwrap();
         println!("  {elem:>5} B: {:.2}", r.sum_gbps);
     }
 
@@ -48,7 +52,7 @@ fn main() {
             .exchange_with_list(0, 1, MIB, elem, SyncPolicy::AfterAll)
             .build()
             .unwrap();
-        let r = sys.run(&id, &plan);
+        let r = sys.try_run(&id, &plan).unwrap();
         println!("  {elem:>5} B: {:.2}", r.sum_gbps);
     }
 
@@ -63,7 +67,7 @@ fn main() {
             .exchange_with(0, 1, MIB, 4096, sync)
             .build()
             .unwrap();
-        let r = sys.run(&id, &plan);
+        let r = sys.try_run(&id, &plan).unwrap();
         println!("  every {k:>2}: {:.2}", r.sum_gbps);
     }
 
@@ -77,7 +81,7 @@ fn main() {
     let plan = b.build().unwrap();
     for _ in 0..10 {
         let p = Placement::random(&mut rng);
-        samples.push(sys.run(&p, &plan).aggregate_gbps);
+        samples.push(sys.try_run(&p, &plan).unwrap().aggregate_gbps);
     }
     summarize(&samples);
 
@@ -90,7 +94,11 @@ fn main() {
         let plan = b.build().unwrap();
         let mut rng = StdRng::seed_from_u64(13);
         let samples: Vec<f64> = (0..10)
-            .map(|_| sys.run(&Placement::random(&mut rng), &plan).aggregate_gbps)
+            .map(|_| {
+                sys.try_run(&Placement::random(&mut rng), &plan)
+                    .unwrap()
+                    .aggregate_gbps
+            })
             .collect();
         print!("  {n} SPEs: ");
         summarize(&samples);

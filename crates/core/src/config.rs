@@ -12,6 +12,7 @@ use cellsim_spe::{SpuLsConfig, SpuLsModel};
 
 use crate::data::MachineState;
 use crate::fabric::{self, FabricReport};
+use crate::failure::RunFailure;
 use crate::placement::Placement;
 use crate::plan::TransferPlan;
 use crate::tracing::FabricTrace;
@@ -140,43 +141,53 @@ impl CellSystem {
 
     /// Runs a DMA transfer plan under `placement` and reports bandwidths.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the fabric deadlocks or exceeds its safety horizon —
-    /// both indicate a simulator bug, not bad input (plans are validated
-    /// at construction).
-    pub fn run(&self, placement: &Placement, plan: &TransferPlan) -> FabricReport {
+    /// [`RunFailure::Stall`] when the fabric deadlocks, livelocks, or
+    /// exceeds its safety horizon; the diagnosis snapshots the stuck
+    /// machine (per-SPE queues, in-flight packets by phase, retry
+    /// counters). Plans are validated at construction, so a stall
+    /// indicates a pathological configuration or a simulator bug — but it
+    /// is reported, not a process abort.
+    pub fn try_run(
+        &self,
+        placement: &Placement,
+        plan: &TransferPlan,
+    ) -> Result<FabricReport, RunFailure> {
         fabric::run_plan(&self.config, self.faults(), placement, plan, None)
     }
 
     /// Runs a plan *and moves real bytes*: every delivered packet copies
     /// its payload between `state`'s main memory and Local Stores, in
-    /// delivery order. Timing is identical to [`CellSystem::run`].
+    /// delivery order. Timing is identical to [`CellSystem::try_run`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics under the same conditions as [`CellSystem::run`].
-    pub fn run_with_data(
+    /// [`RunFailure::Stall`] under the same conditions as
+    /// [`CellSystem::try_run`]. On failure `state` holds the payloads
+    /// delivered before the stall.
+    pub fn try_run_with_data(
         &self,
         placement: &Placement,
         plan: &TransferPlan,
         state: &mut MachineState,
-    ) -> FabricReport {
+    ) -> Result<FabricReport, RunFailure> {
         fabric::run_plan(&self.config, self.faults(), placement, plan, Some(state))
     }
 
     /// Runs a plan while recording a [`FabricTrace`] of every packet
     /// phase, for post-hoc analysis (throughput timelines, ring shares,
-    /// hop statistics). Timing is identical to [`CellSystem::run`].
+    /// hop statistics). Timing is identical to [`CellSystem::try_run`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics under the same conditions as [`CellSystem::run`].
-    pub fn run_traced(
+    /// [`RunFailure::Stall`] under the same conditions as
+    /// [`CellSystem::try_run`]; the partial trace is dropped.
+    pub fn try_run_traced(
         &self,
         placement: &Placement,
         plan: &TransferPlan,
-    ) -> (FabricReport, FabricTrace) {
+    ) -> Result<(FabricReport, FabricTrace), RunFailure> {
         let mut trace = FabricTrace::new();
         let report = fabric::run_plan_traced(
             &self.config,
@@ -185,25 +196,29 @@ impl CellSystem {
             plan,
             None,
             Some(&mut trace),
-        );
-        (report, trace)
+        )?;
+        Ok((report, trace))
     }
 
-    /// Like [`CellSystem::run_traced`], but with an explicit trace-buffer
-    /// capacity. The default capacity overflows at paper scale (a `--full`
-    /// run generates ~8M events); a complete trace needs room for up to
-    /// four phases per bus packet.
+    /// Like [`CellSystem::try_run_traced`], but with an explicit
+    /// trace-buffer capacity. The default capacity overflows at paper
+    /// scale (a `--full` run generates ~8M events); a complete trace
+    /// needs room for up to four phases per bus packet.
+    ///
+    /// # Errors
+    ///
+    /// [`RunFailure::Stall`] under the same conditions as
+    /// [`CellSystem::try_run`].
     ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`CellSystem::run`], or if
-    /// `capacity` is zero.
-    pub fn run_traced_with_capacity(
+    /// Panics if `capacity` is zero.
+    pub fn try_run_traced_with_capacity(
         &self,
         placement: &Placement,
         plan: &TransferPlan,
         capacity: usize,
-    ) -> (FabricReport, FabricTrace) {
+    ) -> Result<(FabricReport, FabricTrace), RunFailure> {
         let mut trace = FabricTrace::with_capacity(capacity);
         let report = fabric::run_plan_traced(
             &self.config,
@@ -212,8 +227,80 @@ impl CellSystem {
             plan,
             None,
             Some(&mut trace),
-        );
-        (report, trace)
+        )?;
+        Ok((report, trace))
+    }
+
+    /// Deprecated panicking form of [`CellSystem::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full stall diagnosis if the fabric stalls.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_run`, which reports stalls as values"
+    )]
+    pub fn run(&self, placement: &Placement, plan: &TransferPlan) -> FabricReport {
+        self.try_run(placement, plan)
+            .unwrap_or_else(|failure| panic!("{failure}"))
+    }
+
+    /// Deprecated panicking form of [`CellSystem::try_run_with_data`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full stall diagnosis if the fabric stalls.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_run_with_data`, which reports stalls as values"
+    )]
+    pub fn run_with_data(
+        &self,
+        placement: &Placement,
+        plan: &TransferPlan,
+        state: &mut MachineState,
+    ) -> FabricReport {
+        self.try_run_with_data(placement, plan, state)
+            .unwrap_or_else(|failure| panic!("{failure}"))
+    }
+
+    /// Deprecated panicking form of [`CellSystem::try_run_traced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full stall diagnosis if the fabric stalls.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_run_traced`, which reports stalls as values"
+    )]
+    pub fn run_traced(
+        &self,
+        placement: &Placement,
+        plan: &TransferPlan,
+    ) -> (FabricReport, FabricTrace) {
+        self.try_run_traced(placement, plan)
+            .unwrap_or_else(|failure| panic!("{failure}"))
+    }
+
+    /// Deprecated panicking form of
+    /// [`CellSystem::try_run_traced_with_capacity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full stall diagnosis if the fabric stalls, or if
+    /// `capacity` is zero.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_run_traced_with_capacity`, which reports stalls as values"
+    )]
+    pub fn run_traced_with_capacity(
+        &self,
+        placement: &Placement,
+        plan: &TransferPlan,
+        capacity: usize,
+    ) -> (FabricReport, FabricTrace) {
+        self.try_run_traced_with_capacity(placement, plan, capacity)
+            .unwrap_or_else(|failure| panic!("{failure}"))
     }
 
     /// The PPE pipeline model configured for this machine.

@@ -1,7 +1,7 @@
 //! Functional machine state: real bytes behind the timing simulation.
 //!
 //! The bandwidth experiments are timing-only, but the fabric can also
-//! *move data*: give [`crate::CellSystem::run_with_data`] a
+//! *move data*: give [`crate::CellSystem::try_run_with_data`] a
 //! [`MachineState`] and every delivered DMA packet copies real bytes
 //! between main memory and the Local Stores, in delivery order. Examples
 //! use this to run verified staged computations through the simulated

@@ -35,11 +35,15 @@
 //! computed, so cached and uncached sweeps render identical figures.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::config::{CellConfig, CellSystem};
+use crate::diskcache::{DiskCache, DiskCacheStats};
 use crate::fabric::FabricReport;
+use crate::failure::StallDiagnosis;
 use crate::placement::Placement;
 use crate::plan::{SyncPolicy, TransferPlan};
 
@@ -109,6 +113,75 @@ pub struct RunKey {
     /// Logical→physical mapping of the run.
     pub placement: [u8; 8],
 }
+
+impl fmt::Display for RunKey {
+    /// Compact one-line identity, the form failures are reported in:
+    /// `pattern=couples spes=2 volume=262144 elem=128 list=false
+    /// sync=AfterAll placement=[0,1,..] config=0x.. faults=0x..`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = &self.workload;
+        let placement: Vec<String> = self.placement.iter().map(u8::to_string).collect();
+        write!(
+            f,
+            "pattern={} spes={} volume={} elem={} list={} sync={:?} \
+             placement=[{}] config={:#018x} faults={:#018x}",
+            w.pattern,
+            w.spes,
+            w.volume,
+            w.elem,
+            w.list,
+            w.sync,
+            placement.join(","),
+            self.config,
+            self.faults
+        )
+    }
+}
+
+/// Why one sweep point produced no report. The sweep as a whole keeps
+/// going: every other spec still returns its result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The fabric returned a typed stall.
+    Stall {
+        /// Which point stalled.
+        key: RunKey,
+        /// The full diagnosis from the fabric (boxed: the happy path
+        /// carries only a pointer).
+        diagnosis: Box<StallDiagnosis>,
+    },
+    /// The run panicked; the worker caught it at the run boundary.
+    Panicked {
+        /// Which point panicked.
+        key: RunKey,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl RunError {
+    /// The [`RunKey`] of the failed point.
+    pub fn key(&self) -> &RunKey {
+        match self {
+            RunError::Stall { key, .. } | RunError::Panicked { key, .. } => key,
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Stall { key, diagnosis } => {
+                write!(f, "run stalled [{key}]: {diagnosis}")
+            }
+            RunError::Panicked { key, message } => {
+                write!(f, "run panicked [{key}]: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// One independent simulation: a machine, a plan, and a placement.
 #[derive(Debug, Clone)]
@@ -204,6 +277,11 @@ impl CacheStats {
 pub struct SweepExecutor {
     jobs: usize,
     cache: Mutex<HashMap<RunKey, Arc<FabricReport>>>,
+    /// Failures observed across all batches, in batch/spec order (one
+    /// entry per distinct failed key per batch).
+    failures: Mutex<Vec<RunError>>,
+    /// Optional persistent tier under the in-memory cache.
+    disk: Option<DiskCache>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -238,15 +316,54 @@ impl SweepExecutor {
         SweepExecutor {
             jobs,
             cache: Mutex::new(HashMap::new()),
+            failures: Mutex::new(Vec::new()),
+            disk: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Like [`SweepExecutor::new`], with a persistent cache directory
+    /// under the in-memory cache: fresh reports are written there (one
+    /// verified entry per [`RunKey`]), and future executors — including a
+    /// re-run after an interrupted sweep — resume from them. See
+    /// [`crate::diskcache`] for the entry format and validation rules.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from creating the directory.
+    pub fn with_cache_dir(jobs: usize, dir: &std::path::Path) -> std::io::Result<SweepExecutor> {
+        let mut exec = SweepExecutor::new(jobs);
+        exec.disk = Some(DiskCache::open(dir)?);
+        Ok(exec)
     }
 
     /// The worker count batches fan out over.
     #[must_use]
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Locks the in-memory cache, recovering from poison: a panicking
+    /// worker is caught at the run boundary, so the map is never left
+    /// mid-mutation — the data is safe even if a past batch crashed while
+    /// holding the lock.
+    fn lock_cache(&self) -> MutexGuard<'_, HashMap<RunKey, Arc<FabricReport>>> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Every failure observed so far, in batch order (one entry per
+    /// distinct failed key per batch).
+    pub fn failures(&self) -> Vec<RunError> {
+        self.failures
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Persistent-cache counters, if a cache directory is attached.
+    pub fn disk_stats(&self) -> Option<DiskCacheStats> {
+        self.disk.as_ref().map(DiskCache::stats)
     }
 
     /// Cache hit/miss counters since construction.
@@ -258,41 +375,79 @@ impl SweepExecutor {
         }
     }
 
-    /// Runs every spec, in parallel, returning reports in spec order.
+    /// Runs every spec, in parallel, returning per-spec results in spec
+    /// order. One failed point never takes the sweep down: a stall comes
+    /// back as [`RunError::Stall`] with its diagnosis, a panic is caught
+    /// at the run boundary and comes back as [`RunError::Panicked`], and
+    /// every other spec still returns its report. Failures are also
+    /// recorded on the executor ([`SweepExecutor::failures`]).
     ///
-    /// Specs whose key is already cached (from earlier batches or
-    /// duplicated within this one) are not re-simulated.
-    pub fn run(&self, specs: Vec<RunSpec>) -> Vec<Arc<FabricReport>> {
-        // Resolve against the cache and dedup the remainder, keeping the
-        // first spec of each distinct key as the one to simulate.
+    /// Specs whose key is already cached — in memory from earlier
+    /// batches, duplicated within this one, or (with
+    /// [`SweepExecutor::with_cache_dir`]) verified on disk — are not
+    /// re-simulated. Only successful reports are cached; a failed key is
+    /// retried on its next appearance.
+    pub fn try_run(&self, specs: Vec<RunSpec>) -> Vec<Result<Arc<FabricReport>, RunError>> {
+        // Resolve against the cache tiers and dedup the remainder,
+        // keeping the first spec of each distinct key as the one to
+        // simulate.
         let mut todo: Vec<&RunSpec> = Vec::new();
         let mut todo_index: HashMap<&RunKey, usize> = HashMap::new();
         // For each spec: Ok(report) if cached, Err(todo slot) otherwise.
         let mut resolution: Vec<Result<Arc<FabricReport>, usize>> = Vec::with_capacity(specs.len());
         {
-            let cache = self.cache.lock().expect("run cache poisoned");
+            let mut cache = self.lock_cache();
             for spec in &specs {
                 if let Some(report) = cache.get(&spec.key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     resolution.push(Ok(Arc::clone(report)));
-                } else if let Some(&slot) = todo_index.get(&spec.key) {
+                    continue;
+                }
+                if let Some(&slot) = todo_index.get(&spec.key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     resolution.push(Err(slot));
-                } else {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    let slot = todo.len();
-                    todo_index.insert(&spec.key, slot);
-                    todo.push(spec);
-                    resolution.push(Err(slot));
+                    continue;
                 }
+                // Memory miss: a verified disk entry promotes into the
+                // memory tier and counts as a hit.
+                if let Some(report) = self.disk.as_ref().and_then(|d| d.load(&spec.key)) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    let report = Arc::new(report);
+                    cache.insert(spec.key.clone(), Arc::clone(&report));
+                    resolution.push(Ok(report));
+                    continue;
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let slot = todo.len();
+                todo_index.insert(&spec.key, slot);
+                todo.push(spec);
+                resolution.push(Err(slot));
             }
         }
 
         // Fan the distinct misses out over scoped workers. A shared
         // atomic cursor hands out specs; results land in per-spec slots,
-        // so the outcome is independent of which worker ran what.
-        let fresh: Vec<OnceLock<Arc<FabricReport>>> =
+        // so the outcome is independent of which worker ran what. Each
+        // run is isolated with `catch_unwind`: a panicking point becomes
+        // that slot's error, and the worker moves on to the next spec.
+        let fresh: Vec<OnceLock<Result<Arc<FabricReport>, RunError>>> =
             (0..todo.len()).map(|_| OnceLock::new()).collect();
+        let simulate = |spec: &RunSpec| -> Result<Arc<FabricReport>, RunError> {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                spec.system.try_run(&spec.placement, &spec.plan)
+            }));
+            match outcome {
+                Ok(Ok(report)) => Ok(Arc::new(report)),
+                Ok(Err(failure)) => Err(RunError::Stall {
+                    key: spec.key.clone(),
+                    diagnosis: Box::new(failure.diagnosis().clone()),
+                }),
+                Err(payload) => Err(RunError::Panicked {
+                    key: spec.key.clone(),
+                    message: panic_message(payload.as_ref()),
+                }),
+            }
+        };
         let workers = self.jobs.min(todo.len());
         if workers > 1 {
             let cursor = AtomicUsize::new(0);
@@ -301,35 +456,86 @@ impl SweepExecutor {
                     scope.spawn(|| loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(spec) = todo.get(i) else { break };
-                        let report = spec.system.run(&spec.placement, &spec.plan);
-                        fresh[i]
-                            .set(Arc::new(report))
-                            .expect("slot written exactly once");
+                        let _ = fresh[i].set(simulate(spec));
                     });
                 }
             });
         } else {
             for (slot, spec) in fresh.iter().zip(&todo) {
-                slot.set(Arc::new(spec.system.run(&spec.placement, &spec.plan)))
-                    .expect("slot written exactly once");
+                let _ = slot.set(simulate(spec));
             }
         }
 
-        // Publish the fresh reports, then assemble in spec order.
+        // Publish the fresh successes (memory + disk), record the
+        // failures, then assemble in spec order.
         {
-            let mut cache = self.cache.lock().expect("run cache poisoned");
+            let mut cache = self.lock_cache();
             for (spec, slot) in todo.iter().zip(&fresh) {
-                let report = slot.get().expect("worker filled every slot");
-                cache.insert(spec.key.clone(), Arc::clone(report));
+                if let Some(Ok(report)) = slot.get() {
+                    if let Some(disk) = &self.disk {
+                        disk.store(&spec.key, report);
+                    }
+                    cache.insert(spec.key.clone(), Arc::clone(report));
+                }
             }
         }
+        {
+            let mut failures = self.failures.lock().unwrap_or_else(PoisonError::into_inner);
+            for (spec, slot) in todo.iter().zip(&fresh) {
+                match slot.get() {
+                    Some(Ok(_)) => {}
+                    Some(Err(error)) => failures.push(error.clone()),
+                    // A worker thread died without writing its slot (it
+                    // can only happen if the panic escaped the catch,
+                    // e.g. a panic in a panic payload's Drop).
+                    None => failures.push(RunError::Panicked {
+                        key: spec.key.clone(),
+                        message: "worker terminated without a result".to_string(),
+                    }),
+                }
+            }
+        }
+        let take = |slot: usize| -> Result<Arc<FabricReport>, RunError> {
+            match fresh[slot].get() {
+                Some(Ok(report)) => Ok(Arc::clone(report)),
+                Some(Err(error)) => Err(error.clone()),
+                None => Err(RunError::Panicked {
+                    key: todo[slot].key.clone(),
+                    message: "worker terminated without a result".to_string(),
+                }),
+            }
+        };
         resolution
             .into_iter()
             .map(|r| match r {
-                Ok(report) => report,
-                Err(slot) => Arc::clone(fresh[slot].get().expect("worker filled every slot")),
+                Ok(report) => Ok(report),
+                Err(slot) => take(slot),
             })
             .collect()
+    }
+
+    /// Panicking form of [`SweepExecutor::try_run`] for sweeps that are
+    /// known healthy (unit tests, benches): unwraps every result.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the first [`RunError`]'s message if any point fails.
+    pub fn run(&self, specs: Vec<RunSpec>) -> Vec<Arc<FabricReport>> {
+        self.try_run(specs)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|error| panic!("{error}")))
+            .collect()
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use cellsim_faults::{BankFaults, DerateWindow, FaultPlan, Window};
 
 use crate::exec::{RunSpec, SweepExecutor, Workload};
-use crate::experiments::{mean, ExperimentConfig, ExperimentError};
+use crate::experiments::{group_results, mean, ExperimentConfig, ExperimentError};
 use crate::metrics::MetricsSummary;
 use crate::report::{format_bytes, Figure, MetricsTable, Point, Series};
 use crate::{CellSystem, Placement, SyncPolicy, TransferPlan};
@@ -136,12 +136,12 @@ pub fn figure_degraded_with(
             }
         }
     }
-    let reports = exec.run(specs);
+    let grouped = group_results(exec.try_run(specs), cfg.placements);
     let mut summary = MetricsSummary::default();
-    for report in &reports {
+    for report in grouped.iter().flat_map(|g| &g.reports) {
         summary.accumulate_report(report);
     }
-    let mut groups = reports.chunks(cfg.placements);
+    let mut groups = grouped.iter();
     let series = scenarios
         .iter()
         .map(|scenario| Series {
@@ -150,15 +150,12 @@ pub fn figure_degraded_with(
                 .dma_elem_sizes
                 .iter()
                 .map(|&elem| {
-                    let samples: Vec<f64> = groups
+                    let runs = groups
                         .next()
-                        .expect("one report group per scenario × element")
-                        .iter()
-                        .map(|r| r.sum_gbps)
-                        .collect();
+                        .expect("one report group per scenario × element");
                     Point {
-                        x: format_bytes(u64::from(elem)),
-                        gbps: mean(&samples),
+                        x: runs.mark(format_bytes(u64::from(elem))),
+                        gbps: mean(&runs.samples(|r| r.sum_gbps)),
                     }
                 })
                 .collect(),

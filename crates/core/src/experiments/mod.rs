@@ -50,7 +50,7 @@ use std::sync::Arc;
 
 use cellsim_kernel::stats::SummaryError;
 
-use crate::exec::{RunSpec, SweepExecutor, Workload};
+use crate::exec::{RunError, RunSpec, SweepExecutor, Workload};
 use crate::fabric::FabricReport;
 use crate::metrics::MetricsSummary;
 use crate::placement::Placement;
@@ -223,18 +223,72 @@ pub(crate) struct SweepPoint {
     pub plan: Arc<TransferPlan>,
 }
 
+/// One sweep point's outcome: the reports of the placements that
+/// completed, plus how many failed (stalled or panicked). The failures
+/// themselves stay on the executor ([`SweepExecutor::failures`]), keyed
+/// by `RunKey`; here they only subtract samples, so a partially failed
+/// sweep still renders a figure with the incomplete points marked.
+pub(crate) struct PointRuns {
+    pub reports: Vec<Arc<FabricReport>>,
+    pub failed: usize,
+}
+
+impl PointRuns {
+    /// Appends the partial-point marker (`*`) to an x label when any run
+    /// of this point failed. Complete points keep their label verbatim,
+    /// so a fully healthy sweep renders byte-identically to the
+    /// pre-failure-pipeline output.
+    pub fn mark(&self, x: String) -> String {
+        if self.failed > 0 {
+            format!("{x}*")
+        } else {
+            x
+        }
+    }
+
+    /// `metric` over the surviving runs, in placement order.
+    pub fn samples(&self, metric: fn(&FabricReport) -> f64) -> Vec<f64> {
+        self.reports.iter().map(|r| metric(r)).collect()
+    }
+}
+
+/// Groups a `try_run` result vector into [`PointRuns`], `per_point`
+/// consecutive results per point.
+pub(crate) fn group_results(
+    results: Vec<Result<Arc<FabricReport>, RunError>>,
+    per_point: usize,
+) -> Vec<PointRuns> {
+    results
+        .chunks(per_point)
+        .map(|chunk| {
+            let mut point = PointRuns {
+                reports: Vec::new(),
+                failed: 0,
+            };
+            for result in chunk {
+                match result {
+                    Ok(report) => point.reports.push(Arc::clone(report)),
+                    Err(_) => point.failed += 1,
+                }
+            }
+            point
+        })
+        .collect()
+}
+
 /// Expands `points` into per-placement [`RunSpec`]s (run `k` draws
 /// [`Placement::lottery`]`(cfg.seed, k)` — or, when `system` carries a
 /// fault plan with fused SPEs, [`Placement::lottery_avoiding`], which is
 /// draw-for-draw identical on a healthy machine), executes the whole
-/// batch on `exec`, and returns the reports grouped per point, in point
-/// order.
+/// batch on `exec`, and returns the survivors grouped per point, in
+/// point order. Failed runs are recorded on `exec` and counted per
+/// point; the sweep itself never panics on them.
 pub(crate) fn sweep(
     exec: &SweepExecutor,
     system: &CellSystem,
     cfg: &ExperimentConfig,
     points: &[SweepPoint],
-) -> Vec<Vec<Arc<FabricReport>>> {
+) -> Vec<PointRuns> {
     let fused = system
         .faults()
         .map_or(0, cellsim_faults::FaultPlan::fused_mask);
@@ -249,14 +303,16 @@ pub(crate) fn sweep(
             ));
         }
     }
-    let reports = exec.run(specs);
-    reports
-        .chunks(cfg.placements)
-        .map(<[Arc<FabricReport>]>::to_vec)
-        .collect()
+    group_results(exec.try_run(specs), cfg.placements)
 }
 
+/// Mean of `samples`; `0.0` for an empty slice (a sweep point whose
+/// every placement failed), so partial figures render a marked zero
+/// instead of `NaN`.
 pub(crate) fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
     samples.iter().sum::<f64>() / samples.len() as f64
 }
 
@@ -292,7 +348,7 @@ pub fn figure_metrics_with(
     let points = builder(cfg);
     let groups = sweep(exec, system, cfg, &points);
     let mut summary = MetricsSummary::default();
-    for report in groups.iter().flatten() {
+    for report in groups.iter().flat_map(|g| &g.reports) {
         summary.accumulate_report(report);
     }
     Ok(Some(summary))

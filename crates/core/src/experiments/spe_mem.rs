@@ -62,15 +62,10 @@ pub fn figure8_with(
                         .dma_elem_sizes
                         .iter()
                         .map(|&elem| {
-                            let samples: Vec<f64> = groups
-                                .next()
-                                .expect("one report group per sweep point")
-                                .iter()
-                                .map(|r| r.sum_gbps)
-                                .collect();
+                            let runs = groups.next().expect("one report group per sweep point");
                             Point {
-                                x: format_bytes(u64::from(elem)),
-                                gbps: mean(&samples),
+                                x: runs.mark(format_bytes(u64::from(elem))),
+                                gbps: mean(&runs.samples(|r| r.sum_gbps)),
                             }
                         })
                         .collect(),

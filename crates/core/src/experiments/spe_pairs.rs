@@ -206,15 +206,10 @@ pub fn figure10_with(
                 .dma_elem_sizes
                 .iter()
                 .map(|&elem| {
-                    let samples: Vec<f64> = groups
-                        .next()
-                        .expect("one report group per sweep point")
-                        .iter()
-                        .map(|r| r.aggregate_gbps)
-                        .collect();
+                    let runs = groups.next().expect("one report group per sweep point");
                     Point {
-                        x: format_bytes(u64::from(elem)),
-                        gbps: mean(&samples),
+                        x: runs.mark(format_bytes(u64::from(elem))),
+                        gbps: mean(&runs.samples(|r| r.aggregate_gbps)),
                     }
                 })
                 .collect(),
@@ -379,15 +374,10 @@ fn pattern_figures(
                         .dma_elem_sizes
                         .iter()
                         .map(|&elem| {
-                            let samples: Vec<f64> = groups
-                                .next()
-                                .expect("one report group per sweep point")
-                                .iter()
-                                .map(|r| r.aggregate_gbps)
-                                .collect();
+                            let runs = groups.next().expect("one report group per sweep point");
                             Point {
-                                x: format_bytes(u64::from(elem)),
-                                gbps: mean(&samples),
+                                x: runs.mark(format_bytes(u64::from(elem))),
+                                gbps: mean(&runs.samples(|r| r.aggregate_gbps)),
                             }
                         })
                         .collect(),
@@ -423,13 +413,9 @@ fn spread_figures(
                 .dma_elem_sizes
                 .iter()
                 .map(|&elem| {
-                    let x = format_bytes(u64::from(elem));
-                    let samples: Vec<f64> = groups
-                        .next()
-                        .expect("one report group per sweep point")
-                        .iter()
-                        .map(|r| r.aggregate_gbps)
-                        .collect();
+                    let runs = groups.next().expect("one report group per sweep point");
+                    let x = runs.mark(format_bytes(u64::from(elem)));
+                    let samples = runs.samples(|r| r.aggregate_gbps);
                     let summary = Summary::from_samples(&samples).map_err(|source| {
                         ExperimentError::Stats {
                             figure: format!("{id}{sub}"),

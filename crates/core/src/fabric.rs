@@ -27,15 +27,21 @@ use cellsim_mfc::{
 
 use crate::config::CellConfig;
 use crate::data::MachineState;
+use crate::failure::{PacketPhase, RunFailure, SpeStall, StallDiagnosis, StallKind};
 use crate::latency::LatencyMetrics;
 use crate::metrics::{BankMetrics, FabricMetrics, FaultStats, SpeMetrics};
 use crate::placement::Placement;
 use crate::plan::{Planned, SyncPolicy, TransferPlan};
 use crate::tracing::{FabricEvent, FabricTrace};
+use cellsim_kernel::RunOutcome;
 
 /// Safety horizon: a fabric run that has not completed by this many bus
-/// cycles has deadlocked (a simulator bug).
+/// cycles is stalled and returns [`RunFailure::Stall`].
 const MAX_CYCLES: u64 = 50_000_000_000;
+
+/// Livelock bound: this many consecutive events without simulated time
+/// advancing is a zero-delay event storm, not progress.
+const MAX_STAGNANT_EVENTS: u64 = 10_000_000;
 
 /// Measured outcome of one transfer plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +111,9 @@ struct PacketInfo {
     bank: Option<BankId>,
     /// Currently refused by the bank's backlog horizon (stall accounting).
     waiting_mem: bool,
+    /// Lifecycle position, kept current at every transition so a stall
+    /// diagnosis can count in-flight packets per phase.
+    phase: PacketPhase,
 }
 
 /// What an SPE is doing right now, for the stall-cycle partition. Exactly
@@ -127,6 +136,20 @@ enum SpeState {
     /// Outstanding budget exhausted with a PUT refused by a bank's
     /// backlog horizon (write backpressure).
     StallMem,
+}
+
+impl SpeState {
+    /// Stable kebab-case name (the stall-diagnosis `state` field).
+    fn name(self) -> &'static str {
+        match self {
+            SpeState::Idle => "idle",
+            SpeState::Busy => "busy",
+            SpeState::StallSync => "stall-sync",
+            SpeState::StallMfcFull => "stall-mfc-full",
+            SpeState::StallEib => "stall-eib",
+            SpeState::StallMem => "stall-mem",
+        }
+    }
 }
 
 struct SpeCtx {
@@ -364,6 +387,7 @@ impl Fabric<'_> {
             class,
             bank,
             waiting_mem: false,
+            phase: PacketPhase::Command,
         });
         let cmd_done = self.cmdbus.issue(now);
         if let Some(t) = self.trace.as_deref_mut() {
@@ -378,7 +402,10 @@ impl Fabric<'_> {
             (DmaKind::Get, Some(_)) => self.try_get_from_memory(id, now, sched, cfg),
             (DmaKind::Put, Some(_)) => self.try_put_to_memory(id, now, sched),
             // LS↔LS: a short Local-Store access at the data source.
-            (_, None) => sched.schedule(now + cfg.ls_access_latency, Ev::SrcReady(id)),
+            (_, None) => {
+                self.packets[id as usize].phase = PacketPhase::SourceWait;
+                sched.schedule(now + cfg.ls_access_latency, Ev::SrcReady(id));
+            }
         }
     }
 
@@ -395,6 +422,7 @@ impl Fabric<'_> {
     ) {
         let info = self.packets[id as usize];
         let bank = info.bank.expect("memory get has a bank");
+        self.packets[id as usize].phase = PacketPhase::SourceWait;
         if self.mem.nack_roll(bank) {
             self.on_nack(id, now, sched, cfg);
             return;
@@ -439,6 +467,7 @@ impl Fabric<'_> {
     /// bytes are credited and the command is marked exhausted.
     fn abandon(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
         let info = self.packets[id as usize];
+        self.packets[id as usize].phase = PacketPhase::Retired;
         self.fault_stats.abandoned_packets += 1;
         let ctx = &mut self.spes[info.spe];
         let completed = ctx.mfc.packet_abandoned(now, info.token);
@@ -460,6 +489,7 @@ impl Fabric<'_> {
             self.submit_to_eib(id, now, sched);
         } else {
             let at = self.mem.next_accept_time(bank, now).max(now + 1);
+            self.packets[id as usize].phase = PacketPhase::MemWait;
             if !self.packets[id as usize].waiting_mem {
                 self.packets[id as usize].waiting_mem = true;
                 self.spes[info.spe].pkts_waiting_mem += 1;
@@ -475,6 +505,7 @@ impl Fabric<'_> {
             self.packets[id as usize].waiting_mem = false;
             self.spes[info.spe].pkts_waiting_mem -= 1;
         }
+        self.packets[id as usize].phase = PacketPhase::EibQueue;
         self.spes[info.spe].pkts_waiting_eib += 1;
         self.note_spe_state(info.spe, now);
         self.eib.submit(
@@ -494,6 +525,7 @@ impl Fabric<'_> {
         for (token, grant) in self.eib.arbitrate(now) {
             let id = u32::try_from(token).expect("token is a packet id");
             let info = self.packets[id as usize];
+            self.packets[id as usize].phase = PacketPhase::OnWire;
             self.spes[info.spe].pkts_waiting_eib -= 1;
             self.spes[info.spe]
                 .mfc
@@ -560,6 +592,7 @@ impl Fabric<'_> {
     ) {
         let info = self.packets[id as usize];
         let bank = info.bank.expect("memory put has a bank");
+        self.packets[id as usize].phase = PacketPhase::DramWrite;
         if self.mem.nack_roll(bank) {
             self.on_nack(id, now, sched, cfg);
             return;
@@ -582,6 +615,7 @@ impl Fabric<'_> {
 
     fn retire(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
         let info = self.packets[id as usize];
+        self.packets[id as usize].phase = PacketPhase::Retired;
         let ctx = &mut self.spes[info.spe];
         let completed = ctx.mfc.packet_delivered(now, info.token);
         ctx.bytes += u64::from(info.bytes);
@@ -636,17 +670,19 @@ impl Model for FabricModel<'_, '_> {
 
 /// Runs `plan` on the machine described by `cfg` under `placement`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation exceeds its safety horizon or ends with work
-/// still queued — both are simulator bugs.
+/// [`RunFailure::Stall`] when the simulation walks past its safety
+/// horizon, churns events without time advancing, or drains its event
+/// queue with SPEs still holding work. The diagnosis snapshots the stuck
+/// machine; no partial report is produced.
 pub(crate) fn run_plan(
     cfg: &CellConfig,
     faults: Option<&FaultPlan>,
     placement: &Placement,
     plan: &TransferPlan,
     data: Option<&mut MachineState>,
-) -> FabricReport {
+) -> Result<FabricReport, RunFailure> {
     run_plan_traced(cfg, faults, placement, plan, data, None)
 }
 
@@ -657,7 +693,7 @@ pub(crate) fn run_plan_traced(
     plan: &TransferPlan,
     data: Option<&mut MachineState>,
     trace: Option<&mut FabricTrace>,
-) -> FabricReport {
+) -> Result<FabricReport, RunFailure> {
     // A fused-off SPE has no functioning MFC: driving one is a harness
     // bug, caught here rather than surfacing as nonsense bandwidth.
     if let Some(fp) = faults {
@@ -723,17 +759,30 @@ pub(crate) fn run_plan_traced(
     for spe in plan.active_spes() {
         sim.schedule(Cycle::ZERO, Ev::Pump(spe));
     }
-    let end = sim.run_until(Cycle::new(MAX_CYCLES));
-    assert!(
-        end < Cycle::new(MAX_CYCLES),
-        "fabric exceeded its safety horizon"
-    );
+    let outcome = sim.run_guarded(Cycle::new(MAX_CYCLES), MAX_STAGNANT_EVENTS);
+    let events_processed = sim.events_processed();
+    let events_since_progress = sim.events_since_progress();
+    let at_cycle = sim.last_event_cycle().as_u64();
     let mut fabric = sim.into_model().fabric;
-    for (i, ctx) in fabric.spes.iter().enumerate() {
-        assert!(
-            ctx.commands.is_empty() && ctx.mfc.is_idle(),
-            "fabric finished with SPE{i} still busy (deadlock)"
-        );
+    let stalled = match outcome {
+        RunOutcome::HorizonExceeded(_) => Some(StallKind::HorizonExceeded),
+        RunOutcome::Stagnant(_) => Some(StallKind::Livelock),
+        // Drained, but an SPE still holds queued or in-flight work:
+        // nothing will ever wake it.
+        RunOutcome::Drained(_) => fabric
+            .spes
+            .iter()
+            .any(|ctx| !ctx.commands.is_empty() || !ctx.mfc.is_idle())
+            .then_some(StallKind::Deadlock),
+    };
+    if let Some(kind) = stalled {
+        return Err(RunFailure::Stall(Box::new(diagnose(
+            kind,
+            at_cycle,
+            events_processed,
+            events_since_progress,
+            &fabric,
+        ))));
     }
 
     let cycles = fabric
@@ -784,7 +833,7 @@ pub(crate) fn run_plan_traced(
         .iter()
         .map(|s| cfg.clock.gbytes_per_sec(s.bytes, s.last_delivery.as_u64()))
         .collect();
-    FabricReport {
+    Ok(FabricReport {
         cycles,
         total_bytes,
         aggregate_gbps: cfg.clock.gbytes_per_sec(total_bytes, cycles),
@@ -796,6 +845,59 @@ pub(crate) fn run_plan_traced(
         packets: fabric.delivered_packets,
         metrics,
         latency: fabric.latency,
+    })
+}
+
+/// Snapshots the stuck machine into a [`StallDiagnosis`].
+fn diagnose(
+    kind: StallKind,
+    at_cycle: u64,
+    events_processed: u64,
+    events_since_progress: u64,
+    fabric: &Fabric<'_>,
+) -> StallDiagnosis {
+    let mut packets_by_phase = [0u64; 6];
+    for p in &fabric.packets {
+        if let Some(i) = PacketPhase::IN_FLIGHT.iter().position(|&q| q == p.phase) {
+            packets_by_phase[i] += 1;
+        }
+    }
+    let per_spe = fabric
+        .spes
+        .iter()
+        .enumerate()
+        .map(|(i, ctx)| SpeStall {
+            spe: i,
+            physical: fabric.placement.physical(i),
+            state: ctx.classify().name(),
+            pending_commands: ctx.commands.len(),
+            mfc_queue_depth: ctx.mfc.queue_len(),
+            outstanding: ctx.mfc.outstanding(),
+            slot_budget: ctx.mfc.slot_budget(),
+            waiting_sync: ctx.waiting_sync,
+            packets_waiting_eib: ctx.pkts_waiting_eib,
+            packets_waiting_mem: ctx.pkts_waiting_mem,
+            last_delivery_cycle: ctx.last_delivery.as_u64(),
+        })
+        .collect();
+    StallDiagnosis {
+        kind,
+        at_cycle,
+        horizon: MAX_CYCLES,
+        last_progress_cycle: fabric
+            .spes
+            .iter()
+            .map(|s| s.last_delivery.as_u64())
+            .max()
+            .unwrap_or(0),
+        events_processed,
+        events_since_progress,
+        delivered_packets: fabric.delivered_packets,
+        packets_by_phase,
+        nacks: fabric.fault_stats.nacks,
+        retries: fabric.fault_stats.retries,
+        retries_exhausted: fabric.fault_stats.retries_exhausted,
+        per_spe,
     }
 }
 
@@ -816,7 +918,7 @@ mod tests {
             .get_from_memory(0, 2 * MIB, 16 * 1024, SyncPolicy::AfterAll)
             .build()
             .unwrap();
-        let r = system().run(&Placement::identity(), &plan);
+        let r = system().try_run(&Placement::identity(), &plan).unwrap();
         assert_eq!(r.total_bytes, 2 * MIB);
         assert!(
             r.aggregate_gbps > 8.0 && r.aggregate_gbps < 12.5,
@@ -831,7 +933,9 @@ mod tests {
         for spe in 0..2 {
             b = b.get_from_memory(spe, 2 * MIB, 16 * 1024, SyncPolicy::AfterAll);
         }
-        let r = system().run(&Placement::identity(), &b.build().unwrap());
+        let r = system()
+            .try_run(&Placement::identity(), &b.build().unwrap())
+            .unwrap();
         // SPE0 streams the local bank (~10), SPE1 the 7 GB/s remote one.
         assert!(
             r.sum_gbps > 15.0,
@@ -847,7 +951,7 @@ mod tests {
             .exchange_with(0, 1, 2 * MIB, 16 * 1024, SyncPolicy::AfterAll)
             .build()
             .unwrap();
-        let r = system().run(&Placement::identity(), &plan);
+        let r = system().try_run(&Placement::identity(), &plan).unwrap();
         // get+put concurrently: peak 33.6 GB/s; expect near-peak.
         assert!(
             r.aggregate_gbps > 26.0,
@@ -867,8 +971,8 @@ mod tests {
             .build()
             .unwrap();
         let sys = system();
-        let rb = sys.run(&Placement::identity(), &big);
-        let rs = sys.run(&Placement::identity(), &small);
+        let rb = sys.try_run(&Placement::identity(), &big).unwrap();
+        let rs = sys.try_run(&Placement::identity(), &small).unwrap();
         assert!(
             rs.aggregate_gbps < rb.aggregate_gbps / 2.0,
             "128 B elems must collapse: {} vs {}",
@@ -888,8 +992,8 @@ mod tests {
             .exchange_with_list(0, 1, MIB / 4, 128, SyncPolicy::AfterAll)
             .build()
             .unwrap();
-        let re = sys.run(&Placement::identity(), &elem);
-        let rl = sys.run(&Placement::identity(), &list);
+        let re = sys.try_run(&Placement::identity(), &elem).unwrap();
+        let rl = sys.try_run(&Placement::identity(), &list).unwrap();
         assert!(
             rl.aggregate_gbps > 2.0 * re.aggregate_gbps,
             "lists amortize startup: list={} elem={}",
@@ -909,8 +1013,8 @@ mod tests {
             .exchange_with(0, 1, MIB, 4096, SyncPolicy::AfterAll)
             .build()
             .unwrap();
-        let re = sys.run(&Placement::identity(), &eager);
-        let rl = sys.run(&Placement::identity(), &lazy);
+        let re = sys.try_run(&Placement::identity(), &eager).unwrap();
+        let rl = sys.try_run(&Placement::identity(), &lazy).unwrap();
         assert!(
             re.aggregate_gbps < rl.aggregate_gbps * 0.7,
             "eager sync must drain the pipeline: {} vs {}",
@@ -930,8 +1034,8 @@ mod tests {
             .put_to_memory(0, 2 * MIB, 16 * 1024, SyncPolicy::AfterAll)
             .build()
             .unwrap();
-        let rg = sys.run(&Placement::identity(), &get);
-        let rp = sys.run(&Placement::identity(), &put);
+        let rg = sys.try_run(&Placement::identity(), &get).unwrap();
+        let rp = sys.try_run(&Placement::identity(), &put).unwrap();
         let ratio = rp.aggregate_gbps / rg.aggregate_gbps;
         assert!((0.7..=1.4).contains(&ratio), "ratio={ratio}");
     }
@@ -942,7 +1046,9 @@ mod tests {
         for spe in 0..4 {
             b = b.get_from_memory(spe, MIB, 4096, SyncPolicy::AfterAll);
         }
-        let r = system().run(&Placement::identity(), &b.build().unwrap());
+        let r = system()
+            .try_run(&Placement::identity(), &b.build().unwrap())
+            .unwrap();
         for spe in 0..4 {
             assert_eq!(r.per_spe_bytes[spe], MIB);
             assert!(r.per_spe_gbps[spe] > 0.0);
@@ -965,11 +1071,13 @@ mod tests {
         }
         let plan = b.build().unwrap();
         let sys = system();
-        let id = sys.run(&Placement::identity(), &plan);
-        let rev = sys.run(
-            &Placement::from_mapping([7, 6, 5, 4, 3, 2, 1, 0]).unwrap(),
-            &plan,
-        );
+        let id = sys.try_run(&Placement::identity(), &plan).unwrap();
+        let rev = sys
+            .try_run(
+                &Placement::from_mapping([7, 6, 5, 4, 3, 2, 1, 0]).unwrap(),
+                &plan,
+            )
+            .unwrap();
         assert_eq!(id.total_bytes, rev.total_bytes);
         assert!(id.aggregate_gbps > 0.0 && rev.aggregate_gbps > 0.0);
     }
@@ -981,7 +1089,7 @@ mod tests {
             .get_from_memory(0, MIB, 4096, SyncPolicy::AfterAll)
             .build()
             .unwrap();
-        let r = system().run(&Placement::identity(), &plan);
+        let r = system().try_run(&Placement::identity(), &plan).unwrap();
         // 1 MiB in 4 KiB commands = 256 commands, all on the mem-get path.
         assert_eq!(r.latency.total_commands(), 256);
         let path = r.latency.path(DmaPathClass::MemGet);
@@ -1004,8 +1112,8 @@ mod tests {
             .build()
             .unwrap();
         let sys = system();
-        let a = sys.run(&Placement::identity(), &plan);
-        let b = sys.run(&Placement::identity(), &plan);
+        let a = sys.try_run(&Placement::identity(), &plan).unwrap();
+        let b = sys.try_run(&Placement::identity(), &plan).unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.aggregate_gbps, b.aggregate_gbps);
     }

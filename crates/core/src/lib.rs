@@ -32,10 +32,10 @@
 //! let plan = TransferPlan::builder()
 //!     .get_from_memory(0, 1 << 20, 16 * 1024, SyncPolicy::AfterAll)
 //!     .build()?;
-//! let report = system.run(&Placement::identity(), &plan);
+//! let report = system.try_run(&Placement::identity(), &plan)?;
 //! // A single SPE is latency-limited well below the 16.8 GB/s bank peak.
 //! assert!(report.aggregate_gbps > 7.0 && report.aggregate_gbps < 13.0);
-//! # Ok::<(), cellsim_core::PlanError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 mod config;
@@ -45,7 +45,10 @@ mod placement;
 mod plan;
 mod tracing;
 
+pub mod failure;
+
 pub mod baseline;
+pub mod diskcache;
 pub mod exec;
 pub mod experiments;
 pub mod latency;
@@ -67,6 +70,7 @@ pub use cellsim_faults::{
 pub use config::{CellConfig, CellSystem};
 pub use data::{MachineState, REGION_STRIDE};
 pub use fabric::FabricReport;
+pub use failure::{PacketPhase, RunFailure, SpeStall, StallDiagnosis, StallKind};
 pub use latency::{DmaPathClass, LatencyHistogram, LatencyMetrics, PathLatency};
 pub use metrics::{BankMetrics, FabricMetrics, FaultStats, MetricsSummary, SpeMetrics};
 pub use placement::Placement;

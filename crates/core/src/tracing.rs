@@ -1,6 +1,6 @@
 //! Fabric tracing: what the machine did, cycle by cycle.
 //!
-//! [`crate::CellSystem::run_traced`] records a [`FabricTrace`]: one event
+//! [`crate::CellSystem::try_run_traced`] records a [`FabricTrace`]: one event
 //! per packet phase (command issue, memory access, ring grant, delivery).
 //! The analysis methods turn that into the quantities an architect asks
 //! for — a throughput timeline, per-ring grant shares, per-SPE delivery
@@ -11,7 +11,7 @@
 //! 8 SPEs) generates ~8M events and overflows the default capacity, so
 //! every aggregate analysis method returns `Err(`[`TraceTruncated`]`)`
 //! rather than a silently-partial answer; size the buffer with
-//! [`crate::CellSystem::run_traced_with_capacity`] when you need complete
+//! [`crate::CellSystem::try_run_traced_with_capacity`] when you need complete
 //! aggregates.
 
 use std::fmt;
@@ -56,7 +56,7 @@ pub enum FabricEvent {
 
 /// The trace buffer overflowed: aggregate analyses over it would be
 /// silently wrong, so they refuse instead. Re-run with a larger capacity
-/// ([`crate::CellSystem::run_traced_with_capacity`]).
+/// ([`crate::CellSystem::try_run_traced_with_capacity`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceTruncated {
     /// Events recorded before the buffer filled.
@@ -262,7 +262,7 @@ mod tests {
             .get_from_memory(1, 256 << 10, 16 * 1024, SyncPolicy::AfterAll)
             .build()
             .unwrap();
-        let (_, trace) = sys.run_traced(&Placement::identity(), &plan);
+        let (_, trace) = sys.try_run_traced(&Placement::identity(), &plan).unwrap();
         trace
     }
 
@@ -331,7 +331,9 @@ mod tests {
             .get_from_memory(0, 64 << 10, 16 * 1024, SyncPolicy::AfterAll)
             .build()
             .unwrap();
-        let (report, trace) = sys.run_traced_with_capacity(&Placement::identity(), &plan, 8);
+        let (report, trace) = sys
+            .try_run_traced_with_capacity(&Placement::identity(), &plan, 8)
+            .unwrap();
         assert!(trace.dropped() > 0, "64 KiB must overflow 8 events");
         let err = trace.per_spe_bytes().unwrap_err();
         assert_eq!(err.recorded, 8);
@@ -353,7 +355,9 @@ mod tests {
             .build()
             .unwrap();
         // 512 packets × ≤4 phases each.
-        let (_, trace) = sys.run_traced_with_capacity(&Placement::identity(), &plan, 4 * 512);
+        let (_, trace) = sys
+            .try_run_traced_with_capacity(&Placement::identity(), &plan, 4 * 512)
+            .unwrap();
         assert_eq!(trace.dropped(), 0);
         assert!(trace.require_complete().is_ok());
         assert_eq!(trace.per_spe_bytes().unwrap(), vec![(0, 64 << 10)]);

@@ -55,16 +55,38 @@ impl<E> Scheduler<E> {
     }
 }
 
+/// How a guarded run ([`Simulation::run_guarded`]) ended.
+///
+/// The two non-completion outcomes are the progress watchdog firing: the
+/// simulation either walked past its time horizon or churned events
+/// without simulated time advancing. Both carry the time the run stopped
+/// at; the model state is intact for diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained; the simulation completed at this time.
+    Drained(Cycle),
+    /// The next pending event lies beyond the limit: the simulation is
+    /// still generating work past its safety horizon.
+    HorizonExceeded(Cycle),
+    /// More than the allowed number of events fired without simulated
+    /// time advancing — a zero-delay event storm (livelock).
+    Stagnant(Cycle),
+}
+
 /// The engine: an event queue plus a [`Model`].
 ///
 /// Construct with [`Simulation::new`], seed initial events with
 /// [`Simulation::schedule`], then call [`Simulation::run`] (to exhaustion)
-/// or [`Simulation::run_until`].
+/// or [`Simulation::run_until`]. [`Simulation::run_guarded`] adds a
+/// progress watchdog for models that must not hang.
 pub struct Simulation<M: Model> {
     model: M,
     queue: EventQueue<M::Event>,
     now: Cycle,
     processed: u64,
+    /// `processed` as of the last event that advanced simulated time —
+    /// the progress watchdog's reference point.
+    progress_mark: u64,
 }
 
 impl<M: Model> Simulation<M> {
@@ -75,6 +97,7 @@ impl<M: Model> Simulation<M> {
             queue: EventQueue::new(),
             now: Cycle::ZERO,
             processed: 0,
+            progress_mark: 0,
         }
     }
 
@@ -99,12 +122,29 @@ impl<M: Model> Simulation<M> {
     /// the time of the last processed event (or the starting time if nothing
     /// ran).
     pub fn run_until(&mut self, limit: Cycle) -> Cycle {
+        match self.run_guarded(limit, u64::MAX) {
+            RunOutcome::Drained(t) | RunOutcome::HorizonExceeded(t) | RunOutcome::Stagnant(t) => t,
+        }
+    }
+
+    /// Runs with a progress watchdog: stops when the queue drains, when
+    /// the next event lies beyond `limit`, or when more than
+    /// `max_stagnant_events` consecutive events fire without simulated
+    /// time advancing.
+    ///
+    /// Events *at* `limit` are processed. On a non-[`RunOutcome::Drained`]
+    /// outcome the model is left exactly as the last processed event left
+    /// it, so callers can inspect it to diagnose the stall.
+    pub fn run_guarded(&mut self, limit: Cycle, max_stagnant_events: u64) -> RunOutcome {
         while let Some(at) = self.queue.peek_time() {
             if at > limit {
-                break;
+                return RunOutcome::HorizonExceeded(self.now);
             }
             let (at, event) = self.queue.pop().expect("peeked event vanished");
             debug_assert!(at >= self.now, "event queue returned stale event");
+            if at > self.now {
+                self.progress_mark = self.processed;
+            }
             self.now = at;
             self.processed += 1;
             let mut sched = Scheduler {
@@ -115,8 +155,11 @@ impl<M: Model> Simulation<M> {
             for (t, e) in sched.pending {
                 self.queue.push(t, e);
             }
+            if self.events_since_progress() > max_stagnant_events {
+                return RunOutcome::Stagnant(self.now);
+            }
         }
-        self.now
+        RunOutcome::Drained(self.now)
     }
 
     /// Current simulation time.
@@ -127,6 +170,18 @@ impl<M: Model> Simulation<M> {
     /// Total events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// The time of the most recently processed event — the watchdog's
+    /// notion of when the simulation last did anything.
+    pub fn last_event_cycle(&self) -> Cycle {
+        self.now
+    }
+
+    /// Events processed since simulated time last advanced. Large values
+    /// mean the model is churning through a zero-delay event storm.
+    pub fn events_since_progress(&self) -> u64 {
+        self.processed - self.progress_mark
     }
 
     /// Shared access to the model.
@@ -214,6 +269,51 @@ mod tests {
         assert_eq!(sim.now(), Cycle::new(4));
         sim.run();
         assert_eq!(sim.model().hops, 5);
+    }
+
+    #[test]
+    fn guarded_run_completes_like_run() {
+        let mut sim = Simulation::new(Chain {
+            hops: 0,
+            done_at: None,
+        });
+        sim.schedule(Cycle::ZERO, Ev::Hop);
+        let out = sim.run_guarded(Cycle::new(100), 10);
+        assert_eq!(out, RunOutcome::Drained(Cycle::new(11)));
+        assert_eq!(sim.last_event_cycle(), Cycle::new(11));
+    }
+
+    #[test]
+    fn guarded_run_reports_horizon_exceeded() {
+        struct Forever;
+        impl Model for Forever {
+            type Event = ();
+            fn handle(&mut self, now: Cycle, (): (), sched: &mut Scheduler<()>) {
+                sched.schedule(now + 5, ());
+            }
+        }
+        let mut sim = Simulation::new(Forever);
+        sim.schedule(Cycle::ZERO, ());
+        let out = sim.run_guarded(Cycle::new(17), 1000);
+        // Events at 0, 5, 10, 15 processed; 20 is beyond the horizon.
+        assert_eq!(out, RunOutcome::HorizonExceeded(Cycle::new(15)));
+        assert_eq!(sim.events_processed(), 4);
+    }
+
+    #[test]
+    fn guarded_run_reports_zero_delay_storms() {
+        struct Storm;
+        impl Model for Storm {
+            type Event = ();
+            fn handle(&mut self, now: Cycle, (): (), sched: &mut Scheduler<()>) {
+                sched.schedule(now, ()); // never advances time
+            }
+        }
+        let mut sim = Simulation::new(Storm);
+        sim.schedule(Cycle::new(3), ());
+        let out = sim.run_guarded(Cycle::new(100), 50);
+        assert_eq!(out, RunOutcome::Stagnant(Cycle::new(3)));
+        assert!(sim.events_since_progress() > 50);
     }
 
     #[test]

@@ -46,6 +46,6 @@ pub mod rng;
 pub mod stats;
 pub mod trace;
 
-pub use engine::{Model, Scheduler, Simulation};
+pub use engine::{Model, RunOutcome, Scheduler, Simulation};
 pub use queue::EventQueue;
 pub use time::{Cycle, MachineClock};

@@ -107,7 +107,7 @@ impl<'a> KernelRunner<'a> {
             }
         }
         let plan = b.build().expect("kernel traffic plans are valid");
-        let report = self.system.run(&Placement::identity(), &plan);
+        let report = self.system.try_run(&Placement::identity(), &plan).unwrap();
         match spec.traffic {
             // Copy reports read+write traffic; the useful stream is half.
             Traffic::StreamInOut => report.sum_gbps / 2.0,

@@ -167,7 +167,7 @@ impl<'a> StreamRuntime<'a> {
             }
         }
         let plan = builder.build()?;
-        let fabric = self.system.run(&Placement::identity(), &plan);
+        let fabric = self.system.try_run(&Placement::identity(), &plan).unwrap();
 
         // Per-lane occupancy: measured communication, analytic compute.
         let mut lanes = Vec::with_capacity(self.lanes);

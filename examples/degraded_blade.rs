@@ -67,7 +67,7 @@ fn main() -> Result<(), PlanError> {
     ] {
         let mask = system.faults().map_or(0, FaultPlan::fused_mask);
         let placement = Placement::lottery_avoiding(0xCE11, 0, mask);
-        let report = system.run(&placement, &plan);
+        let report = system.try_run(&placement, &plan).unwrap();
         let f = report.metrics.faults;
         println!(
             "  {name:<22} {:6.2} GB/s  ({} NACKs, {} retries, {} abandoned)",

@@ -25,7 +25,7 @@ fn main() -> Result<(), PlanError> {
         b = b.get_from_memory(spe, VOLUME, ELEM, SyncPolicy::AfterAll);
     }
     let plan: TransferPlan = b.build()?;
-    let report = system.run(&Placement::identity(), &plan);
+    let report = system.try_run(&Placement::identity(), &plan).unwrap();
 
     let path = report.latency.path(DmaPathClass::MemGet);
     let h = &path.end_to_end;

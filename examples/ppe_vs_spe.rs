@@ -6,9 +6,9 @@
 //! ```
 
 use cellsim::ppe::{PpeKernelSpec, PpeOp};
-use cellsim::{CellSystem, Placement, PlanError, SyncPolicy, TransferPlan};
+use cellsim::{CellSystem, Placement, SyncPolicy, TransferPlan};
 
-fn main() -> Result<(), PlanError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = CellSystem::blade();
     let buffer: u64 = 8 << 20;
 
@@ -27,14 +27,14 @@ fn main() -> Result<(), PlanError> {
     let one = TransferPlan::builder()
         .copy_memory(0, buffer, 16 * 1024, SyncPolicy::AfterAll)
         .build()?;
-    let r1 = system.run(&Placement::identity(), &one);
+    let r1 = system.try_run(&Placement::identity(), &one)?;
 
     // Four SPEs, the paper's sweet spot before the EIB saturates.
     let mut b = TransferPlan::builder();
     for spe in 0..4 {
         b = b.copy_memory(spe, buffer / 4, 16 * 1024, SyncPolicy::AfterAll);
     }
-    let r4 = system.run(&Placement::identity(), &b.build()?);
+    let r4 = system.try_run(&Placement::identity(), &b.build()?)?;
 
     println!("memory-to-memory copy of {} MiB:\n", buffer >> 20);
     println!("  engine              bandwidth");

@@ -17,7 +17,7 @@ fn main() -> Result<(), PlanError> {
         .get_from_memory(0, 4 << 20, 16 * 1024, SyncPolicy::AfterAll)
         .build()?;
 
-    let report = system.run(&Placement::identity(), &plan);
+    let report = system.try_run(&Placement::identity(), &plan).unwrap();
 
     println!("transferred : {} bytes", report.total_bytes);
     println!("bus cycles  : {}", report.cycles);

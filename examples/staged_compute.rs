@@ -4,7 +4,7 @@
 //! A "computation" on the Cell works like this: stage a block from main
 //! memory into a Local Store, let the SPU transform it, and stream the
 //! result back out. Here the fabric moves *actual bytes*
-//! ([`cellsim::CellSystem::run_with_data`]), the host plays the SPU role
+//! ([`cellsim::CellSystem::try_run_with_data`]), the host plays the SPU role
 //! between phases, and the output is checked byte-for-byte — while the
 //! simulator reports how long the machine would have taken.
 //!
@@ -40,7 +40,9 @@ fn main() -> Result<(), PlanError> {
         // (each pass maps the next window of input to region offset 0..window)
         let chunk = &input[processed as usize..(processed + window) as usize];
         state.write_region(TransferPlan::get_region(0), 0, chunk);
-        let r = system.run_with_data(&placement, &stage_in, &mut state);
+        let r = system
+            .try_run_with_data(&placement, &stage_in, &mut state)
+            .unwrap();
         cycles += r.cycles;
 
         // "SPU compute": add 1 to every byte, in Local Store.
@@ -57,7 +59,9 @@ fn main() -> Result<(), PlanError> {
         let stage_out = TransferPlan::builder()
             .put_to_memory(0, window, BLOCK, SyncPolicy::AfterAll)
             .build()?;
-        let r = system.run_with_data(&placement, &stage_out, &mut state);
+        let r = system
+            .try_run_with_data(&placement, &stage_out, &mut state)
+            .unwrap();
         cycles += r.cycles;
         processed += window;
     }

@@ -36,7 +36,7 @@ fn main() -> Result<(), PlanError> {
     // One stream through all eight SPEs.
     let single: TransferPlan =
         pipeline(TransferPlan::builder(), &[0, 1, 2, 3, 4, 5, 6, 7]).build()?;
-    let r1 = system.run(&placement, &single);
+    let r1 = system.try_run(&placement, &single).unwrap();
     // Pipeline rate = stage volume / wall time.
     let single_rate = VOLUME as f64 / system.config().clock.seconds(r1.cycles) / 1e9;
 
@@ -46,7 +46,7 @@ fn main() -> Result<(), PlanError> {
         &[4, 5, 6, 7],
     )
     .build()?;
-    let r2 = system.run(&placement, &dual);
+    let r2 = system.try_run(&placement, &dual).unwrap();
     let dual_rate = 2.0 * VOLUME as f64 / system.config().clock.seconds(r2.cycles) / 1e9;
 
     println!("pipeline configuration      stream rate");

@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Size the trace for the plan (≤4 phases per 128-byte bus packet) so
     // the aggregate analyses below cannot hit TraceTruncated.
     let capacity = 4 * usize::try_from(plan.total_bytes() / 128 + 1024)?;
-    let (report, trace) = system.run_traced_with_capacity(&placement, &plan, capacity);
+    let (report, trace) = system
+        .try_run_traced_with_capacity(&placement, &plan, capacity)
+        .unwrap();
     let clock = system.config().clock;
 
     println!("8-SPE cycle under {placement}");

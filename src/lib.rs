@@ -36,10 +36,10 @@
 //! let plan = TransferPlan::builder()
 //!     .exchange_with(0, 1, 1 << 20, 16 * 1024, SyncPolicy::AfterAll)
 //!     .build()?;
-//! let report = system.run(&Placement::identity(), &plan);
+//! let report = system.try_run(&Placement::identity(), &plan)?;
 //! // A single SPE pair approaches the 33.6 GB/s bidirectional peak.
 //! assert!(report.aggregate_gbps > 30.0);
-//! # Ok::<(), cellsim::PlanError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub use cellsim_core as core;
@@ -54,10 +54,11 @@ pub use cellsim_runtime as runtime;
 pub use cellsim_spe as spe;
 
 pub use cellsim_core::{
-    baseline, exec, experiments, json, latency, metrics, report, BankFaults, BankMetrics,
-    CellConfig, CellSystem, DerateWindow, DmaPathClass, EibFaults, FabricEvent, FabricMetrics,
-    FabricReport, FabricTrace, FaultPlan, FaultPlanError, FaultStats, LatencyHistogram,
-    LatencyMetrics, MachineState, MetricsSummary, MfcFaults, Placement, PlanError, RetryPolicy,
-    RingOutage, SpeMetrics, SpeScript, SyncPolicy, TraceTruncated, TransferPlan,
-    TransferPlanBuilder, Window, REGION_STRIDE, SPE_COUNT,
+    baseline, diskcache, exec, experiments, failure, json, latency, metrics, report, BankFaults,
+    BankMetrics, CellConfig, CellSystem, DerateWindow, DmaPathClass, EibFaults, FabricEvent,
+    FabricMetrics, FabricReport, FabricTrace, FaultPlan, FaultPlanError, FaultStats,
+    LatencyHistogram, LatencyMetrics, MachineState, MetricsSummary, MfcFaults, PacketPhase,
+    Placement, PlanError, RetryPolicy, RingOutage, RunFailure, SpeMetrics, SpeScript, SpeStall,
+    StallDiagnosis, StallKind, SyncPolicy, TraceTruncated, TransferPlan, TransferPlanBuilder,
+    Window, REGION_STRIDE, SPE_COUNT,
 };

@@ -38,8 +38,14 @@ fn a_faster_clock_scales_bandwidth() {
     let fast = CellSystem::new(cfg);
     let slow = CellSystem::blade();
     let plan = pair_plan();
-    let f = fast.run(&Placement::identity(), &plan).aggregate_gbps;
-    let s = slow.run(&Placement::identity(), &plan).aggregate_gbps;
+    let f = fast
+        .try_run(&Placement::identity(), &plan)
+        .unwrap()
+        .aggregate_gbps;
+    let s = slow
+        .try_run(&Placement::identity(), &plan)
+        .unwrap()
+        .aggregate_gbps;
     let ratio = f / s;
     assert!(
         (ratio - 3.2 / 2.1).abs() < 0.05,
@@ -57,8 +63,8 @@ fn halving_the_rings_starves_dense_traffic() {
     let wide = CellSystem::blade();
     let plan = cycle_plan();
     let p = Placement::identity();
-    let n = narrow.run(&p, &plan).aggregate_gbps;
-    let w = wide.run(&p, &plan).aggregate_gbps;
+    let n = narrow.try_run(&p, &plan).unwrap().aggregate_gbps;
+    let w = wide.try_run(&p, &plan).unwrap().aggregate_gbps;
     assert!(n < w * 0.85, "2 rings {n} vs 4 rings {w}");
 }
 
@@ -72,8 +78,11 @@ fn a_bigger_outstanding_budget_lifts_the_memory_ceiling() {
         .build()
         .unwrap();
     let p = Placement::identity();
-    let shallow_bw = CellSystem::blade().run(&p, &plan).aggregate_gbps;
-    let deep_bw = deep.run(&p, &plan).aggregate_gbps;
+    let shallow_bw = CellSystem::blade()
+        .try_run(&p, &plan)
+        .unwrap()
+        .aggregate_gbps;
+    let deep_bw = deep.try_run(&p, &plan).unwrap().aggregate_gbps;
     assert!(deep_bw > shallow_bw * 1.3, "{shallow_bw} -> {deep_bw}");
     // But never past the bank pipe.
     assert!(deep_bw < 16.8);
@@ -92,8 +101,8 @@ fn local_only_numa_caps_multi_spe_memory_bandwidth() {
     }
     let plan = b.build().unwrap();
     let p = Placement::identity();
-    let capped = one_bank.run(&p, &plan).sum_gbps;
-    let spread = CellSystem::blade().run(&p, &plan).sum_gbps;
+    let capped = one_bank.try_run(&p, &plan).unwrap().sum_gbps;
+    let spread = CellSystem::blade().try_run(&p, &plan).unwrap().sum_gbps;
     assert!(capped < 16.8, "one bank cannot exceed its pipe: {capped}");
     assert!(spread > capped, "two banks must win: {spread} vs {capped}");
 }
@@ -106,8 +115,8 @@ fn pipelined_occupancy_is_an_upper_bound() {
     let real = CellSystem::blade();
     let plan = cycle_plan();
     let p = Placement::from_mapping([7, 2, 5, 0, 3, 6, 1, 4]).unwrap();
-    let i = ideal.run(&p, &plan).aggregate_gbps;
-    let r = real.run(&p, &plan).aggregate_gbps;
+    let i = ideal.try_run(&p, &plan).unwrap().aggregate_gbps;
+    let r = real.try_run(&p, &plan).unwrap().aggregate_gbps;
     assert!(i >= r, "wormhole pipelining can only help: {i} vs {r}");
 }
 
@@ -120,8 +129,11 @@ fn a_slower_command_bus_caps_dense_traffic() {
     let slow_snoop = CellSystem::new(cfg);
     let plan = cycle_plan();
     let p = Placement::identity();
-    let s = slow_snoop.run(&p, &plan).aggregate_gbps;
-    let f = CellSystem::blade().run(&p, &plan).aggregate_gbps;
+    let s = slow_snoop.try_run(&p, &plan).unwrap().aggregate_gbps;
+    let f = CellSystem::blade()
+        .try_run(&p, &plan)
+        .unwrap()
+        .aggregate_gbps;
     // 1 command / 4 cycles x 128 B = 33.6 GB/s fabric-wide ceiling.
     assert!(s <= 33.7, "command bus must cap the fabric: {s}");
     assert!(f > s);
@@ -142,8 +154,8 @@ fn sub_packet_dma_elements_are_painful() {
         .exchange_with(0, 1, 64 << 10, 128, SyncPolicy::AfterAll)
         .build()
         .unwrap();
-    let t = sys.run(&p, &tiny).aggregate_gbps;
-    let s = sys.run(&p, &small).aggregate_gbps;
+    let t = sys.try_run(&p, &tiny).unwrap().aggregate_gbps;
+    let s = sys.try_run(&p, &small).unwrap().aggregate_gbps;
     assert!(t < s / 4.0, "16 B DMAs: {t} vs 128 B DMAs: {s}");
 }
 
@@ -151,10 +163,12 @@ fn sub_packet_dma_elements_are_painful() {
 fn identity_and_explicit_mapping_agree() {
     let sys = CellSystem::blade();
     let plan = pair_plan();
-    let a = sys.run(&Placement::identity(), &plan);
-    let b = sys.run(
-        &Placement::from_mapping([0, 1, 2, 3, 4, 5, 6, 7]).unwrap(),
-        &plan,
-    );
+    let a = sys.try_run(&Placement::identity(), &plan).unwrap();
+    let b = sys
+        .try_run(
+            &Placement::from_mapping([0, 1, 2, 3, 4, 5, 6, 7]).unwrap(),
+            &plan,
+        )
+        .unwrap();
     assert_eq!(a.cycles, b.cycles);
 }

@@ -19,8 +19,8 @@ fn identical_runs_are_bit_identical() {
     let sys = CellSystem::blade();
     let p = Placement::from_mapping([3, 1, 4, 0, 5, 2, 7, 6]).unwrap();
     let plan = plan();
-    let a = sys.run(&p, &plan);
-    let b = sys.run(&p, &plan);
+    let a = sys.try_run(&p, &plan).unwrap();
+    let b = sys.try_run(&p, &plan).unwrap();
     assert_eq!(a, b);
 }
 
@@ -28,8 +28,8 @@ fn identical_runs_are_bit_identical() {
 fn fresh_systems_agree() {
     let plan = plan();
     let p = Placement::identity();
-    let a = CellSystem::blade().run(&p, &plan);
-    let b = CellSystem::blade().run(&p, &plan);
+    let a = CellSystem::blade().try_run(&p, &plan).unwrap();
+    let b = CellSystem::blade().try_run(&p, &plan).unwrap();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.eib, b.eib);
 }
@@ -63,7 +63,7 @@ fn placement_affects_dense_traffic_but_not_volume() {
     let plan = plan();
     let mut rng = StdRng::seed_from_u64(9);
     let results: Vec<_> = (0..6)
-        .map(|_| sys.run(&Placement::random(&mut rng), &plan))
+        .map(|_| sys.try_run(&Placement::random(&mut rng), &plan).unwrap())
         .collect();
     assert!(results
         .windows(2)

@@ -1,0 +1,140 @@
+//! Sweep-level failure isolation: one poisoned spec must not take down
+//! the batch. The executor catches the panic (or stall), records a
+//! [`RunError`] naming the failed run key, and still returns every
+//! other point's report — in spec order, bit-identically at any job
+//! count.
+
+use std::sync::Arc;
+
+use cellsim::exec::{RunError, RunSpec, SweepExecutor, Workload};
+use cellsim::{CellConfig, CellSystem, Placement, StallKind, SyncPolicy, TransferPlan};
+
+fn workload(elem: u32) -> Workload {
+    Workload {
+        pattern: "mem-get",
+        spes: 1,
+        volume: 64 << 10,
+        elem,
+        list: false,
+        sync: SyncPolicy::AfterAll,
+    }
+}
+
+fn get_plan(elem: u32) -> Arc<TransferPlan> {
+    Arc::new(
+        TransferPlan::builder()
+            .get_from_memory(0, 64 << 10, elem, SyncPolicy::AfterAll)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// A machine whose MFC construction panics inside the worker: queue
+/// depth zero fails MFC validation, which the fabric asserts on.
+fn panicking_blade() -> CellSystem {
+    let mut config = CellConfig::default();
+    config.mfc.queue_depth = 0;
+    CellSystem::new(config)
+}
+
+/// A machine that stalls: the local bank answers past the safety
+/// horizon.
+fn stalling_blade() -> CellSystem {
+    let mut config = CellConfig::default();
+    config.local_bank.access_latency = 100_000_000_000;
+    CellSystem::new(config)
+}
+
+/// Three healthy specs around one poisoned one, distinct elem sizes so
+/// every spec is a distinct run key.
+fn mixed_specs(poison: &CellSystem) -> Vec<RunSpec> {
+    let healthy = CellSystem::blade();
+    [1024u32, 2048, 4096, 8192]
+        .into_iter()
+        .enumerate()
+        .map(|(i, elem)| {
+            let system = if i == 2 { poison } else { &healthy };
+            RunSpec::new(
+                system,
+                workload(elem),
+                Placement::identity(),
+                get_plan(elem),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn panicking_spec_fails_alone_and_in_order() {
+    let exec = SweepExecutor::new(4);
+    let poison = panicking_blade();
+    let results = exec.try_run(mixed_specs(&poison));
+    assert_eq!(results.len(), 4);
+    for (i, result) in results.iter().enumerate() {
+        if i == 2 {
+            let error = result.as_ref().unwrap_err();
+            assert!(
+                matches!(error, RunError::Panicked { .. }),
+                "poisoned spec must surface as a panic: {error}"
+            );
+            assert!(
+                error.to_string().contains("elem=4096"),
+                "the failure must name the run key: {error}"
+            );
+        } else {
+            assert!(result.is_ok(), "healthy spec {i} must survive the batch");
+        }
+    }
+    let failures = exec.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].key().workload.elem, 4096);
+}
+
+#[test]
+fn stalling_spec_records_a_diagnosis() {
+    let exec = SweepExecutor::new(2);
+    let poison = stalling_blade();
+    let results = exec.try_run(mixed_specs(&poison));
+    let error = results[2].as_ref().unwrap_err();
+    match error {
+        RunError::Stall { diagnosis, .. } => {
+            assert_eq!(diagnosis.kind, StallKind::HorizonExceeded);
+            assert!(!diagnosis.per_spe.is_empty());
+        }
+        other => panic!("expected a stall, got: {other}"),
+    }
+}
+
+#[test]
+fn serial_and_parallel_agree_around_a_failure() {
+    let poison = panicking_blade();
+    let serial = SweepExecutor::new(1).try_run(mixed_specs(&poison));
+    let parallel = SweepExecutor::new(4).try_run(mixed_specs(&poison));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        match (s, p) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "reports must be bit-identical"),
+            (Err(a), Err(b)) => assert_eq!(a.key(), b.key()),
+            _ => panic!("serial and parallel disagree on which spec failed"),
+        }
+    }
+}
+
+#[test]
+fn panicking_run_via_run_still_panics_but_try_run_does_not() {
+    let exec = SweepExecutor::new(1);
+    let poison = panicking_blade();
+    // try_run on the same executor: no panic, failure recorded.
+    let results = exec.try_run(mixed_specs(&poison));
+    assert!(results[2].is_err());
+    // The executor keeps serving healthy batches afterwards.
+    let healthy = CellSystem::blade();
+    let spec = RunSpec::new(
+        &healthy,
+        workload(1024),
+        Placement::identity(),
+        get_plan(1024),
+    );
+    let again = exec.try_run(vec![spec]);
+    assert!(again[0].is_ok());
+}

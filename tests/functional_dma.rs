@@ -18,7 +18,8 @@ fn memory_round_trip_preserves_data() {
         .copy_memory(0, payload.len() as u64, 16 * 1024, SyncPolicy::AfterAll)
         .build()
         .unwrap();
-    sys.run_with_data(&Placement::identity(), &plan, &mut state);
+    sys.try_run_with_data(&Placement::identity(), &plan, &mut state)
+        .unwrap();
 
     let out = state.read_region(TransferPlan::copy_dst_region(0), 0, payload.len());
     assert_eq!(out, payload, "copied data must arrive intact");
@@ -37,7 +38,8 @@ fn ls_to_ls_exchange_moves_partner_data() {
         .get_from_spe(0, 1, pattern.len() as u64, 16 * 1024, SyncPolicy::AfterAll)
         .build()
         .unwrap();
-    sys.run_with_data(&Placement::identity(), &plan, &mut state);
+    sys.try_run_with_data(&Placement::identity(), &plan, &mut state)
+        .unwrap();
 
     assert_eq!(
         state.local_store(0).read(0, pattern.len()),
@@ -54,9 +56,9 @@ fn data_movement_does_not_change_timing() {
         .build()
         .unwrap();
     let p = Placement::identity();
-    let timing_only = sys.run(&p, &plan);
+    let timing_only = sys.try_run(&p, &plan).unwrap();
     let mut state = MachineState::new();
-    let with_data = sys.run_with_data(&p, &plan, &mut state);
+    let with_data = sys.try_run_with_data(&p, &plan, &mut state).unwrap();
     assert_eq!(timing_only.cycles, with_data.cycles);
     assert_eq!(timing_only.total_bytes, with_data.total_bytes);
 }
@@ -70,7 +72,8 @@ fn unwritten_memory_gets_as_zeroes() {
         .get_from_memory(0, 16 * 1024, 16 * 1024, SyncPolicy::AfterAll)
         .build()
         .unwrap();
-    sys.run_with_data(&Placement::identity(), &plan, &mut state);
+    sys.try_run_with_data(&Placement::identity(), &plan, &mut state)
+        .unwrap();
     assert!(state
         .local_store(0)
         .read(0, 16 * 1024)

@@ -179,10 +179,10 @@ proptest! {
         let elem = [128u32, 2048, 16384][elem_idx];
         let sync = [SyncPolicy::AfterAll, SyncPolicy::Every(1), SyncPolicy::Every(4)][sync_idx];
         let plan = plan_for(pattern, spes, elem, sync);
-        let report = CellSystem::blade().run(&Placement::lottery(seed, 0), &plan);
+        let report = CellSystem::blade().try_run(&Placement::lottery(seed, 0), &plan).unwrap();
         assert_latency_conservation(&report);
         // The digest is part of the deterministic report.
-        let again = CellSystem::blade().run(&Placement::lottery(seed, 0), &plan);
+        let again = CellSystem::blade().try_run(&Placement::lottery(seed, 0), &plan).unwrap();
         prop_assert_eq!(report.latency, again.latency);
     }
 
@@ -199,13 +199,13 @@ proptest! {
         let sync = [SyncPolicy::AfterAll, SyncPolicy::Every(1), SyncPolicy::Every(4)][sync_idx];
         let plan = plan_for(pattern, spes, elem, sync);
         let system = nack_storm(seed);
-        let report = system.run(&Placement::lottery(seed, 0), &plan);
+        let report = system.try_run(&Placement::lottery(seed, 0), &plan).unwrap();
         // Retry backoff elapses *inside* the existing phases, so the
         // exact four-phase partition must survive a NACK storm untouched.
         assert_latency_conservation(&report);
         assert_fault_conservation(&report);
         // The fault path is as deterministic as the healthy one.
-        let again = system.run(&Placement::lottery(seed, 0), &plan);
+        let again = system.try_run(&Placement::lottery(seed, 0), &plan).unwrap();
         prop_assert_eq!(report.latency, again.latency);
         prop_assert_eq!(report.metrics.faults, again.metrics.faults);
     }
@@ -217,7 +217,9 @@ fn nack_storm_actually_exercises_retries_and_exhaustion() {
     // with a 2-retry budget, a 4-SPE GET stream must see retries and at
     // least one exhausted command.
     let plan = plan_for(Pattern::MemGet, 4, 2048, SyncPolicy::AfterAll);
-    let r = nack_storm(11).run(&Placement::identity(), &plan);
+    let r = nack_storm(11)
+        .try_run(&Placement::identity(), &plan)
+        .unwrap();
     let f = r.metrics.faults;
     assert!(f.nacks > 0, "storm produced no NACKs");
     assert!(f.retries > 0, "storm produced no retries");
@@ -233,7 +235,9 @@ fn memory_get_commands_are_all_counted_on_the_get_path() {
     let spes = 4;
     let elem = 2048u32;
     let plan = plan_for(Pattern::MemGet, spes, elem, SyncPolicy::AfterAll);
-    let r = CellSystem::blade().run(&Placement::identity(), &plan);
+    let r = CellSystem::blade()
+        .try_run(&Placement::identity(), &plan)
+        .unwrap();
     assert_latency_conservation(&r);
     let expected = spes as u64 * (VOLUME / u64::from(elem));
     let get = r.latency.path(DmaPathClass::MemGet);
@@ -248,7 +252,9 @@ fn memory_get_commands_are_all_counted_on_the_get_path() {
 #[test]
 fn spe_exchange_traffic_lands_on_the_local_store_paths() {
     let plan = plan_for(Pattern::Cycle, 4, 4096, SyncPolicy::AfterAll);
-    let r = CellSystem::blade().run(&Placement::identity(), &plan);
+    let r = CellSystem::blade()
+        .try_run(&Placement::identity(), &plan)
+        .unwrap();
     assert_latency_conservation(&r);
     let ls =
         r.latency.path(DmaPathClass::LsGet).commands + r.latency.path(DmaPathClass::LsPut).commands;

@@ -84,7 +84,7 @@ proptest! {
         let elem = [128u32, 2048, 16384][elem_idx];
         let sync = [SyncPolicy::AfterAll, SyncPolicy::Every(1), SyncPolicy::Every(4)][sync_idx];
         let plan = plan_for(pattern, spes, elem, sync);
-        let report = CellSystem::blade().run(&Placement::lottery(seed, 0), &plan);
+        let report = CellSystem::blade().try_run(&Placement::lottery(seed, 0), &plan).unwrap();
         assert_conservation(&report);
     }
 }
@@ -92,7 +92,9 @@ proptest! {
 #[test]
 fn memory_traffic_is_accounted_on_the_banks() {
     let plan = plan_for(Pattern::MemGet, 4, 16 * 1024, SyncPolicy::AfterAll);
-    let r = CellSystem::blade().run(&Placement::identity(), &plan);
+    let r = CellSystem::blade()
+        .try_run(&Placement::identity(), &plan)
+        .unwrap();
     assert_conservation(&r);
     let bank_bytes: u64 = r.metrics.banks.iter().map(|b| b.stats.bytes).sum();
     assert_eq!(bank_bytes, r.total_bytes, "every GET read exactly one bank");
@@ -106,7 +108,9 @@ fn saturated_single_spe_stalls_on_outstanding_slots() {
     // DRAM round-trip, so the dominant non-busy state must be
     // "budget full, everything on the wire/in DRAM".
     let plan = plan_for(Pattern::MemGet, 1, 16 * 1024, SyncPolicy::AfterAll);
-    let r = CellSystem::blade().run(&Placement::identity(), &plan);
+    let r = CellSystem::blade()
+        .try_run(&Placement::identity(), &plan)
+        .unwrap();
     assert_conservation(&r);
     let sm = &r.metrics.per_spe[0];
     assert!(
@@ -131,14 +135,18 @@ fn saturated_single_spe_stalls_on_outstanding_slots() {
 
 #[test]
 fn eager_sync_shows_up_as_sync_stall() {
-    let lazy = CellSystem::blade().run(
-        &Placement::identity(),
-        &plan_for(Pattern::Cycle, 2, 4096, SyncPolicy::AfterAll),
-    );
-    let eager = CellSystem::blade().run(
-        &Placement::identity(),
-        &plan_for(Pattern::Cycle, 2, 4096, SyncPolicy::Every(1)),
-    );
+    let lazy = CellSystem::blade()
+        .try_run(
+            &Placement::identity(),
+            &plan_for(Pattern::Cycle, 2, 4096, SyncPolicy::AfterAll),
+        )
+        .unwrap();
+    let eager = CellSystem::blade()
+        .try_run(
+            &Placement::identity(),
+            &plan_for(Pattern::Cycle, 2, 4096, SyncPolicy::Every(1)),
+        )
+        .unwrap();
     assert_conservation(&lazy);
     assert_conservation(&eager);
     let lazy_sync: u64 = lazy

@@ -12,7 +12,9 @@ fn summary_of(
     build: impl FnOnce(cellsim::TransferPlanBuilder) -> cellsim::TransferPlanBuilder,
 ) -> MetricsSummary {
     let plan = build(TransferPlan::builder()).build().expect("valid plan");
-    let report = CellSystem::blade().run(&Placement::identity(), &plan);
+    let report = CellSystem::blade()
+        .try_run(&Placement::identity(), &plan)
+        .unwrap();
     let mut summary = MetricsSummary::default();
     summary.accumulate_report(&report);
     summary

@@ -151,7 +151,7 @@ fn weak_scaling_conserves_bytes() {
             b = b.get_from_memory(spe, 512 << 10, 4096, SyncPolicy::AfterAll);
         }
         let plan = b.build().unwrap();
-        let r = sys.run(&Placement::identity(), &plan);
+        let r = sys.try_run(&Placement::identity(), &plan).unwrap();
         assert_eq!(r.total_bytes, (n as u64) * (512 << 10));
         assert_eq!(
             r.per_spe_bytes.iter().filter(|&&b| b > 0).count(),

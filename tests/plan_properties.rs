@@ -78,7 +78,7 @@ proptest! {
             };
         }
         let plan = b.build().expect("generated plans are valid");
-        let report = CellSystem::blade().run(&placement, &plan);
+        let report = CellSystem::blade().try_run(&placement, &plan).unwrap();
 
         prop_assert_eq!(report.total_bytes, plan.total_bytes());
         prop_assert!(report.cycles > 0);
@@ -101,7 +101,7 @@ proptest! {
                 .exchange_with(0, 1, volume, elem, sync)
                 .build()
                 .unwrap();
-            sys.run(&Placement::identity(), &plan).aggregate_gbps
+            sys.try_run(&Placement::identity(), &plan).unwrap().aggregate_gbps
         };
         let lazy = run(SyncPolicy::AfterAll);
         let eager = run(SyncPolicy::Every(k));
@@ -119,7 +119,7 @@ proptest! {
             .exchange_with_list(0, 1, volume, elem, SyncPolicy::AfterAll)
             .build()
             .unwrap();
-        let g = sys.run(&Placement::identity(), &plan).aggregate_gbps;
+        let g = sys.try_run(&Placement::identity(), &plan).unwrap().aggregate_gbps;
         prop_assert!(g > 30.0, "list at {} B gave {}", elem, g);
     }
 }
