@@ -45,10 +45,24 @@
 //!   --tolerance N       relative tolerance band (e.g. 0.01 = 1%):
 //!                       recorded into the file with --baseline-out,
 //!                       overrides the recorded band with --check
+//!   --perf-baseline-out <f>  time every fabric figure (fresh uncached
+//!                       executors) and snapshot events/sec, packets/sec
+//!                       and simulated-cycles/sec into <f> (JSON, see
+//!                       BENCH_perf.json) and exit
+//!   --perf-check <f>    re-run the protocol embedded in perf snapshot
+//!                       <f> (same --jobs as recorded) and compare:
+//!                       deterministic work counters must match exactly,
+//!                       throughput may not regress beyond the band;
+//!                       speedups always pass; exits non-zero on drift
+//!   --perf-band N       one-sided relative regression band (e.g. 0.5 =
+//!                       fail below half the recorded throughput):
+//!                       recorded with --perf-baseline-out (default
+//!                       0.5), overrides the recorded band with
+//!                       --perf-check
 //!
 //! exit codes:
 //!   0  success
-//!   1  --check found baseline drift
+//!   1  --check / --perf-check found drift
 //!   2  one or more runs failed (stall or panic); each failed run key is
 //!      named on stderr, completed points still print (marked `*`)
 //!   3  bad invocation or I/O error
@@ -74,6 +88,7 @@ use cellsim_core::experiments::{
     figure6, figure8_with, figure_degraded_with, figure_metrics_with, section_4_2_2,
     ExperimentConfig, ExperimentError, FIGURE_IDS,
 };
+use cellsim_core::perf::PerfBaseline;
 use cellsim_core::report::{Figure, MetricsTable, SpreadFigure};
 use cellsim_core::{CellSystem, FaultPlan, Placement, SyncPolicy, TransferPlan};
 use cellsim_kernels::roofline_figure;
@@ -90,6 +105,9 @@ struct Args {
     baseline_out: Option<PathBuf>,
     check: Option<PathBuf>,
     tolerance: Option<f64>,
+    perf_baseline_out: Option<PathBuf>,
+    perf_check: Option<PathBuf>,
+    perf_band: Option<f64>,
     jobs: Option<usize>,
     cache_dir: Option<PathBuf>,
     verbose: bool,
@@ -107,6 +125,9 @@ fn parse_args() -> Result<Args, String> {
     let mut baseline_out = None;
     let mut check = None;
     let mut tolerance = None;
+    let mut perf_baseline_out = None;
+    let mut perf_check = None;
+    let mut perf_band = None;
     let mut jobs = None;
     let mut cache_dir = None;
     let mut verbose = false;
@@ -158,6 +179,22 @@ fn parse_args() -> Result<Args, String> {
                 let t: f64 = n.parse().map_err(|_| format!("bad tolerance: {n}"))?;
                 tolerance = Some(t);
             }
+            "--perf-baseline-out" => {
+                let file = argv.next().ok_or("--perf-baseline-out needs a file path")?;
+                perf_baseline_out = Some(PathBuf::from(file));
+            }
+            "--perf-check" => {
+                let file = argv.next().ok_or("--perf-check needs a perf file")?;
+                perf_check = Some(PathBuf::from(file));
+            }
+            "--perf-band" => {
+                let n = argv.next().ok_or("--perf-band needs a value")?;
+                let b: f64 = n.parse().map_err(|_| format!("bad perf band: {n}"))?;
+                if b.is_nan() || b < 0.0 {
+                    return Err(format!("--perf-band must be >= 0, got {n}"));
+                }
+                perf_band = Some(b);
+            }
             "--seed" => {
                 let n = argv.next().ok_or("--seed needs a value")?;
                 cfg.seed = n.parse().map_err(|_| format!("bad seed: {n}"))?;
@@ -180,12 +217,13 @@ fn parse_args() -> Result<Args, String> {
                     "repro [--quick|--full] [--figure <id>]... [--faults <plan.json>] \
                      [--ablations] [--kernels] [--csv <dir>] [--metrics <dir>] \
                      [--trace-out <file>] [--baseline-out <file>] [--check <file>] \
-                     [--tolerance N] [--seed N] [--jobs N] [--cache-dir <dir>] \
+                     [--tolerance N] [--perf-baseline-out <file>] [--perf-check <file>] \
+                     [--perf-band N] [--seed N] [--jobs N] [--cache-dir <dir>] \
                      [--verbose]\n\n\
                      figure ids: {}\n\n\
                      exit codes:\n  \
                      0  success\n  \
-                     1  --check found baseline drift\n  \
+                     1  --check / --perf-check found drift\n  \
                      2  one or more runs failed (stall or panic); failed run keys \
                      are named on stderr\n  \
                      3  bad invocation or I/O error",
@@ -201,6 +239,13 @@ fn parse_args() -> Result<Args, String> {
             return Err("--faults cannot combine with --baseline-out/--check \
                  (baselines snapshot the healthy blade)"
                 .into());
+        }
+        if perf_baseline_out.is_some() || perf_check.is_some() {
+            return Err(
+                "--faults cannot combine with --perf-baseline-out/--perf-check \
+                 (perf snapshots time the healthy blade)"
+                    .into(),
+            );
         }
         if plan.fused_mask() != 0 {
             let only_degraded = !figures.is_empty() && figures.iter().all(|f| f == "degraded");
@@ -225,6 +270,9 @@ fn parse_args() -> Result<Args, String> {
         baseline_out,
         check,
         tolerance,
+        perf_baseline_out,
+        perf_check,
+        perf_band,
         jobs,
         cache_dir,
         verbose,
@@ -472,6 +520,89 @@ fn check_baseline(args: &Args, exec: &SweepExecutor, path: &Path) -> Result<bool
     Ok(false)
 }
 
+fn perf_figure_line(fig: &cellsim_core::perf::PerfFigure) -> String {
+    format!(
+        "perf: figure {:>2}: {:>12} events in {:.3}s = {:.0} events/sec, \
+         {:.0} packets/sec, {:.0} sim-cycles/sec",
+        fig.id,
+        fig.events,
+        fig.wall_seconds,
+        fig.events_per_sec(),
+        fig.packets_per_sec(),
+        fig.sim_cycles_per_sec()
+    )
+}
+
+/// Times the active experiment configuration and snapshots the
+/// throughput into a perf file (the committed `BENCH_perf.json`).
+fn write_perf_baseline(args: &Args, jobs: usize, path: &Path) -> Result<(), String> {
+    let system = CellSystem::blade();
+    let band = args
+        .perf_band
+        .unwrap_or(cellsim_core::perf::DEFAULT_PERF_BAND);
+    let perf = PerfBaseline::collect(jobs, &system, &args.cfg, band).map_err(err_string)?;
+    std::fs::write(path, perf.to_json())
+        .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+    for fig in &perf.figures {
+        eprintln!("{}", perf_figure_line(fig));
+    }
+    eprintln!(
+        "perf baseline: {} figures, {} jobs, {:.0} events/sec overall, \
+         band {:.0}% -> {}",
+        perf.figures.len(),
+        perf.jobs,
+        perf.total_events_per_sec(),
+        100.0 * band,
+        path.display()
+    );
+    Ok(())
+}
+
+/// Re-times the protocol embedded in the perf snapshot at `path` (with
+/// the snapshot's worker count, so wall clocks compare) and reports
+/// every drift. `Ok(true)` means no drift.
+fn check_perf(args: &Args, path: &Path) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+    let baseline =
+        PerfBaseline::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let system = CellSystem::blade();
+    let current =
+        PerfBaseline::collect(baseline.jobs, &system, &baseline.experiment, baseline.band)
+            .map_err(err_string)?;
+    for fig in &current.figures {
+        eprintln!("{}", perf_figure_line(fig));
+    }
+    let band = args.perf_band.unwrap_or(baseline.band);
+    let drifts = baseline.compare(&current, args.perf_band);
+    if drifts.is_empty() {
+        eprintln!(
+            "perf check: {} within the {:.0}% band — {:.0} events/sec overall \
+             (baseline {:.0})",
+            path.display(),
+            100.0 * band,
+            current.total_events_per_sec(),
+            baseline.total_events_per_sec()
+        );
+        return Ok(true);
+    }
+    eprintln!(
+        "perf check: {} FAILED — {} drift(s) outside the {:.0}% band:",
+        path.display(),
+        drifts.len(),
+        100.0 * band
+    );
+    for d in &drifts {
+        eprintln!("  {d}");
+    }
+    eprintln!(
+        "if the change is intentional (or this is a new reference host), \
+         re-baseline with: repro --perf-baseline-out {}",
+        path.display()
+    );
+    Ok(false)
+}
+
 /// Records the paper's most contended pattern — the 8-SPE cycle at the
 /// largest swept element size — and writes it as Chrome tracing JSON.
 /// The trace buffer is sized for the plan (≤ 4 phases per 128-byte bus
@@ -621,6 +752,28 @@ fn main() -> ExitCode {
                     ExitCode::from(EXIT_DRIFT)
                 }
             }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(EXIT_BAD_INVOCATION)
+            }
+        };
+    }
+    // The perf paths build their own fresh, cache-free executors (one
+    // per figure) so the recorded wall clocks measure the simulator,
+    // not `--cache-dir` hits or cross-figure dedup.
+    if let Some(path) = &args.perf_baseline_out {
+        return match write_perf_baseline(&args, exec.jobs(), path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(EXIT_BAD_INVOCATION)
+            }
+        };
+    }
+    if let Some(path) = &args.perf_check {
+        return match check_perf(&args, path) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::from(EXIT_DRIFT),
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::from(EXIT_BAD_INVOCATION)

@@ -34,7 +34,7 @@ use crate::metrics::{BankMetrics, FabricMetrics, FaultStats, SpeMetrics};
 
 /// Entry format version; bumped whenever [`FabricReport`]'s persisted
 /// shape changes, so stale-schema entries self-heal by recomputation.
-const SCHEMA: u64 = 1;
+const SCHEMA: u64 = 2;
 
 /// Counters of disk-cache activity (see
 /// [`SweepExecutor::disk_stats`](crate::exec::SweepExecutor::disk_stats)).
@@ -288,7 +288,8 @@ fn metrics_json(m: &FabricMetrics) -> String {
     format!(
         "{{\"run_cycles\":{},\"per_spe\":[{}],\"rings\":[{}],\"banks\":[{}],\
          \"faults\":{{\"nacks\":{},\"retries\":{},\"retries_exhausted\":{},\
-         \"abandoned_packets\":{},\"degraded_cycles\":{}}}}}",
+         \"abandoned_packets\":{},\"degraded_cycles\":{}}},\
+         \"events\":{},\"suppressed_pumps\":{},\"peak_live_packets\":{}}}",
         m.run_cycles,
         spes.join(","),
         rings.join(","),
@@ -297,7 +298,10 @@ fn metrics_json(m: &FabricMetrics) -> String {
         f.retries,
         f.retries_exhausted,
         f.abandoned_packets,
-        f.degraded_cycles
+        f.degraded_cycles,
+        m.events,
+        m.suppressed_pumps,
+        m.peak_live_packets
     )
 }
 
@@ -436,6 +440,9 @@ fn parse_metrics(v: &JsonValue) -> Option<FabricMetrics> {
             abandoned_packets: get_u64(f, "abandoned_packets")?,
             degraded_cycles: get_u64(f, "degraded_cycles")?,
         },
+        events: get_u64(v, "events")?,
+        suppressed_pumps: get_u64(v, "suppressed_pumps")?,
+        peak_live_packets: get_u64(v, "peak_live_packets")?,
     })
 }
 

@@ -218,7 +218,16 @@ struct Fabric<'d> {
     mem: MemorySystem,
     placement: Placement,
     spes: Vec<SpeCtx>,
+    /// Packet slab: retired entries go on `free_slots` and are reused, so
+    /// the live footprint is bounded by the machine's outstanding budget
+    /// instead of growing for the whole run.
     packets: Vec<PacketInfo>,
+    free_slots: Vec<u32>,
+    /// High-water mark of simultaneously live slab entries.
+    peak_live_packets: u64,
+    /// Stale `Ev::Pump` firings skipped because an earlier pump for the
+    /// same SPE had already run (see [`Fabric::schedule_pump`]).
+    suppressed_pumps: u64,
     kick_scheduled: Option<Cycle>,
     delivered_packets: u64,
     /// NACK/retry tallies (all-zero without an active fault plan).
@@ -374,8 +383,7 @@ impl Fabric<'_> {
                 }
             }
         };
-        let id = u32::try_from(self.packets.len()).expect("packet id fits u32");
-        self.packets.push(PacketInfo {
+        let info = PacketInfo {
             spe,
             token: p.token,
             kind: p.kind,
@@ -388,7 +396,20 @@ impl Fabric<'_> {
             bank,
             waiting_mem: false,
             phase: PacketPhase::Command,
-        });
+        };
+        let id = match self.free_slots.pop() {
+            Some(id) => {
+                self.packets[id as usize] = info;
+                id
+            }
+            None => {
+                let id = u32::try_from(self.packets.len()).expect("packet id fits u32");
+                self.packets.push(info);
+                id
+            }
+        };
+        let live = (self.packets.len() - self.free_slots.len()) as u64;
+        self.peak_live_packets = self.peak_live_packets.max(live);
         let cmd_done = self.cmdbus.issue(now);
         if let Some(t) = self.trace.as_deref_mut() {
             t.trace.record(now, FabricEvent::CommandIssued { spe });
@@ -468,6 +489,7 @@ impl Fabric<'_> {
     fn abandon(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
         let info = self.packets[id as usize];
         self.packets[id as usize].phase = PacketPhase::Retired;
+        self.free_slots.push(id); // no pending event references `id` now
         self.fault_stats.abandoned_packets += 1;
         let ctx = &mut self.spes[info.spe];
         let completed = ctx.mfc.packet_abandoned(now, info.token);
@@ -478,6 +500,7 @@ impl Fabric<'_> {
                 .take_completed()
                 .expect("completed command has a lifecycle record");
             self.latency.observe(&life);
+            ctx.mfc.recycle(life);
         }
         self.pump(info.spe, now, sched, cfg);
     }
@@ -616,6 +639,7 @@ impl Fabric<'_> {
     fn retire(&mut self, id: u32, now: Cycle, sched: &mut Scheduler<Ev>, cfg: &CellConfig) {
         let info = self.packets[id as usize];
         self.packets[id as usize].phase = PacketPhase::Retired;
+        self.free_slots.push(id); // no pending event references `id` now
         let ctx = &mut self.spes[info.spe];
         let completed = ctx.mfc.packet_delivered(now, info.token);
         ctx.bytes += u64::from(info.bytes);
@@ -626,6 +650,7 @@ impl Fabric<'_> {
                 .take_completed()
                 .expect("completed command has a lifecycle record");
             self.latency.observe(&life);
+            ctx.mfc.recycle(life);
         }
         self.delivered_packets += 1;
         // An outstanding slot freed: the MFC may issue again. Enqueue-side
@@ -644,10 +669,17 @@ impl Model for FabricModel<'_, '_> {
     fn handle(&mut self, now: Cycle, event: Ev, sched: &mut Scheduler<Ev>) {
         match event {
             Ev::Pump(spe) => {
+                // A pump event is genuine only if it is the one currently
+                // on the books for this SPE. `schedule_pump` supersedes a
+                // later pump by booking an earlier one; the later event
+                // still fires but everything it would do has already been
+                // done (deliveries pump directly), so it is skipped.
                 if self.fabric.spes[spe].pump_scheduled == Some(now) {
                     self.fabric.spes[spe].pump_scheduled = None;
+                    self.fabric.pump(spe, now, sched, self.cfg);
+                } else {
+                    self.fabric.suppressed_pumps += 1;
                 }
-                self.fabric.pump(spe, now, sched, self.cfg);
             }
             Ev::CmdDone(id) => self.fabric.on_cmd_done(id, now, sched, self.cfg),
             Ev::SrcReady(id) => self.fabric.submit_to_eib(id, now, sched),
@@ -747,6 +779,9 @@ pub(crate) fn run_plan_traced(
         placement: *placement,
         spes,
         packets: Vec::new(),
+        free_slots: Vec::new(),
+        peak_live_packets: 0,
+        suppressed_pumps: 0,
         kick_scheduled: None,
         delivered_packets: 0,
         fault_stats: FaultStats::default(),
@@ -757,6 +792,9 @@ pub(crate) fn run_plan_traced(
 
     let mut sim = Simulation::new(FabricModel { fabric, cfg });
     for spe in plan.active_spes() {
+        // Book the seed pump so the staleness gate recognises it as the
+        // genuine pending pump for this SPE.
+        sim.model_mut().fabric.spes[spe].pump_scheduled = Some(Cycle::ZERO);
         sim.schedule(Cycle::ZERO, Ev::Pump(spe));
     }
     let outcome = sim.run_guarded(Cycle::new(MAX_CYCLES), MAX_STAGNANT_EVENTS);
@@ -820,6 +858,9 @@ pub(crate) fn run_plan_traced(
             })
             .collect(),
         faults: fault_stats,
+        events: events_processed,
+        suppressed_pumps: fabric.suppressed_pumps,
+        peak_live_packets: fabric.peak_live_packets,
     };
     let per_spe_bytes: Vec<u64> = fabric.spes.iter().map(|s| s.bytes).collect();
     let per_spe_cycles: Vec<u64> = fabric

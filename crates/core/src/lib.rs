@@ -53,6 +53,7 @@ pub mod exec;
 pub mod experiments;
 pub mod latency;
 pub mod metrics;
+pub mod perf;
 pub mod report;
 
 // JSON parsing moved into the kernel crate so serde-free parsing is

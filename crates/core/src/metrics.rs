@@ -154,6 +154,15 @@ pub struct FabricMetrics {
     pub banks: Vec<BankMetrics>,
     /// Fault-injection activity (all-zero on a healthy blade).
     pub faults: FaultStats,
+    /// Discrete events processed by the run's event loop — the
+    /// denominator of the simulator's own events-per-second speed.
+    pub events: u64,
+    /// Stale `Ev::Pump` firings the fabric skipped because an earlier
+    /// pump for the same SPE had superseded them.
+    pub suppressed_pumps: u64,
+    /// High-water mark of simultaneously live packet-slab entries; stays
+    /// bounded by the machine's outstanding budget however long the run.
+    pub peak_live_packets: u64,
 }
 
 /// The stall causes a run can be limited by, in reporting order.
@@ -203,6 +212,16 @@ pub struct MetricsSummary {
     pub unstalled_runs: u64,
     /// Fault-injection activity summed over all runs.
     pub faults: FaultStats,
+    /// Σ discrete events processed over all runs.
+    pub events: u64,
+    /// Σ bus packets delivered over all runs. Zero when the summary was
+    /// built via the metrics-only [`MetricsSummary::accumulate`] (the
+    /// delivered-packet count lives on the report, not the metrics).
+    pub packets: u64,
+    /// Σ stale pump events suppressed over all runs.
+    pub suppressed_pumps: u64,
+    /// Max over all runs of the packet slab's live high-water mark.
+    pub peak_live_packets: u64,
     /// Per-command latency digest merged over all runs: per-path
     /// histograms, phase attribution, dominant-phase tallies. Empty when
     /// the summary was built via the metrics-only
@@ -215,6 +234,9 @@ impl MetricsSummary {
     pub fn accumulate(&mut self, m: &FabricMetrics) {
         self.runs += 1;
         self.run_cycles += m.run_cycles;
+        self.events += m.events;
+        self.suppressed_pumps += m.suppressed_pumps;
+        self.peak_live_packets = self.peak_live_packets.max(m.peak_live_packets);
         match STALL_CAUSES.iter().position(|&c| c == m.dominant_stall().0) {
             Some(cause) => self.limiter_runs[cause] += 1,
             None => self.unstalled_runs += 1,
@@ -250,6 +272,7 @@ impl MetricsSummary {
     /// *and* its per-command latency digest.
     pub fn accumulate_report(&mut self, r: &FabricReport) {
         self.accumulate(&r.metrics);
+        self.packets += r.packets;
         self.latency.merge(&r.latency);
     }
 
@@ -352,6 +375,9 @@ mod tests {
                 abandoned_packets: 1,
                 degraded_cycles: 30,
             },
+            events: 1000,
+            suppressed_pumps: 7,
+            peak_live_packets: 12,
         };
         let mut s = MetricsSummary::default();
         s.accumulate(&m);
@@ -368,6 +394,9 @@ mod tests {
         assert_eq!(s.spe.occupancy_cycles, vec![220, 40, 140]);
         assert_eq!(s.rings[0].bytes, 768);
         assert_eq!(s.banks[0].stats.conflicts, 2);
+        assert_eq!(s.events, 2000);
+        assert_eq!(s.suppressed_pumps, 14);
+        assert_eq!(s.peak_live_packets, 12, "peak takes the max, not the sum");
     }
 
     #[test]
@@ -376,9 +405,7 @@ mod tests {
         s.accumulate(&FabricMetrics {
             run_cycles: 100,
             per_spe: vec![spe(0, vec![50, 10, 40])],
-            rings: Vec::new(),
-            banks: Vec::new(),
-            faults: FaultStats::default(),
+            ..FabricMetrics::default()
         });
         // 40 of 50 in-flight cycles at the full budget.
         assert!((s.occupancy_saturated_share() - 0.8).abs() < 1e-12);

@@ -246,6 +246,10 @@ impl MetricsTable {
         row("figure", self.id.clone());
         row("runs", s.runs.to_string());
         row("run_cycles", s.run_cycles.to_string());
+        row("events", s.events.to_string());
+        row("packets", s.packets.to_string());
+        row("suppressed_pumps", s.suppressed_pumps.to_string());
+        row("peak_live_packets", s.peak_live_packets.to_string());
         row("busy_cycles", m.busy_cycles.to_string());
         row("idle_cycles", m.idle_cycles.to_string());
         row("stall_mfc_full_cycles", m.stall_mfc_full_cycles.to_string());
@@ -447,6 +451,8 @@ impl MetricsTable {
             .collect();
         format!(
             "{{\"figure\":\"{}\",\"runs\":{},\"run_cycles\":{},\
+             \"events\":{},\"packets\":{},\"suppressed_pumps\":{},\
+             \"peak_live_packets\":{},\
              \"spe\":{{\"busy_cycles\":{},\"idle_cycles\":{},\
              \"stall_mfc_full_cycles\":{},\"stall_sync_cycles\":{},\
              \"stall_eib_cycles\":{},\"stall_mem_cycles\":{},\
@@ -463,6 +469,10 @@ impl MetricsTable {
             self.id.replace('\\', "\\\\").replace('"', "\\\""),
             s.runs,
             s.run_cycles,
+            s.events,
+            s.packets,
+            s.suppressed_pumps,
+            s.peak_live_packets,
             m.busy_cycles,
             m.idle_cycles,
             m.stall_mfc_full_cycles,
@@ -783,7 +793,7 @@ mod tests {
                     ..cellsim_mem::BankStats::default()
                 },
             }],
-            faults: crate::metrics::FaultStats::default(),
+            ..FabricMetrics::default()
         });
         let table = MetricsTable {
             id: "10".into(),

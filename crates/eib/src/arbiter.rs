@@ -6,7 +6,7 @@ use cellsim_faults::EibFaults;
 use cellsim_kernel::Cycle;
 
 use crate::ring::{Ring, RingId};
-use crate::topology::{Direction, Element, Topology};
+use crate::topology::{Direction, Element, Route, Topology};
 
 /// How a granted transfer occupies its path segments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -136,6 +136,28 @@ struct Pending {
     token: u64,
     req: TransferRequest,
     enqueued: Cycle,
+    /// Ramp indices and shortest-route direction, resolved once at
+    /// submit so the arbitration loop never repeats the lookups.
+    src_ramp: usize,
+    dst_ramp: usize,
+    dir: Direction,
+    /// Whether the transfer touches the MIC (memory-priority pass).
+    mic: bool,
+}
+
+/// Precomputed admissible routes for one (src, dst) ramp pair: at most
+/// two exist (the second only on an exact halfway tie), stored inline so
+/// the hot arbitration path never allocates.
+#[derive(Debug, Clone, Copy)]
+struct RouteSet {
+    routes: [Route; 2],
+    len: u8,
+}
+
+impl RouteSet {
+    fn as_slice(&self) -> &[Route] {
+        &self.routes[..usize::from(self.len)]
+    }
 }
 
 /// The Element Interconnect Bus: four rings plus the central data arbiter.
@@ -155,6 +177,10 @@ struct Pending {
 #[derive(Debug)]
 pub struct Eib {
     topology: Topology,
+    /// Dense `(src_ramp, dst_ramp)` route cache; `routes()` allocates,
+    /// and arbitration consults the same handful of pairs millions of
+    /// times per run.
+    route_table: Vec<RouteSet>,
     cfg: EibConfig,
     rings: Vec<Ring>,
     send_free: Vec<Cycle>,
@@ -187,8 +213,34 @@ impl Eib {
             rings.push(Ring::new(Direction::CounterClockwise, n));
         }
         let ring_count = rings.len();
+        let dummy = Route {
+            direction: Direction::Clockwise,
+            hops: 0,
+            segments: 0,
+            src_ramp: 0,
+            ring_len: n,
+        };
+        let mut route_table = vec![
+            RouteSet {
+                routes: [dummy; 2],
+                len: 0,
+            };
+            n * n
+        ];
+        for (a, &src) in topology.elements().iter().enumerate() {
+            for (b, &dst) in topology.elements().iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                let routes = topology.routes(src, dst);
+                let set = &mut route_table[a * n + b];
+                set.len = routes.len() as u8;
+                set.routes[..routes.len()].copy_from_slice(&routes);
+            }
+        }
         Eib {
             topology,
+            route_table,
             cfg,
             rings,
             send_free: vec![Cycle::ZERO; n],
@@ -236,12 +288,21 @@ impl Eib {
     ///
     /// Panics if `src == dst` or either endpoint is not on the bus.
     pub fn submit(&mut self, now: Cycle, token: u64, req: TransferRequest) {
-        // Validate eagerly so errors point at the submitter.
-        let _ = self.topology.routes(req.src, req.dst);
+        // Resolve endpoints eagerly so errors point at the submitter —
+        // and so arbitration never repeats the lookups.
+        let src = self.topology.ramp_of(req.src).expect("src not on bus").0;
+        let dst = self.topology.ramp_of(req.dst).expect("dst not on bus").0;
+        assert!(src != dst, "route requested from {} to itself", req.src);
+        let n = self.topology.ramp_count();
+        let dir = self.route_table[src * n + dst].routes[0].direction;
         self.pending.push_back(Pending {
             token,
             req,
             enqueued: now,
+            src_ramp: src,
+            dst_ramp: dst,
+            dir,
+            mic: req.src.is_mic() || req.dst.is_mic(),
         });
     }
 
@@ -271,15 +332,14 @@ impl Eib {
             let mut blocked_ccw = false;
             let mut i = 0;
             while i < self.pending.len() {
-                let touches_mic =
-                    self.pending[i].req.src.is_mic() || self.pending[i].req.dst.is_mic();
-                if touches_mic != memory_pass {
+                let p = &self.pending[i];
+                if p.mic != memory_pass {
                     i += 1;
                     continue;
                 }
-                let candidate = self.pending[i].req;
-                let dir = self.topology.routes(candidate.src, candidate.dst)[0].direction;
-                let blocked = match dir {
+                let candidate = p.req;
+                let (src, dst) = (p.src_ramp, p.dst_ramp);
+                let blocked = match p.dir {
                     Direction::Clockwise => &mut blocked_cw,
                     Direction::CounterClockwise => &mut blocked_ccw,
                 };
@@ -287,7 +347,7 @@ impl Eib {
                     i += 1;
                     continue;
                 }
-                if let Some(mut grant) = self.try_grant(now, &candidate) {
+                if let Some(mut grant) = self.try_grant(now, &candidate, src, dst) {
                     let p = self.pending.remove(i).expect("index in range");
                     grant.waited = now.saturating_since(p.enqueued);
                     self.stats.wait_cycles += grant.waited;
@@ -303,17 +363,13 @@ impl Eib {
 
     /// Attempts to grant one request immediately; reserves resources on
     /// success.
-    fn try_grant(&mut self, now: Cycle, req: &TransferRequest) -> Option<Grant> {
-        let src = self
-            .topology
-            .ramp_of(req.src)
-            .expect("validated at submit")
-            .0;
-        let dst = self
-            .topology
-            .ramp_of(req.dst)
-            .expect("validated at submit")
-            .0;
+    fn try_grant(
+        &mut self,
+        now: Cycle,
+        req: &TransferRequest,
+        src: usize,
+        dst: usize,
+    ) -> Option<Grant> {
         if self.send_free[src] > now {
             return None;
         }
@@ -333,7 +389,8 @@ impl Eib {
             wire
         };
         let duration = wire + switch;
-        for route in self.topology.routes(req.src, req.dst) {
+        let set = self.route_table[src * self.send_free.len() + dst];
+        for route in set.as_slice() {
             // The head arrives at the destination after the hop latency;
             // the receive port must be free from then on.
             let arrival = now + route.hops as u64 * self.cfg.hop_latency;
@@ -357,10 +414,10 @@ impl Eib {
                         ring.reserve(route.segments, now, delivered_at);
                     }
                     RingOccupancy::Pipelined => {
-                        if !ring.route_free(&route, now, self.cfg.hop_latency) {
+                        if !ring.route_free(route, now, self.cfg.hop_latency) {
                             continue;
                         }
-                        ring.reserve_route(&route, now, duration, self.cfg.hop_latency);
+                        ring.reserve_route(route, now, duration, self.cfg.hop_latency);
                     }
                 }
                 self.send_free[src] = wire_done;

@@ -44,9 +44,19 @@ impl<E> Scheduler<E> {
     }
 
     /// Schedules `event` `delay` cycles from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now + delay` overflows the cycle counter: a wrapped
+    /// time stamp would land in the past and corrupt delivery order.
     pub fn schedule_in(&mut self, delay: u64, event: E) {
-        let at = self.now + delay;
-        self.pending.push((at, event));
+        let at = self
+            .now
+            .as_u64()
+            .checked_add(delay)
+            .map(Cycle::new)
+            .expect("event delay overflows the cycle counter");
+        self.schedule(at, event);
     }
 
     /// Current simulation time.
@@ -87,6 +97,9 @@ pub struct Simulation<M: Model> {
     /// `processed` as of the last event that advanced simulated time —
     /// the progress watchdog's reference point.
     progress_mark: u64,
+    /// Recycled [`Scheduler`] buffer so the event loop allocates nothing
+    /// per event once it reaches steady state.
+    scratch: Vec<(Cycle, M::Event)>,
 }
 
 impl<M: Model> Simulation<M> {
@@ -98,6 +111,7 @@ impl<M: Model> Simulation<M> {
             now: Cycle::ZERO,
             processed: 0,
             progress_mark: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -149,12 +163,14 @@ impl<M: Model> Simulation<M> {
             self.processed += 1;
             let mut sched = Scheduler {
                 now: at,
-                pending: Vec::new(),
+                pending: std::mem::take(&mut self.scratch),
             };
             self.model.handle(at, event, &mut sched);
-            for (t, e) in sched.pending {
+            let mut pending = sched.pending;
+            for (t, e) in pending.drain(..) {
                 self.queue.push(t, e);
             }
+            self.scratch = pending;
             if self.events_since_progress() > max_stagnant_events {
                 return RunOutcome::Stagnant(self.now);
             }
@@ -314,6 +330,23 @@ mod tests {
         let out = sim.run_guarded(Cycle::new(100), 50);
         assert_eq!(out, RunOutcome::Stagnant(Cycle::new(3)));
         assert!(sim.events_since_progress() > 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay overflows")]
+    fn schedule_in_overflow_panics() {
+        // Regression: `now + delay` used to wrap silently, enqueueing an
+        // event in the distant past and corrupting delivery order.
+        struct Wrap;
+        impl Model for Wrap {
+            type Event = ();
+            fn handle(&mut self, _now: Cycle, (): (), sched: &mut Scheduler<()>) {
+                sched.schedule_in(u64::MAX, ());
+            }
+        }
+        let mut sim = Simulation::new(Wrap);
+        sim.schedule(Cycle::new(1), ());
+        sim.run();
     }
 
     #[test]

@@ -1,35 +1,50 @@
-//! Deterministic time-ordered event queue.
+//! Deterministic time-ordered event queue: a hierarchical time wheel.
+//!
+//! The queue delivers events in non-decreasing time order with FIFO
+//! ordering inside a cycle — exactly the contract a `BinaryHeap` keyed by
+//! `(time, push-sequence)` provides — but with O(1) pushes, O(1) pops in
+//! the common near-future case, and no per-event comparisons. The design
+//! is the classic hashed hierarchical timing wheel: [`LEVELS`] wheels of
+//! [`SLOTS`] slots each, where level `l` buckets times whose highest bit
+//! differing from the cursor falls in bit band `[l·B, (l+1)·B)`. Far-
+//! future events park in a high wheel and cascade toward level 0 as the
+//! cursor approaches them.
+//!
+//! Correctness hinges on one invariant, restored after every pop: every
+//! pending event `t` sits in slot `slot_index(t, level_for(t ^ cursor))`.
+//! Because the cursor only ever advances to the globally earliest pending
+//! time, the only slot whose mapping can go stale on an advance is the
+//! slot containing that earliest time itself — so a single drain-and-
+//! redistribute of that slot per pop suffices (events below the popped
+//! time cannot exist, and events above it keep their mapping).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::mem;
 
 use crate::Cycle;
 
-struct Entry<E> {
-    at: Cycle,
-    seq: u64,
-    event: E,
+/// Bits of time resolved per wheel level; 6 keeps one `u64` occupancy
+/// bitmap per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels needed to cover the full 64-bit cycle space (⌈64 / 6⌉).
+const LEVELS: usize = 64usize.div_ceil(LEVEL_BITS as usize);
+
+/// Wheel level whose bit band holds the highest set bit of `diff`.
+#[inline]
+fn level_for(diff: u64) -> usize {
+    if diff == 0 {
+        0
+    } else {
+        (63 - diff.leading_zeros() as usize) / LEVEL_BITS as usize
+    }
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+/// Slot of time `t` within level `lvl`.
+#[inline]
+fn slot_index(t: u64, lvl: usize) -> usize {
+    ((t >> (LEVEL_BITS as usize * lvl)) & (SLOTS as u64 - 1)) as usize
 }
 
 /// A priority queue of `(time, event)` pairs.
@@ -37,6 +52,11 @@ impl<E> Ord for Entry<E> {
 /// Events are delivered in non-decreasing time order. Events scheduled for
 /// the *same* cycle come out in the order they were pushed (FIFO), which
 /// keeps simulations deterministic without requiring `E: Ord`.
+///
+/// The queue is a time wheel, not a heap, so pushes must never land
+/// before the most recently popped time (a discrete-event simulation
+/// never schedules into the past; [`push`](EventQueue::push) panics if
+/// one tries).
 ///
 /// ```
 /// use cellsim_kernel::{Cycle, EventQueue};
@@ -49,53 +69,147 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), Some((Cycle::new(5), "late")));
 /// assert_eq!(q.pop(), None);
 /// ```
-#[derive(Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
+    /// `LEVELS × SLOTS` buckets, level-major. Each bucket holds events in
+    /// push order; level-0 buckets hold exactly one time each.
+    slots: Vec<VecDeque<(u64, E)>>,
+    /// One occupancy bitmap per level: bit `i` set ⇔ slot `i` non-empty.
+    occupied: [u64; LEVELS],
+    /// Time of the most recent pop; pending times are all `>= cursor`.
+    cursor: u64,
+    /// Cached earliest pending time.
+    next: Option<u64>,
+    len: usize,
+    /// Reused drain buffer so steady-state cascades allocate nothing.
+    scratch: Vec<(u64, E)>,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; LEVELS],
+            cursor: 0,
+            next: None,
+            len: 0,
+            scratch: Vec::new(),
         }
     }
 
     /// Schedules `event` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the most recently popped time: the
+    /// wheel's cursor has already swept past it.
     pub fn push(&mut self, at: Cycle, event: E) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        let t = at.as_u64();
+        assert!(
+            t >= self.cursor,
+            "event scheduled before the queue's current time: at={t}, cursor={}",
+            self.cursor
+        );
+        self.place(t, event);
+        self.len += 1;
+        self.next = Some(match self.next {
+            Some(n) => n.min(t),
+            None => t,
+        });
+    }
+
+    /// Buckets an event by its distance from the cursor. Does not touch
+    /// `len`/`next` — shared by [`push`](EventQueue::push) and cascades.
+    #[inline]
+    fn place(&mut self, t: u64, event: E) {
+        let lvl = level_for(t ^ self.cursor);
+        let idx = slot_index(t, lvl);
+        self.slots[lvl * SLOTS + idx].push_back((t, event));
+        self.occupied[lvl] |= 1 << idx;
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        let t = self.next?;
+        let lvl = level_for(t ^ self.cursor);
+        if lvl > 0 {
+            // Advance the cursor to `t` and cascade the one slot whose
+            // mapping that invalidates: the slot holding `t` itself. Its
+            // residents re-bucket relative to `t` (preserving order, so
+            // same-cycle FIFO survives the cascade); `t`'s own events
+            // land in level 0.
+            let cell = lvl * SLOTS + slot_index(t, lvl);
+            let mut scratch = mem::take(&mut self.scratch);
+            scratch.extend(self.slots[cell].drain(..));
+            self.occupied[lvl] &= !(1 << slot_index(t, lvl));
+            self.cursor = t;
+            for (te, e) in scratch.drain(..) {
+                self.place(te, e);
+            }
+            self.scratch = scratch;
+        }
+        self.cursor = t;
+        let idx = slot_index(t, 0);
+        let slot = &mut self.slots[idx];
+        let (at, event) = slot.pop_front().expect("cached next time has an event");
+        debug_assert_eq!(at, t, "level-0 slot holds a single time");
+        self.len -= 1;
+        if slot.is_empty() {
+            self.occupied[0] &= !(1 << idx);
+            self.next = self.scan_next();
+        } else {
+            self.next = Some(t);
+        }
+        Some((Cycle::new(at), event))
+    }
+
+    /// Earliest pending time after the cursor's slot drained. Pending
+    /// times at level `l` always index at or after the cursor's own slot
+    /// (they share the bits above band `l` with the cursor), so one
+    /// masked bitmap scan per level finds the first occupied slot; any
+    /// occupied lower level beats any higher one.
+    fn scan_next(&self) -> Option<u64> {
+        for lvl in 0..LEVELS {
+            let bits = self.occupied[lvl] & (!0u64 << slot_index(self.cursor, lvl));
+            if bits != 0 {
+                let idx = bits.trailing_zeros() as usize;
+                if lvl == 0 {
+                    // Level-0 slots hold one exact time in the cursor's span.
+                    return Some((self.cursor & !(SLOTS as u64 - 1)) | idx as u64);
+                }
+                // A higher-level slot spans many times; take its minimum.
+                return self.slots[lvl * SLOTS + idx].iter().map(|&(t, _)| t).min();
+            }
+        }
+        None
     }
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.at)
+        self.next.map(Cycle::new)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
     }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
+            .field("len", &self.len)
             .field("next_time", &self.peek_time())
             .finish()
     }
@@ -136,5 +250,46 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Cycle::new(2)));
         q.pop();
         assert_eq!(q.peek_time(), Some(Cycle::new(4)));
+    }
+
+    #[test]
+    fn far_future_events_cascade_down_in_order() {
+        // Spans several wheel levels, including a same-cycle pair parked
+        // beyond the first horizon that must stay FIFO across cascades.
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(1 << 20), "far-a");
+        q.push(Cycle::new(3), "near");
+        q.push(Cycle::new(1 << 20), "far-b");
+        q.push(Cycle::new((1 << 20) + 1), "far-c");
+        q.push(Cycle::new(u64::MAX), "horizon");
+        assert_eq!(q.pop(), Some((Cycle::new(3), "near")));
+        assert_eq!(q.pop(), Some((Cycle::new(1 << 20), "far-a")));
+        assert_eq!(q.pop(), Some((Cycle::new(1 << 20), "far-b")));
+        assert_eq!(q.pop(), Some((Cycle::new((1 << 20) + 1), "far-c")));
+        assert_eq!(q.pop(), Some((Cycle::new(u64::MAX), "horizon")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(100), 1);
+        q.push(Cycle::new(200), 2);
+        assert_eq!(q.pop(), Some((Cycle::new(100), 1)));
+        // Push between pops, at and after the cursor.
+        q.push(Cycle::new(100), 3);
+        q.push(Cycle::new(150), 4);
+        assert_eq!(q.pop(), Some((Cycle::new(100), 3)));
+        assert_eq!(q.pop(), Some((Cycle::new(150), 4)));
+        assert_eq!(q.pop(), Some((Cycle::new(200), 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the queue's current time")]
+    fn pushing_behind_the_cursor_panics() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(50), ());
+        q.pop();
+        q.push(Cycle::new(49), ());
     }
 }

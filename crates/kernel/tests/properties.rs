@@ -1,10 +1,96 @@
 //! Property tests for the simulation kernel.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use cellsim_kernel::stats::Summary;
 use cellsim_kernel::{Cycle, EventQueue, MachineClock};
 use proptest::prelude::*;
 
+/// Reference model for the time wheel: a `BinaryHeap` keyed by
+/// `(time, push-sequence)`, i.e. exactly the structure the wheel replaced.
+#[derive(Default)]
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    seq: u64,
+}
+
+impl HeapModel {
+    fn push(&mut self, t: u64) -> u64 {
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((t, id)));
+        id
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        self.heap.pop().map(|Reverse(x)| x)
+    }
+}
+
+/// One step of an interleaved schedule: push a burst of events at
+/// `now + delta` for each delta, then pop `pops` events.
+#[derive(Debug, Clone)]
+struct Step {
+    deltas: Vec<u64>,
+    pops: usize,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    // Deltas mix same-cycle bursts (0), near-future, and far-future
+    // horizon spills that park several wheel levels up (up to 2^40).
+    let delta = prop_oneof![
+        0u64..64,
+        0u64..64,
+        0u64..4096,
+        0u64..1_000_000,
+        0u64..(1u64 << 40),
+    ];
+    (proptest::collection::vec(delta, 0..12), 0usize..16)
+        .prop_map(|(deltas, pops)| Step { deltas, pops })
+}
+
 proptest! {
+    /// The time wheel pops an arbitrary interleaved schedule in exactly
+    /// the order of the `BinaryHeap` reference model: non-decreasing
+    /// time, FIFO within a cycle — including same-cycle bursts and
+    /// far-future events that cascade down through the wheel levels.
+    #[test]
+    fn wheel_matches_heap_reference(steps in proptest::collection::vec(step_strategy(), 1..40)) {
+        let mut wheel = EventQueue::new();
+        let mut model = HeapModel::default();
+        let mut now = 0u64;
+        for step in &steps {
+            for &delta in &step.deltas {
+                let t = now.saturating_add(delta);
+                let id = model.push(t);
+                wheel.push(Cycle::new(t), id);
+            }
+            for _ in 0..step.pops {
+                let expected = model.pop();
+                let actual = wheel.pop().map(|(t, id)| (t.as_u64(), id));
+                prop_assert_eq!(actual, expected);
+                if let Some((t, _)) = expected {
+                    now = t; // later pushes are relative to the popped time
+                }
+            }
+            prop_assert_eq!(wheel.len(), model.heap.len());
+            prop_assert_eq!(
+                wheel.peek_time().map(Cycle::as_u64),
+                model.heap.peek().map(|Reverse((t, _))| *t)
+            );
+        }
+        // Drain whatever is left; order must still agree.
+        loop {
+            let expected = model.pop();
+            let actual = wheel.pop().map(|(t, id)| (t.as_u64(), id));
+            prop_assert_eq!(actual, expected);
+            if actual.is_none() {
+                break;
+            }
+        }
+    }
+
     /// The event queue delivers events exactly as a stable sort by time
     /// would.
     #[test]

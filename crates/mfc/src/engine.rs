@@ -1,6 +1,6 @@
 //! The MFC DMA engine: command queue, unroller, outstanding budget.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 use cellsim_faults::{MfcFaults, RetryPolicy};
@@ -250,7 +250,10 @@ struct PacketMeta {
 pub struct MfcEngine {
     cfg: MfcConfig,
     queue: VecDeque<ActiveCommand>,
-    packets: HashMap<u64, PacketMeta>,
+    /// In-flight packets, keyed by token. A flat vector beats a hash map
+    /// here: the outstanding budget caps the live set at a handful of
+    /// entries, and the set is never iterated in key order.
+    packets: Vec<(u64, PacketMeta)>,
     tags: TagSet,
     outstanding: usize,
     next_issue: Cycle,
@@ -280,6 +283,9 @@ pub struct MfcEngine {
     faults: MfcFaults,
     /// NACK retry policy (budget + backoff).
     retry: RetryPolicy,
+    /// Retired `element_records` buffers awaiting reuse, so steady-state
+    /// command admission allocates nothing (see [`MfcEngine::recycle`]).
+    lifecycle_pool: Vec<Vec<ElementLifecycle>>,
 }
 
 impl MfcEngine {
@@ -316,7 +322,7 @@ impl MfcEngine {
         Ok(MfcEngine {
             cfg,
             queue: VecDeque::new(),
-            packets: HashMap::new(),
+            packets: Vec::new(),
             tags: TagSet::new(),
             outstanding: 0,
             next_issue: Cycle::ZERO,
@@ -330,6 +336,7 @@ impl MfcEngine {
             last_completed: None,
             faults,
             retry,
+            lifecycle_pool: Vec::new(),
         })
     }
 
@@ -448,13 +455,15 @@ impl MfcEngine {
             retries: 0,
             retry_backoff_cycles: 0,
             exhausted: false,
-            element_records: (0..work.element_count())
-                .map(|i| ElementLifecycle {
+            element_records: {
+                let mut records = self.lifecycle_pool.pop().unwrap_or_default();
+                records.extend((0..work.element_count()).map(|i| ElementLifecycle {
                     bytes: work.element_bytes(i),
                     first_issue_at: Cycle::ZERO,
                     completed_at: Cycle::ZERO,
-                })
-                .collect(),
+                }));
+                records
+            },
         };
         self.queue.push_back(ActiveCommand {
             seq,
@@ -552,14 +561,14 @@ impl MfcEngine {
             bytes: chunk,
             tag: cmd.work.tag(),
         };
-        self.packets.insert(
+        self.packets.push((
             self.next_token,
             PacketMeta {
                 cmd_seq: cmd.seq,
                 bytes: chunk,
                 elem_idx: cmd.elem_idx,
             },
-        );
+        ));
         self.next_token += 1;
 
         if cmd.life.packets == 0 {
@@ -617,10 +626,12 @@ impl MfcEngine {
     }
 
     fn retire_packet(&mut self, now: Cycle, token: PacketToken, credited: bool) -> bool {
-        let meta = self
+        let slot = self
             .packets
-            .remove(&token.0)
+            .iter()
+            .position(|&(tok, _)| tok == token.0)
             .expect("unknown or double-delivered packet token");
+        let (_, meta) = self.packets.swap_remove(slot);
         assert!(self.outstanding > 0, "delivery with no packets outstanding");
         self.note_occupancy(now);
         self.outstanding -= 1;
@@ -708,7 +719,9 @@ impl MfcEngine {
     fn in_flight_mut(&mut self, token: PacketToken) -> &mut ActiveCommand {
         let meta = self
             .packets
-            .get(&token.0)
+            .iter()
+            .find(|&&(tok, _)| tok == token.0)
+            .map(|&(_, meta)| meta)
             .expect("packet token not in flight");
         let seq = meta.cmd_seq;
         self.queue
@@ -723,6 +736,19 @@ impl MfcEngine {
     /// (harnesses that don't track latency can simply never call this).
     pub fn take_completed(&mut self) -> Option<CommandLifecycle> {
         self.last_completed.take()
+    }
+
+    /// Returns a consumed [`CommandLifecycle`]'s element-record buffer to
+    /// the admission pool. Optional — purely an allocation-recycling
+    /// hook: harnesses that observe lifecycles and hand them back here
+    /// let steady-state [`MfcEngine::enqueue`] run allocation-free.
+    pub fn recycle(&mut self, life: CommandLifecycle) {
+        const POOL_CAP: usize = 64;
+        let mut records = life.element_records;
+        if self.lifecycle_pool.len() < POOL_CAP {
+            records.clear();
+            self.lifecycle_pool.push(records);
+        }
     }
 }
 

@@ -150,6 +150,10 @@ fn json_parses_back_with_the_fixed_key_set() {
         "figure",
         "runs",
         "run_cycles",
+        "events",
+        "packets",
+        "suppressed_pumps",
+        "peak_live_packets",
         "spe",
         "occupancy_mean_inflight",
         "occupancy_saturated_share",
