@@ -693,11 +693,11 @@ fn write_chrome_trace(
 
 /// Prints every failed run to stderr, deduplicated by run key (in-batch
 /// duplicates of one key share a single failure), and returns how many
-/// distinct runs failed.
+/// distinct runs failed. Draining: repro collects once, at exit.
 fn report_failures(exec: &SweepExecutor) -> usize {
     let mut seen = std::collections::HashSet::new();
     let mut distinct = 0;
-    for failure in exec.failures() {
+    for failure in exec.take_failures() {
         if seen.insert(failure.key().to_string()) {
             eprintln!("failed run: {failure}");
             distinct += 1;

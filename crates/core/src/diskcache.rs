@@ -48,6 +48,22 @@ pub struct DiskCacheStats {
     pub discarded: u64,
 }
 
+/// A point-in-time census of the cache *directory* — as opposed to
+/// [`DiskCacheStats`], which counts this process's activity. A shared
+/// `--cache-dir` is written by every `cellsim-serve` worker and every
+/// CLI invocation pointed at it, so operational visibility (how big has
+/// the shared dir grown?) needs a scan, not process counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskDirStats {
+    /// Committed entry files (`<hash>.json`).
+    pub entries: u64,
+    /// Total bytes across committed entries.
+    pub bytes: u64,
+    /// Leftover temp files from killed writers. Harmless (entries are
+    /// temp-file + rename), but a monotone count signals crashed peers.
+    pub temp_files: u64,
+}
+
 /// A directory of verified run-report entries.
 #[derive(Debug)]
 pub struct DiskCache {
@@ -88,6 +104,29 @@ impl DiskCache {
     pub fn entry_path(&self, key: &RunKey) -> PathBuf {
         self.dir
             .join(format!("{:016x}.json", fnv1a(key_json(key).as_bytes())))
+    }
+
+    /// Scans the directory and reports its current census. Errors
+    /// reading the directory (or racing deletions mid-scan) degrade to
+    /// smaller counts — this is operational telemetry, not a contract.
+    pub fn dir_stats(&self) -> DiskDirStats {
+        let mut stats = DiskDirStats::default();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return stats;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(".tmp-") {
+                stats.temp_files += 1;
+            } else if name.ends_with(".json") {
+                stats.entries += 1;
+                if let Ok(meta) = entry.metadata() {
+                    stats.bytes += meta.len();
+                }
+            }
+        }
+        stats
     }
 
     /// Loads and verifies `key`'s entry. A missing entry returns `None`;
@@ -193,6 +232,31 @@ fn validate(key: &RunKey, text: &str) -> Option<FabricReport> {
         return None;
     }
     Some(report)
+}
+
+/// Stable 64-bit fingerprint of a [`RunKey`] (FNV-1a over its canonical
+/// JSON): the disk cache's entry filename, and the compact identity the
+/// serve protocol reports per streamed result.
+#[must_use]
+pub fn key_fingerprint(key: &RunKey) -> u64 {
+    fnv1a(key_json(key).as_bytes())
+}
+
+/// Serializes a [`FabricReport`] to canonical one-line JSON. Every
+/// `f64` is stored as its IEEE bit pattern, so
+/// [`report_from_json`]`(parse(report_to_json(r))) == r` holds
+/// bit-for-bit — the property both the disk cache and the serve wire
+/// protocol rely on for exact replay.
+#[must_use]
+pub fn report_to_json(report: &FabricReport) -> String {
+    report_json(report)
+}
+
+/// Parses a report serialized by [`report_to_json`]. Returns `None` on
+/// any structural mismatch (wrong shape, missing field, stale schema).
+#[must_use]
+pub fn report_from_json(v: &JsonValue) -> Option<FabricReport> {
+    parse_report(v)
 }
 
 // ---- canonical emission -------------------------------------------------
@@ -575,6 +639,38 @@ mod tests {
         fs::write(&path, text.replace("\"checksum\":\"", "\"checksum\":\"f")).unwrap();
         assert!(cache.load(&key).is_none());
         assert_eq!(cache.stats().discarded, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wire_report_round_trips_bit_identically() {
+        let (key, report) = sample();
+        let text = report_to_json(&report);
+        let parsed = report_from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, report);
+        assert_eq!(
+            parsed.aggregate_gbps.to_bits(),
+            report.aggregate_gbps.to_bits()
+        );
+        // The fingerprint is stable across calls and key clones.
+        assert_eq!(key_fingerprint(&key), key_fingerprint(&key.clone()));
+    }
+
+    #[test]
+    fn dir_stats_census_tracks_entries_and_temp_files() {
+        let dir = tmp_dir("census");
+        let cache = DiskCache::open(&dir).unwrap();
+        assert_eq!(cache.dir_stats(), DiskDirStats::default());
+        let (key, report) = sample();
+        cache.store(&key, &report);
+        let stats = cache.dir_stats();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+        assert_eq!(stats.temp_files, 0);
+        // A stray temp file from a killed writer is counted, not hidden.
+        fs::write(dir.join(".tmp-999-0"), "half an entry").unwrap();
+        assert_eq!(cache.dir_stats().temp_files, 1);
+        assert_eq!(cache.dir_stats().entries, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -229,6 +229,68 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// Default entry cap of the in-memory report cache. A full paper
+/// protocol touches well under 2 000 distinct run keys, so at CLI sweep
+/// sizes the bound never evicts; it only matters to a resident process
+/// (the `cellsim-serve` daemon) fed sustained distinct-key traffic,
+/// where an unbounded map would grow without limit.
+pub const DEFAULT_CACHE_CAPACITY: usize = 16_384;
+
+/// The in-memory `RunKey → Arc<FabricReport>` tier, bounded by entry
+/// count with least-recently-used eviction. Reports are shared `Arc`s,
+/// so evicting an entry never invalidates results already handed out —
+/// a re-requested evicted key is simply recomputed (or reloaded from
+/// the disk tier).
+#[derive(Debug)]
+struct BoundedCache {
+    map: HashMap<RunKey, (Arc<FabricReport>, u64)>,
+    /// Monotone use counter; the entry with the smallest stamp is the
+    /// least recently used.
+    tick: u64,
+    capacity: usize,
+}
+
+impl BoundedCache {
+    fn new(capacity: usize) -> BoundedCache {
+        BoundedCache {
+            map: HashMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&mut self, key: &RunKey) -> Option<Arc<FabricReport>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (report, stamp) = self.map.get_mut(key)?;
+        *stamp = tick;
+        Some(Arc::clone(report))
+    }
+
+    /// Inserts, evicting the least-recently-used entry if the cache is
+    /// full and `key` is new. The eviction scan is O(len), which is
+    /// irrelevant next to the milliseconds-per-run simulations that
+    /// produce the entries.
+    fn insert(&mut self, key: RunKey, report: Arc<FabricReport>) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+            }
+        }
+        self.map.insert(key, (report, self.tick));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 impl CacheStats {
     /// Fraction of specs answered without simulating, in `[0, 1]`.
     #[must_use]
@@ -276,9 +338,12 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct SweepExecutor {
     jobs: usize,
-    cache: Mutex<HashMap<RunKey, Arc<FabricReport>>>,
-    /// Failures observed across all batches, in batch/spec order (one
-    /// entry per distinct failed key per batch).
+    cache: Mutex<BoundedCache>,
+    /// Failures not yet collected by [`SweepExecutor::take_failures`],
+    /// in batch/spec order (one entry per distinct failed key per
+    /// batch). Drained on read so a long-lived executor — the serve
+    /// daemon reuses one across every client batch — never mixes one
+    /// caller's failures into another's or grows without bound.
     failures: Mutex<Vec<RunError>>,
     /// Optional persistent tier under the in-memory cache.
     disk: Option<DiskCache>,
@@ -308,6 +373,15 @@ impl SweepExecutor {
     /// [`std::thread::available_parallelism`].
     #[must_use]
     pub fn new(jobs: usize) -> SweepExecutor {
+        SweepExecutor::with_cache_capacity(jobs, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Like [`SweepExecutor::new`] with an explicit in-memory cache
+    /// entry cap (minimum 1). The default
+    /// ([`DEFAULT_CACHE_CAPACITY`]) never evicts at CLI sweep sizes;
+    /// long-running services tune this to bound resident memory.
+    #[must_use]
+    pub fn with_cache_capacity(jobs: usize, capacity: usize) -> SweepExecutor {
         let jobs = if jobs == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -315,7 +389,7 @@ impl SweepExecutor {
         };
         SweepExecutor {
             jobs,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(BoundedCache::new(capacity)),
             failures: Mutex::new(Vec::new()),
             disk: None,
             hits: AtomicU64::new(0),
@@ -333,8 +407,25 @@ impl SweepExecutor {
     ///
     /// Any [`std::io::Error`] from creating the directory.
     pub fn with_cache_dir(jobs: usize, dir: &std::path::Path) -> std::io::Result<SweepExecutor> {
-        let mut exec = SweepExecutor::new(jobs);
-        exec.disk = Some(DiskCache::open(dir)?);
+        SweepExecutor::with_cache_options(jobs, DEFAULT_CACHE_CAPACITY, Some(dir))
+    }
+
+    /// Fully explicit construction: worker count, in-memory entry cap,
+    /// and an optional persistent tier — the form a resident daemon
+    /// configures from its command line.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from creating the cache directory.
+    pub fn with_cache_options(
+        jobs: usize,
+        capacity: usize,
+        dir: Option<&std::path::Path>,
+    ) -> std::io::Result<SweepExecutor> {
+        let mut exec = SweepExecutor::with_cache_capacity(jobs, capacity);
+        if let Some(dir) = dir {
+            exec.disk = Some(DiskCache::open(dir)?);
+        }
         Ok(exec)
     }
 
@@ -348,22 +439,45 @@ impl SweepExecutor {
     /// worker is caught at the run boundary, so the map is never left
     /// mid-mutation — the data is safe even if a past batch crashed while
     /// holding the lock.
-    fn lock_cache(&self) -> MutexGuard<'_, HashMap<RunKey, Arc<FabricReport>>> {
+    fn lock_cache(&self) -> MutexGuard<'_, BoundedCache> {
         self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Every failure observed so far, in batch order (one entry per
-    /// distinct failed key per batch).
-    pub fn failures(&self) -> Vec<RunError> {
-        self.failures
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+    /// Drains every failure recorded since the last call, in batch order
+    /// (one entry per distinct failed key per batch). Draining — rather
+    /// than accumulating for the life of the executor — keeps a reused
+    /// executor honest: each caller sees exactly the failures of the
+    /// batches it ran since it last collected, and a resident daemon
+    /// does not leak an ever-growing failure log.
+    pub fn take_failures(&self) -> Vec<RunError> {
+        std::mem::take(&mut *self.failures.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Entries currently resident in the in-memory cache (bounded by
+    /// the configured capacity).
+    pub fn cache_len(&self) -> usize {
+        self.lock_cache().len()
+    }
+
+    /// Seeds the in-memory cache with an already-computed report, so a
+    /// later sweep over `key` is answered without simulating. This is
+    /// how a remote client replays reports streamed from `cellsim-serve`
+    /// through the local figure renderers: preload every point, then run
+    /// the experiment — every run is a cache hit and the rendered figure
+    /// is bit-identical to a local sweep.
+    pub fn preload(&self, key: RunKey, report: Arc<FabricReport>) {
+        self.lock_cache().insert(key, report);
     }
 
     /// Persistent-cache counters, if a cache directory is attached.
     pub fn disk_stats(&self) -> Option<DiskCacheStats> {
         self.disk.as_ref().map(DiskCache::stats)
+    }
+
+    /// Census of the attached cache directory (entries and bytes on
+    /// disk, including other processes' writes), if one is attached.
+    pub fn disk_dir_stats(&self) -> Option<crate::diskcache::DiskDirStats> {
+        self.disk.as_ref().map(DiskCache::dir_stats)
     }
 
     /// Cache hit/miss counters since construction.
@@ -380,7 +494,8 @@ impl SweepExecutor {
     /// back as [`RunError::Stall`] with its diagnosis, a panic is caught
     /// at the run boundary and comes back as [`RunError::Panicked`], and
     /// every other spec still returns its report. Failures are also
-    /// recorded on the executor ([`SweepExecutor::failures`]).
+    /// recorded on the executor until collected
+    /// ([`SweepExecutor::take_failures`]).
     ///
     /// Specs whose key is already cached — in memory from earlier
     /// batches, duplicated within this one, or (with
@@ -400,7 +515,7 @@ impl SweepExecutor {
             for spec in &specs {
                 if let Some(report) = cache.get(&spec.key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    resolution.push(Ok(Arc::clone(report)));
+                    resolution.push(Ok(report));
                     continue;
                 }
                 if let Some(&slot) = todo_index.get(&spec.key) {
@@ -601,6 +716,50 @@ mod tests {
             config_fingerprint(&CellConfig::default()),
             config_fingerprint(&other)
         );
+    }
+
+    #[test]
+    fn cache_growth_is_bounded_with_lru_eviction() {
+        let system = CellSystem::blade();
+        let exec = SweepExecutor::with_cache_capacity(2, 8);
+        // Sustained distinct-key traffic (12 distinct placements of one
+        // workload) must not grow the map past its 8-entry cap.
+        let keys: Vec<Placement> = (0..12).map(|k| Placement::lottery(0xD15C, k)).collect();
+        for p in &keys {
+            let _ = exec.run(vec![spec(&system, 4096, *p)]);
+        }
+        assert!(
+            exec.cache_len() <= 8,
+            "cache len {} > cap",
+            exec.cache_len()
+        );
+        // The most recent keys survived; re-running them is pure hits.
+        let before = exec.stats();
+        let recent: Vec<RunSpec> = keys[keys.len() - 4..]
+            .iter()
+            .map(|p| spec(&system, 4096, *p))
+            .collect();
+        let _ = exec.run(recent);
+        let after = exec.stats();
+        assert_eq!(after.misses, before.misses, "recent entries were evicted");
+        assert_eq!(after.hits, before.hits + 4);
+        // The oldest key was evicted and recomputes as a miss.
+        let _ = exec.run(vec![spec(&system, 4096, keys[0])]);
+        assert_eq!(exec.stats().misses, after.misses + 1);
+        assert!(exec.cache_len() <= 8);
+    }
+
+    #[test]
+    fn preload_answers_without_simulating() {
+        let system = CellSystem::blade();
+        let source = SweepExecutor::new(1);
+        let s = spec(&system, 4096, Placement::identity());
+        let report = source.run(vec![s.clone()]).remove(0);
+        let target = SweepExecutor::new(1);
+        target.preload(s.key.clone(), Arc::clone(&report));
+        let replayed = target.run(vec![s]);
+        assert_eq!(replayed[0], report);
+        assert_eq!(target.stats(), CacheStats { hits: 1, misses: 0 });
     }
 
     #[test]

@@ -218,14 +218,21 @@ impl std::error::Error for ExperimentError {
 
 /// One experiment point of a sweep: the plan to simulate and the
 /// [`Workload`] identifying it in the run cache.
-pub(crate) struct SweepPoint {
+///
+/// Public so remote drivers (the `cellsim-serve` client) can enumerate
+/// a figure's points ([`figure_points`]) and mirror exactly the sweep
+/// `repro` would run locally.
+#[derive(Clone)]
+pub struct SweepPoint {
+    /// The run-cache identity of this point.
     pub workload: Workload,
+    /// The DMA program realizing it (shared across placements).
     pub plan: Arc<TransferPlan>,
 }
 
 /// One sweep point's outcome: the reports of the placements that
 /// completed, plus how many failed (stalled or panicked). The failures
-/// themselves stay on the executor ([`SweepExecutor::failures`]), keyed
+/// themselves stay on the executor ([`SweepExecutor::take_failures`]), keyed
 /// by `RunKey`; here they only subtract samples, so a partially failed
 /// sweep still renders a figure with the incomplete points marked.
 pub(crate) struct PointRuns {
@@ -289,6 +296,24 @@ pub(crate) fn sweep(
     cfg: &ExperimentConfig,
     points: &[SweepPoint],
 ) -> Vec<PointRuns> {
+    group_results(
+        exec.try_run(figure_specs(system, cfg, points)),
+        cfg.placements,
+    )
+}
+
+/// Expands sweep points into the exact per-placement [`RunSpec`] batch
+/// an experiment submits: `cfg.placements` consecutive specs per point,
+/// in point order, placement `k` drawn with
+/// [`Placement::lottery_avoiding`]`(cfg.seed, k, fused_mask)`. This is
+/// the single source of truth for "which runs make up a figure" — the
+/// local sweep, the serve client and the serve smoke tests all expand
+/// through here, so their run keys coincide in every cache tier.
+pub fn figure_specs(
+    system: &CellSystem,
+    cfg: &ExperimentConfig,
+    points: &[SweepPoint],
+) -> Vec<RunSpec> {
     let fused = system
         .faults()
         .map_or(0, cellsim_faults::FaultPlan::fused_mask);
@@ -303,7 +328,175 @@ pub(crate) fn sweep(
             ));
         }
     }
-    group_results(exec.try_run(specs), cfg.placements)
+    specs
+}
+
+/// The sweep points behind a fabric figure, in figure order: the same
+/// builders [`figure_metrics_with`] and the figure renderers use.
+/// Returns `Ok(None)` for figures that do not sweep the DMA fabric
+/// (3, 4, 6, §4.2.2) and for unknown ids.
+///
+/// # Errors
+///
+/// [`ExperimentError::InvalidConfig`] if `cfg` fails validation.
+pub fn figure_points(
+    cfg: &ExperimentConfig,
+    figure: &str,
+) -> Result<Option<Vec<SweepPoint>>, ExperimentError> {
+    type Builder = fn(&ExperimentConfig) -> Vec<SweepPoint>;
+    let (id, builder): (&'static str, Builder) = match figure {
+        "8" => ("8", spe_mem::figure8_points),
+        "10" => ("10", spe_pairs::figure10_points),
+        "12" => ("12", spe_pairs::figure12_points),
+        "13" => ("13", spe_pairs::figure13_points),
+        "15" => ("15", spe_pairs::figure15_points),
+        "16" => ("16", spe_pairs::figure16_points),
+        _ => return Ok(None),
+    };
+    cfg.validate()
+        .map_err(|issue| ExperimentError::InvalidConfig { figure: id, issue })?;
+    Ok(Some(builder(cfg)))
+}
+
+/// Typed reason a [`Workload`] received over a wire could not be turned
+/// into a runnable plan. The serve daemon maps these to protocol errors
+/// naming the offending run, so a bad request degrades loudly instead
+/// of panicking a resident process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The pattern name is not one of the five sweepable patterns.
+    UnknownPattern(String),
+    /// The SPE count is invalid for the pattern (`couples` needs an
+    /// even count; every pattern needs `1..=8`, exchanges `2..=8`).
+    BadSpes {
+        /// The canonical pattern name.
+        pattern: &'static str,
+        /// The rejected count.
+        spes: u8,
+    },
+    /// The memory-streaming patterns hardcode [`SyncPolicy::AfterAll`]
+    /// and DMA-elem; a differing key would lie about the plan.
+    Unsupported {
+        /// The canonical pattern name.
+        pattern: &'static str,
+        /// What was asked for that the pattern does not express.
+        what: &'static str,
+    },
+    /// `volume` is zero or not a multiple of `elem`.
+    BadVolume {
+        /// Requested payload bytes per SPE.
+        volume: u64,
+        /// Requested element size.
+        elem: u32,
+    },
+    /// The plan builder rejected the parameters (e.g. a DMA element
+    /// larger than the MFC's 16 KiB limit).
+    Plan(crate::PlanError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::UnknownPattern(name) => {
+                write!(f, "unknown workload pattern '{name}'")
+            }
+            WorkloadError::BadSpes { pattern, spes } => {
+                write!(f, "pattern '{pattern}' cannot run on {spes} SPE(s)")
+            }
+            WorkloadError::Unsupported { pattern, what } => {
+                write!(f, "pattern '{pattern}' does not support {what}")
+            }
+            WorkloadError::BadVolume { volume, elem } => {
+                write!(
+                    f,
+                    "volume {volume} is zero or not a multiple of element size {elem}"
+                )
+            }
+            WorkloadError::Plan(e) => write!(f, "plan rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Maps a wire pattern name to the canonical `&'static str` used as a
+/// [`Workload`] cache key; `None` for unknown names.
+#[must_use]
+pub fn canonical_pattern(name: &str) -> Option<&'static str> {
+    match name {
+        "mem-get" => Some("mem-get"),
+        "mem-put" => Some("mem-put"),
+        "mem-copy" => Some("mem-copy"),
+        "couples" => Some("couples"),
+        "cycle" => Some("cycle"),
+        _ => None,
+    }
+}
+
+/// Rebuilds the [`TransferPlan`] a [`Workload`] describes — the inverse
+/// of the experiment point builders, for callers (the serve daemon)
+/// that receive workloads rather than construct them. The returned plan
+/// simulates identically to the one the local experiment would build
+/// for the same workload, so run keys and cached reports coincide.
+///
+/// # Errors
+///
+/// [`WorkloadError`] naming the first invalid parameter.
+pub fn workload_plan(w: &Workload) -> Result<Arc<TransferPlan>, WorkloadError> {
+    let pattern = canonical_pattern(w.pattern)
+        .ok_or_else(|| WorkloadError::UnknownPattern(w.pattern.to_string()))?;
+    if w.volume == 0 || w.elem == 0 || !w.volume.is_multiple_of(u64::from(w.elem)) {
+        return Err(WorkloadError::BadVolume {
+            volume: w.volume,
+            elem: w.elem,
+        });
+    }
+    let spes = usize::from(w.spes);
+    let plan = match pattern {
+        "mem-get" | "mem-put" | "mem-copy" => {
+            if !(1..=8).contains(&spes) {
+                return Err(WorkloadError::BadSpes {
+                    pattern,
+                    spes: w.spes,
+                });
+            }
+            if w.list {
+                return Err(WorkloadError::Unsupported {
+                    pattern,
+                    what: "DMA-list mode",
+                });
+            }
+            if w.sync != crate::SyncPolicy::AfterAll {
+                return Err(WorkloadError::Unsupported {
+                    pattern,
+                    what: "sync policies other than 'all'",
+                });
+            }
+            let op = match pattern {
+                "mem-get" => spe_mem::MemOp::Get,
+                "mem-put" => spe_mem::MemOp::Put,
+                _ => spe_mem::MemOp::Copy,
+            };
+            spe_mem::mem_plan(op, spes, w.volume, w.elem)
+        }
+        "couples" | "cycle" => {
+            let shape = if pattern == "couples" {
+                spe_pairs::Pattern::Couples
+            } else {
+                spe_pairs::Pattern::Cycle
+            };
+            let valid = (2..=8).contains(&spes) && (pattern != "couples" || spes % 2 == 0);
+            if !valid {
+                return Err(WorkloadError::BadSpes {
+                    pattern,
+                    spes: w.spes,
+                });
+            }
+            spe_pairs::pattern_plan(shape, spes, w.volume, w.elem, w.list, w.sync)
+        }
+        _ => unreachable!("canonical_pattern returned an unhandled name"),
+    };
+    plan.map(Arc::new).map_err(WorkloadError::Plan)
 }
 
 /// Mean of `samples`; `0.0` for an empty slice (a sweep point whose
@@ -333,19 +526,9 @@ pub fn figure_metrics_with(
     cfg: &ExperimentConfig,
     figure: &str,
 ) -> Result<Option<MetricsSummary>, ExperimentError> {
-    type Builder = fn(&ExperimentConfig) -> Vec<SweepPoint>;
-    let (id, builder): (&'static str, Builder) = match figure {
-        "8" => ("8", spe_mem::figure8_points),
-        "10" => ("10", spe_pairs::figure10_points),
-        "12" => ("12", spe_pairs::figure12_points),
-        "13" => ("13", spe_pairs::figure13_points),
-        "15" => ("15", spe_pairs::figure15_points),
-        "16" => ("16", spe_pairs::figure16_points),
-        _ => return Ok(None),
+    let Some(points) = figure_points(cfg, figure)? else {
+        return Ok(None);
     };
-    cfg.validate()
-        .map_err(|issue| ExperimentError::InvalidConfig { figure: id, issue })?;
-    let points = builder(cfg);
     let groups = sweep(exec, system, cfg, &points);
     let mut summary = MetricsSummary::default();
     for report in groups.iter().flat_map(|g| &g.reports) {

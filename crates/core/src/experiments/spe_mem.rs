@@ -8,7 +8,7 @@ use crate::report::{format_bytes, Figure, Point, Series};
 use crate::{CellSystem, SyncPolicy, TransferPlan};
 
 #[derive(Debug, Clone, Copy)]
-enum MemOp {
+pub(crate) enum MemOp {
     Get,
     Put,
     Copy,
@@ -16,7 +16,7 @@ enum MemOp {
 
 impl MemOp {
     /// The run-cache identity of this operation.
-    fn key(self) -> &'static str {
+    pub(crate) fn key(self) -> &'static str {
         match self {
             MemOp::Get => "mem-get",
             MemOp::Put => "mem-put",
@@ -112,14 +112,25 @@ pub(crate) fn figure8_points(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
                         list: false,
                         sync: SyncPolicy::AfterAll,
                     },
-                    plan: Arc::new(mem_plan(op, n, cfg.volume_per_spe, elem)),
+                    plan: Arc::new(
+                        mem_plan(op, n, cfg.volume_per_spe, elem)
+                            .expect("experiment plan is valid"),
+                    ),
                 })
             })
         })
         .collect()
 }
 
-fn mem_plan(op: MemOp, spes: usize, volume: u64, elem: u32) -> TransferPlan {
+/// Builds the SPE↔memory streaming plan. Fallible for the same reason
+/// as [`super::spe_pairs::pattern_plan`]: the serve daemon rebuilds
+/// plans from untrusted wire workloads and needs the typed error.
+pub(crate) fn mem_plan(
+    op: MemOp,
+    spes: usize,
+    volume: u64,
+    elem: u32,
+) -> Result<TransferPlan, crate::PlanError> {
     let mut b = TransferPlan::builder();
     for spe in 0..spes {
         b = match op {
@@ -128,7 +139,7 @@ fn mem_plan(op: MemOp, spes: usize, volume: u64, elem: u32) -> TransferPlan {
             MemOp::Copy => b.copy_memory(spe, volume, elem, SyncPolicy::AfterAll),
         };
     }
-    b.build().expect("experiment plan is valid")
+    b.build()
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@ use crate::{CellSystem, SyncPolicy, TransferPlan};
 
 /// Which SPEs exchange with which.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Pattern {
+pub(crate) enum Pattern {
     /// `n` SPEs form `n/2` active/passive couples: SPE 2k initiates a
     /// simultaneous get+put with SPE 2k+1, which stays passive.
     Couples,
@@ -28,7 +28,7 @@ enum Pattern {
 impl Pattern {
     /// The run-cache identity of this pattern. Two [`Workload`]s with the
     /// same key and parameters must build identical-simulating plans.
-    fn key(self) -> &'static str {
+    pub(crate) fn key(self) -> &'static str {
         match self {
             Pattern::Couples => "couples",
             Pattern::Cycle => "cycle",
@@ -36,14 +36,19 @@ impl Pattern {
     }
 }
 
-fn pattern_plan(
+/// Builds the couples/cycle exchange plan. Fallible so callers outside
+/// the experiment constructors — the serve daemon rebuilds plans from
+/// wire workloads — get a typed [`crate::PlanError`] instead of a
+/// panic; the experiment constructors `expect` it (their parameters are
+/// validated upstream).
+pub(crate) fn pattern_plan(
     pattern: Pattern,
     spes: usize,
     volume: u64,
     elem: u32,
     list: bool,
     sync: SyncPolicy,
-) -> TransferPlan {
+) -> Result<TransferPlan, crate::PlanError> {
     let mut b = TransferPlan::builder();
     match pattern {
         Pattern::Couples => {
@@ -67,7 +72,7 @@ fn pattern_plan(
             }
         }
     }
-    b.build().expect("experiment plan is valid")
+    b.build()
 }
 
 fn point(
@@ -87,7 +92,10 @@ fn point(
             list,
             sync,
         },
-        plan: Arc::new(pattern_plan(pattern, spes, volume, elem, list, sync)),
+        plan: Arc::new(
+            pattern_plan(pattern, spes, volume, elem, list, sync)
+                .expect("experiment plan is valid"),
+        ),
     }
 }
 

@@ -689,7 +689,13 @@ fn expect_u64(v: &JsonValue, what: &str) -> Result<u64, FaultPlanError> {
 }
 
 fn opt_u64(map: &BTreeMap<String, JsonValue>, key: &str) -> Result<Option<u64>, FaultPlanError> {
-    map.get(key).map(|v| expect_u64(v, key)).transpose()
+    // An explicit `null` means the same as an absent key: `to_json`
+    // emits `"slot_limit":null` for healthy MFCs, and the canonical
+    // round-trip `parse(to_json(p)) == p` has to hold for such plans.
+    match map.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => expect_u64(v, key).map(Some),
+    }
 }
 
 fn req_u64(
@@ -883,6 +889,20 @@ mod tests {
         assert_eq!(back, plan);
         assert_eq!(back.to_json(), json);
         assert_eq!(back.fingerprint(), plan.fingerprint());
+    }
+
+    #[test]
+    fn healthy_mfc_round_trips_through_its_own_json() {
+        // `to_json` writes `"slot_limit":null` when no limit is set; the
+        // parser must read that back as absent, not reject the document
+        // the serializer itself produced.
+        let mut plan = sample_plan();
+        plan.mfc.slot_limit = None;
+        let json = plan.to_json();
+        assert!(json.contains("\"slot_limit\":null"), "json: {json}");
+        let back = FaultPlan::parse(&json).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]

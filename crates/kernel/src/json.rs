@@ -76,6 +76,55 @@ impl JsonValue {
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         self.as_object()?.get(key)
     }
+
+    /// Serializes the value back to JSON text. Deterministic: object
+    /// members emit in key order (the map is a `BTreeMap`) and numbers
+    /// emit their original lexeme, so `parse(v.to_json_string())`
+    /// reproduces `v` exactly. This is how a JSON subtree extracted from
+    /// a larger document (e.g. an in-band fault plan) is re-fed to a
+    /// parser that wants text.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(_, raw) => out.push_str(raw),
+            JsonValue::String(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\":");
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Where and why parsing failed.
@@ -95,7 +144,19 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting the parser accepts. The parser is
+/// recursive-descent, so each `[` or `{` consumes native stack; without
+/// a cap, a hostile `[[[…]]]` document overflows the stack and aborts
+/// the process — fatal for a long-running socket server feeding this
+/// parser untrusted bytes. 128 levels is far beyond any artifact this
+/// repo emits (entries nest < 10 deep) while keeping worst-case stack
+/// use a few tens of kilobytes.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses one JSON document; trailing non-whitespace is an error.
+///
+/// Container nesting is capped at [`MAX_DEPTH`]: deeper documents
+/// return a [`JsonError`] instead of overflowing the parser's stack.
 ///
 /// # Errors
 ///
@@ -104,6 +165,7 @@ pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -117,6 +179,7 @@ pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -168,12 +231,25 @@ impl Parser<'_> {
         }
     }
 
+    /// Bumps the container-nesting depth on entering a `{`/`[`, erroring
+    /// past [`MAX_DEPTH`]. Paired with a `self.depth -= 1` at each
+    /// container's exit.
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Object(map));
         }
         loop {
@@ -189,6 +265,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(map));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -198,10 +275,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -212,6 +291,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -363,6 +443,43 @@ mod tests {
         assert!(parse("[1,2,]").is_err());
         assert!(parse("{} trailing").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Regression: the parser is recursive-descent; before the depth
+        // cap a payload like this blew the stack and killed the process.
+        for open in ["[", "{\"k\":"] {
+            let close = if open == "[" { "]" } else { "}" };
+            let deep = format!("{}0{}", open.repeat(100_000), close.repeat(100_000));
+            let err = parse(&deep).expect_err("over-deep document must be rejected");
+            assert!(
+                err.message.contains("nesting"),
+                "error should name the depth cap: {err}"
+            );
+        }
+        // Exactly at the cap parses fine; one past it does not.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let over = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&over).is_err());
+        // Sequential (non-nested) containers never hit the cap.
+        let wide = format!("[{}]", vec!["[]"; 10_000].join(","));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn to_json_string_round_trips() {
+        let text = r#"{"a":[1,2.5,{"b":"c\nd"}],"e":null,"f":true,"g":18446744073709551612}"#;
+        let v = parse(text).unwrap();
+        let emitted = v.to_json_string();
+        assert_eq!(parse(&emitted).unwrap(), v);
+        // Canonical: emitting the reparse reproduces the same bytes.
+        assert_eq!(parse(&emitted).unwrap().to_json_string(), emitted);
     }
 
     #[test]

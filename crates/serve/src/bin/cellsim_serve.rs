@@ -1,0 +1,115 @@
+//! The `cellsim-serve` daemon binary.
+//!
+//! ```text
+//! cellsim-serve [--addr HOST:PORT] [--jobs N] [--workers N]
+//!               [--cache-dir <dir>] [--cache-capacity N] [--high-water N]
+//!
+//!   --addr HOST:PORT    listen address (default 127.0.0.1:7117;
+//!                       use :0 for an ephemeral port)
+//!   --jobs N            executor threads per simulation (default: all cores)
+//!   --workers N         concurrent runs in flight (default: all cores)
+//!   --cache-dir <dir>   shared persistent report cache (same format and
+//!                       directory as repro --cache-dir)
+//!   --cache-capacity N  in-memory report cache entry cap
+//!   --high-water N      admission queue high-water mark (default 4096)
+//!
+//! exit codes: 0 clean shutdown, 3 bad invocation or I/O error
+//! ```
+//!
+//! Prints exactly one line to stdout once the socket is listening —
+//! `cellsim-serve listening on <addr>` — so scripts can scrape the
+//! bound (possibly ephemeral) port. Everything else goes to stderr.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cellsim_serve::{ServeOptions, Server};
+
+struct Args {
+    addr: String,
+    opts: ServeOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr = "127.0.0.1:7117".to_string();
+    let mut opts = ServeOptions::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |what: &str| argv.next().ok_or(format!("{arg} needs {what}"));
+        match arg.as_str() {
+            "--addr" => addr = value("an address")?,
+            "--jobs" => {
+                let n = value("a count")?;
+                opts.jobs = n.parse().map_err(|_| format!("bad job count: {n}"))?;
+            }
+            "--workers" => {
+                let n = value("a count")?;
+                opts.workers = n.parse().map_err(|_| format!("bad worker count: {n}"))?;
+            }
+            "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value("a directory")?)),
+            "--cache-capacity" => {
+                let n = value("a count")?;
+                let cap: usize = n.parse().map_err(|_| format!("bad capacity: {n}"))?;
+                if cap == 0 {
+                    return Err("--cache-capacity must be >= 1".into());
+                }
+                opts.cache_capacity = cap;
+            }
+            "--high-water" => {
+                let n = value("a count")?;
+                let mark: usize = n.parse().map_err(|_| format!("bad high-water mark: {n}"))?;
+                if mark == 0 {
+                    return Err("--high-water must be >= 1".into());
+                }
+                opts.high_water = mark;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "cellsim-serve [--addr HOST:PORT] [--jobs N] [--workers N] \
+                     [--cache-dir <dir>] [--cache-capacity N] [--high-water N]\n\n\
+                     Long-running sweep daemon; see README §cellsim-serve for the \
+                     line protocol."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args { addr, opts })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let server = match Server::bind(args.addr.as_str(), &args.opts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: could not bind {}: {e}", args.addr);
+            return ExitCode::from(3);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            println!("cellsim-serve listening on {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(3);
+        }
+    }
+    if let Some(dir) = &args.opts.cache_dir {
+        eprintln!("cellsim-serve: cache dir {}", dir.display());
+    }
+    if let Err(e) = server.serve() {
+        eprintln!("error: {e}");
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}

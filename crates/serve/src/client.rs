@@ -1,0 +1,323 @@
+//! A blocking client for the serve protocol, used by `cellsim-client`
+//! and the integration tests.
+//!
+//! The client submits a batch of [`RunSpec`]s, collects the streamed
+//! per-run results back into request order, and verifies each result's
+//! run-key fingerprint against the spec it answered — a transport-level
+//! integrity check on top of the report's own canonical encoding.
+
+use std::fmt;
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use cellsim_core::diskcache::{key_fingerprint, report_from_json};
+use cellsim_core::exec::RunSpec;
+use cellsim_core::json::{self, JsonValue};
+use cellsim_core::{FabricReport, FaultPlan};
+
+use crate::framing::LineReader;
+use crate::protocol::{encode_run_request, MAX_LINE_BYTES};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The daemon's response could not be understood (or the stream
+    /// ended mid-batch — e.g. the daemon shut down).
+    Protocol(String),
+    /// The daemon refused the batch: admission queue past high water.
+    Overloaded {
+        /// Runs queued at the daemon when it refused.
+        queued: u64,
+        /// The daemon's high-water mark.
+        high_water: u64,
+    },
+    /// The daemon refused the request as malformed (`error` line).
+    Refused {
+        /// The daemon's `reason` field (`protocol` / `bad-request`).
+        reason: String,
+        /// The daemon's `detail` field.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(detail) => write!(f, "protocol: {detail}"),
+            ClientError::Overloaded { queued, high_water } => write!(
+                f,
+                "server overloaded ({queued} runs queued, high water {high_water})"
+            ),
+            ClientError::Refused { reason, detail } => write!(f, "refused ({reason}): {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One run's failure as reported over the wire.
+#[derive(Debug, Clone)]
+pub struct WireFailure {
+    /// `"stall"` or `"panic"`.
+    pub kind: String,
+    /// The failed run's key in display form.
+    pub run: String,
+    /// Stall diagnosis JSON, or the panic message.
+    pub detail: String,
+}
+
+impl fmt::Display for WireFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run {} [{}]: {}", self.kind, self.run, self.detail)
+    }
+}
+
+/// A completed batch: one entry per requested run, in request order.
+pub struct BatchOutcome {
+    /// Per-run outcomes.
+    pub results: Vec<Result<Arc<FabricReport>, WireFailure>>,
+    /// The daemon's `done` tallies.
+    pub ok: usize,
+    /// Runs that failed (stall or panic).
+    pub failed: usize,
+}
+
+/// Daemon counters from a `stats` request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Open client connections.
+    pub connections: u64,
+    /// Admitted, unstarted runs.
+    pub queue_depth: u64,
+    /// Admission high-water mark.
+    pub high_water: u64,
+    /// Distinct keys simulating right now.
+    pub inflight: u64,
+    /// Runs answered by parking on an in-flight simulation.
+    pub deduped: u64,
+    /// Runs admitted since daemon start.
+    pub accepted: u64,
+    /// Runs answered since daemon start.
+    pub completed: u64,
+    /// Batches rejected as overloaded.
+    pub rejected: u64,
+    /// Executor in-memory cache hits.
+    pub cache_hits: u64,
+    /// Executor misses (actual simulations).
+    pub cache_misses: u64,
+    /// `(entries, bytes)` census of the shared cache dir, when attached.
+    pub disk_entries: Option<(u64, u64)>,
+}
+
+/// A connected protocol client. Not thread-safe; one per thread.
+pub struct Client {
+    reader: LineReader<BufReader<TcpStream>>,
+    writer: TcpStream,
+}
+
+fn get_u64(v: &JsonValue, name: &str) -> Result<u64, ClientError> {
+    v.get(name)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| ClientError::Protocol(format!("response missing field '{name}'")))
+}
+
+impl Client {
+    /// Connects to a serving daemon.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from connecting.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: LineReader::new(BufReader::new(stream), MAX_LINE_BYTES),
+            writer,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<JsonValue, ClientError> {
+        let Some(line) = self.reader.next_line()? else {
+            return Err(ClientError::Protocol(
+                "connection closed mid-response".to_string(),
+            ));
+        };
+        json::parse(&line).map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))
+    }
+
+    /// Submits `specs` as one batch and blocks until `done`, returning
+    /// outcomes in request order. `faults` applies to the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] — including [`ClientError::Overloaded`] when the
+    /// daemon rejected the batch (nothing ran; retry later).
+    pub fn run_batch(
+        &mut self,
+        id: &str,
+        faults: Option<&FaultPlan>,
+        specs: &[RunSpec],
+    ) -> Result<BatchOutcome, ClientError> {
+        self.send(&encode_run_request(id, faults, specs))?;
+        let mut results: Vec<Option<Result<Arc<FabricReport>, WireFailure>>> =
+            (0..specs.len()).map(|_| None).collect();
+        loop {
+            let v = self.read_response()?;
+            match v.get("op").and_then(JsonValue::as_str) {
+                Some("accepted") => {}
+                Some("result") | Some("failed") => {
+                    let index = usize::try_from(get_u64(&v, "index")?)
+                        .map_err(|_| ClientError::Protocol("index overflows".to_string()))?;
+                    let spec = specs.get(index).ok_or_else(|| {
+                        ClientError::Protocol(format!("result index {index} out of range"))
+                    })?;
+                    let fingerprint = v.get("key").and_then(JsonValue::as_str).unwrap_or("");
+                    if fingerprint != format!("{:016x}", key_fingerprint(&spec.key)) {
+                        return Err(ClientError::Protocol(format!(
+                            "run {index} answered with a different run key"
+                        )));
+                    }
+                    results[index] = Some(decode_outcome(&v)?);
+                }
+                Some("done") => {
+                    let ok = get_u64(&v, "ok")? as usize;
+                    let failed = get_u64(&v, "failed")? as usize;
+                    let results: Vec<_> = results
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, r)| {
+                            r.ok_or_else(|| {
+                                ClientError::Protocol(format!("done before result for run {i}"))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    return Ok(BatchOutcome {
+                        results,
+                        ok,
+                        failed,
+                    });
+                }
+                Some("reject") => {
+                    return Err(ClientError::Overloaded {
+                        queued: get_u64(&v, "queued")?,
+                        high_water: get_u64(&v, "high_water")?,
+                    })
+                }
+                Some("error") => {
+                    return Err(ClientError::Refused {
+                        reason: v
+                            .get("reason")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("unknown")
+                            .to_string(),
+                        detail: v
+                            .get("detail")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                    })
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected response op {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Fetches the daemon's counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or framing problems.
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        self.send("{\"op\":\"stats\"}")?;
+        let v = self.read_response()?;
+        if v.get("op").and_then(JsonValue::as_str) != Some("stats") {
+            return Err(ClientError::Protocol(
+                "expected a stats response".to_string(),
+            ));
+        }
+        let cache = v
+            .get("cache")
+            .ok_or_else(|| ClientError::Protocol("stats missing 'cache'".to_string()))?;
+        let disk_entries = match v.get("disk") {
+            Some(JsonValue::Object(_)) => {
+                let disk = v.get("disk").expect("just matched");
+                Some((get_u64(disk, "entries")?, get_u64(disk, "bytes")?))
+            }
+            _ => None,
+        };
+        Ok(ServeStats {
+            connections: get_u64(&v, "connections")?,
+            queue_depth: get_u64(&v, "queue_depth")?,
+            high_water: get_u64(&v, "high_water")?,
+            inflight: get_u64(&v, "inflight")?,
+            deduped: get_u64(&v, "deduped")?,
+            accepted: get_u64(&v, "accepted")?,
+            completed: get_u64(&v, "completed")?,
+            rejected: get_u64(&v, "rejected")?,
+            cache_hits: get_u64(cache, "hits")?,
+            cache_misses: get_u64(cache, "misses")?,
+            disk_entries,
+        })
+    }
+}
+
+fn decode_outcome(v: &JsonValue) -> Result<Result<Arc<FabricReport>, WireFailure>, ClientError> {
+    match v.get("op").and_then(JsonValue::as_str) {
+        Some("result") => {
+            let report = v
+                .get("report")
+                .and_then(report_from_json)
+                .ok_or_else(|| ClientError::Protocol("undecodable report".to_string()))?;
+            Ok(Ok(Arc::new(report)))
+        }
+        Some("failed") => {
+            let kind = v
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            let detail = match kind.as_str() {
+                "stall" => v
+                    .get("diagnosis")
+                    .map(JsonValue::to_json_string)
+                    .unwrap_or_default(),
+                _ => v
+                    .get("message")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            };
+            Ok(Err(WireFailure {
+                kind,
+                run: v
+                    .get("run")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                detail,
+            }))
+        }
+        _ => unreachable!("caller dispatches on op"),
+    }
+}

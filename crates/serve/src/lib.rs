@@ -1,0 +1,44 @@
+//! `cellsim-serve`: a long-running sweep daemon for the Cell simulator.
+//!
+//! The CLI (`repro`) runs one sweep and exits; every invocation pays
+//! for its own simulations, and concurrent invocations only share work
+//! through the disk cache, *after* a run completes. This crate is the
+//! resident alternative the ROADMAP's service milestone asks for: one
+//! process owns one parallel
+//! [`SweepExecutor`](cellsim_core::exec::SweepExecutor) and one
+//! content-addressed
+//! `--cache-dir`, and any number of clients stream batches of runs at
+//! it over TCP.
+//!
+//! What the daemon adds over N parallel CLI invocations:
+//!
+//! * **cross-client memoization** — every client hits one shared
+//!   in-memory report cache (bounded, LRU) over one shared disk tier;
+//! * **in-flight dedup** — two clients requesting the same run key
+//!   *concurrently* cost one simulation, not two
+//!   ([`scheduler`]): the second parks until the first's result lands;
+//! * **explicit backpressure** — a bounded admission queue with fair
+//!   round-robin draining across connections, rejecting whole batches
+//!   as `overloaded` past the high-water mark, never buffering
+//!   unbounded work;
+//! * **typed failures over the wire** — a stalled or panicked run
+//!   arrives as the same [`RunError`](cellsim_core::exec::RunError)
+//!   taxonomy the CLI prints, stall diagnoses in full JSON.
+//!
+//! The wire format ([`protocol`]) is newline-delimited JSON built on
+//! the repo's own serde-free parser — depth-capped, length-capped, and
+//! fuzzable — so a hostile peer gets a typed `error` line, not a stack
+//! overflow. Results replay bit-identically: reports travel in the
+//! disk cache's canonical encoding (floats as IEEE bit patterns), and
+//! [`client::Client`] verifies each result against the run key that
+//! requested it. `cellsim-client` (in `cellsim-bench`) renders figures
+//! from replayed reports byte-identically to a local `repro` run.
+
+pub mod client;
+pub mod framing;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use client::{BatchOutcome, Client, ClientError, ServeStats, WireFailure};
+pub use server::{ServeHandle, ServeOptions, Server};

@@ -1,0 +1,508 @@
+//! The `cellsim-serve` wire protocol: one JSON object per line, both
+//! directions, over a plain TCP stream.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"op":"stats"}
+//! {"op":"run","id":"<batch id>","faults":{<FaultPlan JSON>},"runs":[<run>...]}
+//! ```
+//!
+//! Each run names one simulation point explicitly — the daemon never
+//! invents placements, so a batch replays bit-identically anywhere:
+//!
+//! ```text
+//! {"pattern":"couples","spes":2,"volume":262144,"elem":128,
+//!  "list":false,"sync":"all","placement":[3,5,0,1,2,4,6,7]}
+//! ```
+//!
+//! `sync` is `"all"` ([`SyncPolicy::AfterAll`]) or `{"every":N}`
+//! ([`SyncPolicy::Every`]). `placement` is the full logical→physical
+//! permutation of the 8 SPEs. The optional `faults` plan uses the same
+//! schema as `repro --faults` and applies to every run of the batch
+//! (the run keys pick up its fingerprint, so degraded and healthy runs
+//! never share a cache entry).
+//!
+//! # Responses
+//!
+//! A `run` batch is answered by `accepted` (or `reject`), then one
+//! `result`/`failed` line per run *as each completes* — indices refer
+//! to the request's `runs` array and may arrive in any order — then
+//! exactly one `done`:
+//!
+//! ```text
+//! {"op":"accepted","id":"b1","runs":9}
+//! {"op":"result","id":"b1","index":4,"key":"<16-hex run-key fingerprint>","report":{...}}
+//! {"op":"failed","id":"b1","index":2,"key":"...","kind":"stall","run":"pattern=...","diagnosis":{...}}
+//! {"op":"done","id":"b1","ok":8,"failed":1}
+//! {"op":"reject","id":"b1","reason":"overloaded","queued":128,"high_water":128}
+//! {"op":"error","reason":"protocol","detail":"invalid JSON: ..."}
+//! ```
+//!
+//! `report` is the canonical bit-exact report JSON shared with the disk
+//! cache ([`report_to_json`]): floats travel as IEEE-754 bit patterns,
+//! so a replayed report compares equal to a locally simulated one.
+//! `failed` reuses the typed [`RunError`] taxonomy: stalls carry the
+//! full [`StallDiagnosis`](cellsim_core::StallDiagnosis) JSON, panics a
+//! `message` string. `error` lines never close the connection (the
+//! daemon keeps serving after a malformed line); only an over-long
+//! line — which cannot be framed — does.
+
+use cellsim_core::diskcache::{key_fingerprint, report_to_json};
+use cellsim_core::exec::{RunError, RunKey, RunSpec, Workload};
+use cellsim_core::experiments::{canonical_pattern, workload_plan};
+use cellsim_core::json::{self, JsonValue};
+use cellsim_core::{CellSystem, FabricReport, FaultPlan, Placement, SyncPolicy};
+
+/// Longest accepted request/response line, newline included. Frames a
+/// full-figure batch or a streamed report with two orders of magnitude
+/// to spare, while bounding what one connection can make the daemon
+/// buffer.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Most runs one batch may carry. Large enough for every figure of the
+/// paper protocol in a single batch; small enough that admission
+/// control reasons about batches, not gigabytes.
+pub const MAX_BATCH_RUNS: usize = 4096;
+
+/// Longest accepted batch id, in bytes.
+pub const MAX_ID_BYTES: usize = 256;
+
+/// A decoded request line.
+pub enum Request {
+    /// `{"op":"run",...}` — a batch of simulation points.
+    Run(BatchRequest),
+    /// `{"op":"stats"}` — a snapshot of daemon counters.
+    Stats,
+}
+
+/// A validated `run` request: every spec is simulatable as-is.
+pub struct BatchRequest {
+    /// Client-chosen id, echoed on every response line of the batch.
+    pub id: String,
+    /// The decoded specs, in request order.
+    pub specs: Vec<RunSpec>,
+}
+
+/// Why a request line was refused. `reason` is the wire taxonomy:
+/// `"protocol"` for lines that are not a well-formed request at all,
+/// `"bad-request"` for well-formed requests naming an impossible run.
+pub struct ProtocolError {
+    /// `"protocol"` or `"bad-request"`.
+    pub reason: &'static str,
+    /// The batch id, when the line got far enough to name one.
+    pub id: Option<String>,
+    /// Human-readable cause, naming the offending run index if any.
+    pub detail: String,
+}
+
+impl ProtocolError {
+    fn protocol(detail: String) -> ProtocolError {
+        ProtocolError {
+            reason: "protocol",
+            id: None,
+            detail,
+        }
+    }
+
+    fn bad_request(id: &str, detail: String) -> ProtocolError {
+        ProtocolError {
+            reason: "bad-request",
+            id: Some(id.to_string()),
+            detail,
+        }
+    }
+
+    /// The `error` response line reporting this refusal.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        error_line(self.id.as_deref(), self.reason, &self.detail)
+    }
+}
+
+/// Decodes one request line. The parser is the depth-capped in-repo
+/// JSON module, so an adversarially nested payload comes back as a
+/// typed error instead of a stack overflow.
+///
+/// # Errors
+///
+/// [`ProtocolError`] describing the first problem found; the caller
+/// answers with [`ProtocolError::to_line`] and keeps the connection.
+pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
+    let v = json::parse(line).map_err(|e| ProtocolError::protocol(format!("invalid JSON: {e}")))?;
+    let op = v
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ProtocolError::protocol("missing string field 'op'".to_string()))?;
+    match op {
+        "stats" => Ok(Request::Stats),
+        "run" => decode_run_request(&v).map(Request::Run),
+        other => Err(ProtocolError::protocol(format!(
+            "unknown op '{other}' (expected 'run' or 'stats')"
+        ))),
+    }
+}
+
+fn decode_run_request(v: &JsonValue) -> Result<BatchRequest, ProtocolError> {
+    let id = v
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ProtocolError::protocol("run request needs a string 'id'".to_string()))?;
+    if id.len() > MAX_ID_BYTES {
+        return Err(ProtocolError::protocol(format!(
+            "batch id longer than {MAX_ID_BYTES} bytes"
+        )));
+    }
+    let id = id.to_string();
+    let faults = match v.get("faults") {
+        None => None,
+        // Round-trip the subtree through the canonical writer so
+        // FaultPlan::parse sees exactly the JSON it validates for files.
+        Some(sub) => Some(
+            FaultPlan::parse(&sub.to_json_string())
+                .map_err(|e| ProtocolError::bad_request(&id, format!("faults: {e}")))?,
+        ),
+    };
+    let system = match faults {
+        Some(plan) => CellSystem::blade().with_faults(plan),
+        None => CellSystem::blade(),
+    };
+    let fused = system
+        .faults()
+        .map_or(0, cellsim_faults::FaultPlan::fused_mask);
+    let runs = v
+        .get("runs")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ProtocolError::bad_request(&id, "missing array field 'runs'".to_string()))?;
+    if runs.len() > MAX_BATCH_RUNS {
+        return Err(ProtocolError::bad_request(
+            &id,
+            format!(
+                "{} runs exceed the {MAX_BATCH_RUNS}-run batch limit",
+                runs.len()
+            ),
+        ));
+    }
+    let mut specs = Vec::with_capacity(runs.len());
+    for (index, run) in runs.iter().enumerate() {
+        let spec = decode_run(run, &system, fused)
+            .map_err(|cause| ProtocolError::bad_request(&id, format!("run {index}: {cause}")))?;
+        specs.push(spec);
+    }
+    Ok(BatchRequest { id, specs })
+}
+
+fn field_u64(run: &JsonValue, name: &str) -> Result<u64, String> {
+    run.get(name)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing unsigned integer field '{name}'"))
+}
+
+/// Decodes and fully validates one run object into a [`RunSpec`] on
+/// `system`. Everything is checked here — pattern, parameter ranges,
+/// plan buildability, placement permutation, fused-SPE collisions — so
+/// a spec that decodes is a spec the executor can run.
+fn decode_run(run: &JsonValue, system: &CellSystem, fused: u8) -> Result<RunSpec, String> {
+    let pattern = run
+        .get("pattern")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing string field 'pattern'".to_string())?;
+    let pattern =
+        canonical_pattern(pattern).ok_or_else(|| format!("unknown pattern '{pattern}'"))?;
+    let spes = field_u64(run, "spes")?;
+    let spes = u8::try_from(spes).map_err(|_| format!("spes {spes} out of range"))?;
+    let volume = field_u64(run, "volume")?;
+    let elem = field_u64(run, "elem")?;
+    let elem = u32::try_from(elem).map_err(|_| format!("elem {elem} out of range"))?;
+    let list = match run.get("list") {
+        Some(JsonValue::Bool(b)) => *b,
+        None => false,
+        Some(_) => return Err("field 'list' must be a boolean".to_string()),
+    };
+    let sync = match run.get("sync") {
+        None => SyncPolicy::AfterAll,
+        Some(JsonValue::String(s)) if s == "all" => SyncPolicy::AfterAll,
+        Some(v) => {
+            let every = v
+                .get("every")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| "field 'sync' must be \"all\" or {\"every\":N}".to_string())?;
+            let every =
+                u32::try_from(every).map_err(|_| format!("sync every {every} out of range"))?;
+            SyncPolicy::Every(every)
+        }
+    };
+    let workload = Workload {
+        pattern,
+        spes,
+        volume,
+        elem,
+        list,
+        sync,
+    };
+    let plan = workload_plan(&workload).map_err(|e| e.to_string())?;
+    let mapping = run
+        .get("placement")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing array field 'placement'".to_string())?;
+    if mapping.len() != 8 {
+        return Err(format!(
+            "placement must list all 8 SPEs, got {}",
+            mapping.len()
+        ));
+    }
+    let mut map = [0u8; 8];
+    for (slot, v) in map.iter_mut().zip(mapping) {
+        let p = v
+            .as_u64()
+            .filter(|&p| p < 8)
+            .ok_or_else(|| "placement entries must be integers in 0..8".to_string())?;
+        *slot = p as u8;
+    }
+    let placement = Placement::from_mapping(map)
+        .ok_or_else(|| "placement is not a permutation of 0..8".to_string())?;
+    for logical in 0..usize::from(workload.spes) {
+        let physical = placement.mapping()[logical];
+        if fused & (1 << physical) != 0 {
+            return Err(format!(
+                "placement maps logical SPE {logical} onto fused physical SPE {physical}"
+            ));
+        }
+    }
+    Ok(RunSpec::new(system, workload, placement, plan))
+}
+
+// ---- response emission --------------------------------------------------
+
+/// `accepted`: the batch passed admission; results will stream.
+#[must_use]
+pub fn accepted_line(id: &str, runs: usize) -> String {
+    format!(
+        "{{\"op\":\"accepted\",\"id\":\"{}\",\"runs\":{runs}}}",
+        json::escape(id)
+    )
+}
+
+/// `reject`: the admission queue is past its high-water mark. Nothing
+/// of the batch was enqueued; the client retries later.
+#[must_use]
+pub fn reject_line(id: &str, queued: usize, high_water: usize) -> String {
+    format!(
+        "{{\"op\":\"reject\",\"id\":\"{}\",\"reason\":\"overloaded\",\
+         \"queued\":{queued},\"high_water\":{high_water}}}",
+        json::escape(id)
+    )
+}
+
+/// `error`: the request line itself was refused (see [`ProtocolError`]).
+#[must_use]
+pub fn error_line(id: Option<&str>, reason: &str, detail: &str) -> String {
+    let id = match id {
+        Some(id) => format!("\"id\":\"{}\",", json::escape(id)),
+        None => String::new(),
+    };
+    format!(
+        "{{\"op\":\"error\",{id}\"reason\":\"{}\",\"detail\":\"{}\"}}",
+        json::escape(reason),
+        json::escape(detail)
+    )
+}
+
+/// `result`: run `index` of batch `id` completed with `report`.
+#[must_use]
+pub fn result_line(id: &str, index: usize, key: &RunKey, report: &FabricReport) -> String {
+    format!(
+        "{{\"op\":\"result\",\"id\":\"{}\",\"index\":{index},\
+         \"key\":\"{:016x}\",\"report\":{}}}",
+        json::escape(id),
+        key_fingerprint(key),
+        report_to_json(report)
+    )
+}
+
+/// `failed`: run `index` produced a typed [`RunError`] instead of a
+/// report. The stall variant splices the diagnosis's own JSON.
+#[must_use]
+pub fn failed_line(id: &str, index: usize, error: &RunError) -> String {
+    let key = error.key();
+    let head = format!(
+        "{{\"op\":\"failed\",\"id\":\"{}\",\"index\":{index},\
+         \"key\":\"{:016x}\",\"run\":\"{}\"",
+        json::escape(id),
+        key_fingerprint(key),
+        json::escape(&key.to_string())
+    );
+    match error {
+        RunError::Stall { diagnosis, .. } => {
+            format!(
+                "{head},\"kind\":\"stall\",\"diagnosis\":{}}}",
+                diagnosis.to_json()
+            )
+        }
+        RunError::Panicked { message, .. } => {
+            format!(
+                "{head},\"kind\":\"panic\",\"message\":\"{}\"}}",
+                json::escape(message)
+            )
+        }
+    }
+}
+
+/// `done`: every run of the batch has been answered.
+#[must_use]
+pub fn done_line(id: &str, ok: usize, failed: usize) -> String {
+    format!(
+        "{{\"op\":\"done\",\"id\":\"{}\",\"ok\":{ok},\"failed\":{failed}}}",
+        json::escape(id)
+    )
+}
+
+/// Encodes one spec as a request run object — the client half of
+/// [`decode_request`]; `decode(encode(spec))` reproduces the same
+/// [`RunKey`].
+#[must_use]
+pub fn encode_run(spec: &RunSpec) -> String {
+    let w = &spec.key.workload;
+    let sync = match w.sync {
+        SyncPolicy::AfterAll => "\"all\"".to_string(),
+        SyncPolicy::Every(n) => format!("{{\"every\":{n}}}"),
+    };
+    let placement: Vec<String> = spec.key.placement.iter().map(u8::to_string).collect();
+    format!(
+        "{{\"pattern\":\"{}\",\"spes\":{},\"volume\":{},\"elem\":{},\
+         \"list\":{},\"sync\":{sync},\"placement\":[{}]}}",
+        json::escape(w.pattern),
+        w.spes,
+        w.volume,
+        w.elem,
+        w.list,
+        placement.join(",")
+    )
+}
+
+/// Encodes a whole `run` request line (without the trailing newline).
+#[must_use]
+pub fn encode_run_request(id: &str, faults: Option<&FaultPlan>, specs: &[RunSpec]) -> String {
+    let runs: Vec<String> = specs.iter().map(encode_run).collect();
+    let faults = match faults {
+        Some(plan) => format!("\"faults\":{},", plan.to_json()),
+        None => String::new(),
+    };
+    format!(
+        "{{\"op\":\"run\",\"id\":\"{}\",{faults}\"runs\":[{}]}}",
+        json::escape(id),
+        runs.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellsim_core::experiments::{figure_points, figure_specs, ExperimentConfig};
+
+    fn quick_specs() -> Vec<RunSpec> {
+        let cfg = ExperimentConfig::quick();
+        let points = figure_points(&cfg, "12").unwrap().unwrap();
+        figure_specs(&CellSystem::blade(), &cfg, &points)
+    }
+
+    #[test]
+    fn encoded_requests_decode_to_the_same_run_keys() {
+        let specs = quick_specs();
+        let line = encode_run_request("b1", None, &specs);
+        let Request::Run(batch) = decode_request(&line).unwrap_or_else(|e| panic!("{}", e.detail))
+        else {
+            panic!("expected a run request");
+        };
+        assert_eq!(batch.id, "b1");
+        assert_eq!(batch.specs.len(), specs.len());
+        for (sent, got) in specs.iter().zip(&batch.specs) {
+            assert_eq!(sent.key, got.key);
+        }
+    }
+
+    #[test]
+    fn faulted_requests_carry_the_plan_into_the_run_keys() {
+        let plan = FaultPlan::parse(
+            "{\"seed\":7,\"eib\":{\"derate\":[{\"start\":0,\"cycles\":1000,\
+             \"capacity_percent\":50}]}}",
+        )
+        .expect("valid plan");
+        let specs = quick_specs();
+        let line = encode_run_request("deg", Some(&plan), &specs);
+        let Request::Run(batch) = decode_request(&line).unwrap_or_else(|e| panic!("{}", e.detail))
+        else {
+            panic!("expected a run request");
+        };
+        for (sent, got) in specs.iter().zip(&batch.specs) {
+            assert_eq!(got.key.faults, plan.fingerprint());
+            assert_eq!(sent.key.workload, got.key.workload);
+        }
+    }
+
+    #[test]
+    fn bad_runs_are_refused_with_the_offending_index() {
+        let check = |run: &str, needle: &str| {
+            let line = format!("{{\"op\":\"run\",\"id\":\"b\",\"runs\":[{run}]}}");
+            let err = match decode_request(&line) {
+                Err(e) => e,
+                Ok(_) => panic!("expected {needle}"),
+            };
+            assert_eq!(err.reason, "bad-request");
+            assert!(
+                err.detail.starts_with("run 0:") && err.detail.contains(needle),
+                "detail {:?} lacks {needle:?}",
+                err.detail
+            );
+        };
+        let good = "\"spes\":2,\"volume\":4096,\"elem\":128,\"list\":false,\
+                    \"sync\":\"all\",\"placement\":[0,1,2,3,4,5,6,7]";
+        check(
+            &format!("{{\"pattern\":\"warp\",{good}}}"),
+            "unknown pattern",
+        );
+        check(
+            "{\"pattern\":\"couples\",\"spes\":3,\"volume\":4096,\"elem\":128,\
+             \"placement\":[0,1,2,3,4,5,6,7]}",
+            "cannot run on 3",
+        );
+        check(
+            "{\"pattern\":\"couples\",\"spes\":2,\"volume\":65536,\"elem\":32768,\
+             \"placement\":[0,1,2,3,4,5,6,7]}",
+            "plan rejected",
+        );
+        check(
+            "{\"pattern\":\"couples\",\"spes\":2,\"volume\":4096,\"elem\":128,\
+             \"placement\":[0,0,2,3,4,5,6,7]}",
+            "not a permutation",
+        );
+    }
+
+    #[test]
+    fn fused_placements_are_refused_before_simulation() {
+        let line = "{\"op\":\"run\",\"id\":\"b\",\
+             \"faults\":{\"seed\":1,\"fused_spes\":[0]},\
+             \"runs\":[{\"pattern\":\"mem-get\",\"spes\":1,\"volume\":4096,\
+             \"elem\":128,\"placement\":[0,1,2,3,4,5,6,7]}]}";
+        let err = match decode_request(line) {
+            Err(e) => e,
+            Ok(_) => panic!("expected fused refusal"),
+        };
+        assert!(
+            err.detail.contains("fused physical SPE 0"),
+            "{}",
+            err.detail
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_protocol_errors() {
+        for line in ["not json", "{\"op\":\"warp\"}", "{}", "{\"op\":\"run\"}"] {
+            let err = match decode_request(line) {
+                Err(e) => e,
+                Ok(_) => panic!("expected refusal of {line:?}"),
+            };
+            assert_eq!(err.reason, "protocol", "line {line:?}");
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Admission, fairness, and in-flight dedup for the daemon's runs.
+//!
+//! The scheduler sits between connection threads and the shared
+//! [`SweepExecutor`]. Three properties the executor alone cannot give a
+//! multi-tenant daemon live here:
+//!
+//! * **Bounded admission** — a global high-water mark on queued runs.
+//!   A batch that would push past it is rejected whole (`overloaded`),
+//!   so one greedy client cannot make the daemon buffer unbounded work.
+//! * **Fairness** — per-connection queues drained round-robin, one run
+//!   at a time: a 1 000-run batch from one client does not starve a
+//!   9-run batch from another; their runs interleave.
+//! * **In-flight dedup** — the executor's run cache collapses a key
+//!   *after* its first simulation completes, but two clients asking for
+//!   the same key *concurrently* would both miss and simulate twice. A
+//!   worker that pops a run whose key is already being simulated parks
+//!   the run as a waiter instead; when the first simulation completes,
+//!   every waiter is answered from the same result.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use cellsim_core::exec::{RunError, RunKey, RunSpec, SweepExecutor};
+use cellsim_core::FabricReport;
+
+use crate::protocol;
+
+/// One batch's delivery state, shared by all its jobs. Responses go out
+/// through the owning connection's writer channel; a send to a
+/// disconnected client is silently dropped (the simulation still
+/// completes and populates the caches).
+pub struct Batch {
+    /// Client-chosen id, echoed on every line.
+    pub id: String,
+    /// The owning connection's writer channel.
+    pub out: Sender<String>,
+    remaining: AtomicUsize,
+    ok: AtomicUsize,
+    failed: AtomicUsize,
+}
+
+impl Batch {
+    /// A tracker expecting `runs` deliveries before `done` goes out.
+    #[must_use]
+    pub fn new(id: String, out: Sender<String>, runs: usize) -> Arc<Batch> {
+        Arc::new(Batch {
+            id,
+            out,
+            remaining: AtomicUsize::new(runs),
+            ok: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+        })
+    }
+}
+
+/// One queued run: a spec plus where its answer goes.
+pub struct Job {
+    /// The simulation point.
+    pub spec: RunSpec,
+    /// Index into the request's `runs` array.
+    pub index: usize,
+    /// The batch this run belongs to.
+    pub batch: Arc<Batch>,
+}
+
+/// Admission refusal: the queue is past its high-water mark.
+pub struct Overloaded {
+    /// Runs queued at refusal time.
+    pub queued: usize,
+    /// The configured mark.
+    pub high_water: usize,
+}
+
+/// Point-in-time scheduler counters (the `stats` response).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulerStats {
+    /// Runs admitted but not yet popped by a worker.
+    pub queue_depth: usize,
+    /// The admission high-water mark.
+    pub high_water: usize,
+    /// Distinct keys currently being simulated.
+    pub inflight: usize,
+    /// Runs answered by parking on another run's in-flight simulation.
+    pub deduped: u64,
+    /// Runs admitted since start.
+    pub accepted: u64,
+    /// Runs answered (result or failure) since start.
+    pub completed: u64,
+    /// Batches refused as overloaded since start.
+    pub rejected: u64,
+}
+
+struct Inner {
+    /// Pending jobs per connection. Invariant: a connection id is in
+    /// `rotation` iff its queue here is non-empty.
+    queues: HashMap<u64, VecDeque<Job>>,
+    rotation: VecDeque<u64>,
+    queued: usize,
+    /// Keys being simulated right now → runs parked on the result.
+    inflight: HashMap<RunKey, Vec<Job>>,
+    shutdown: bool,
+}
+
+/// The daemon's work queue; see the module docs for the invariants.
+pub struct Scheduler {
+    exec: Arc<SweepExecutor>,
+    inner: Mutex<Inner>,
+    work: Condvar,
+    high_water: usize,
+    deduped: AtomicU64,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Scheduler {
+    /// A scheduler feeding `exec`, admitting at most `high_water`
+    /// queued runs (minimum 1).
+    #[must_use]
+    pub fn new(exec: Arc<SweepExecutor>, high_water: usize) -> Scheduler {
+        Scheduler {
+            exec,
+            inner: Mutex::new(Inner {
+                queues: HashMap::new(),
+                rotation: VecDeque::new(),
+                queued: 0,
+                inflight: HashMap::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            high_water: high_water.max(1),
+            deduped: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The executor every worker simulates on.
+    #[must_use]
+    pub fn executor(&self) -> &SweepExecutor {
+        &self.exec
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits a whole batch or none of it. On success the `accepted`
+    /// line is sent *under the queue lock*, before any worker can pop a
+    /// job — guaranteeing it precedes every result line of the batch on
+    /// the connection's channel.
+    ///
+    /// # Errors
+    ///
+    /// [`Overloaded`] when the batch would push the queue past the
+    /// high-water mark; nothing is enqueued.
+    pub fn submit(&self, conn: u64, batch: &Batch, jobs: Vec<Job>) -> Result<(), Overloaded> {
+        let n = jobs.len();
+        if n == 0 {
+            let _ = batch.out.send(protocol::accepted_line(&batch.id, 0));
+            let _ = batch.out.send(protocol::done_line(&batch.id, 0, 0));
+            return Ok(());
+        }
+        {
+            let mut inner = self.lock();
+            if inner.queued + n > self.high_water {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(Overloaded {
+                    queued: inner.queued,
+                    high_water: self.high_water,
+                });
+            }
+            let queue = inner.queues.entry(conn).or_default();
+            let was_empty = queue.is_empty();
+            queue.extend(jobs);
+            if was_empty {
+                inner.rotation.push_back(conn);
+            }
+            inner.queued += n;
+            let _ = batch.out.send(protocol::accepted_line(&batch.id, n));
+        }
+        self.accepted.fetch_add(n as u64, Ordering::Relaxed);
+        self.work.notify_all();
+        Ok(())
+    }
+
+    /// Pops the next run, rotating across connections. Caller holds the
+    /// lock.
+    fn pop(inner: &mut Inner) -> Option<Job> {
+        let conn = inner.rotation.pop_front()?;
+        let queue = inner
+            .queues
+            .get_mut(&conn)
+            .expect("rotation names a live queue");
+        let job = queue.pop_front().expect("rotated queue is non-empty");
+        if queue.is_empty() {
+            inner.queues.remove(&conn);
+        } else {
+            inner.rotation.push_back(conn);
+        }
+        inner.queued -= 1;
+        Some(job)
+    }
+
+    /// One worker: pop → dedup-or-simulate → deliver, forever. The pop
+    /// and the in-flight check share one critical section, so between
+    /// two concurrent requesters of a key exactly one simulates and the
+    /// other parks — never both.
+    fn worker(&self) {
+        loop {
+            let job = {
+                let mut inner = self.lock();
+                loop {
+                    if inner.shutdown {
+                        return;
+                    }
+                    if let Some(job) = Self::pop(&mut inner) {
+                        if let Some(waiters) = inner.inflight.get_mut(&job.spec.key) {
+                            self.deduped.fetch_add(1, Ordering::Relaxed);
+                            waiters.push(job);
+                            continue;
+                        }
+                        inner.inflight.insert(job.spec.key.clone(), Vec::new());
+                        break job;
+                    }
+                    inner = self
+                        .work
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let key = job.spec.key.clone();
+            let result = self
+                .exec
+                .try_run(vec![job.spec.clone()])
+                .pop()
+                .expect("one result per submitted spec");
+            // The wire carries the typed error; drain the executor's
+            // copy so a resident daemon never accumulates failures.
+            let _ = self.exec.take_failures();
+            let waiters = self.lock().inflight.remove(&key).unwrap_or_default();
+            self.deliver(&job, &result);
+            for waiter in &waiters {
+                self.deliver(waiter, &result);
+            }
+        }
+    }
+
+    /// Sends the run's line and, when it was the batch's last, `done`.
+    fn deliver(&self, job: &Job, result: &Result<Arc<FabricReport>, RunError>) {
+        let batch = &job.batch;
+        let line = match result {
+            Ok(report) => {
+                batch.ok.fetch_add(1, Ordering::Relaxed);
+                protocol::result_line(&batch.id, job.index, &job.spec.key, report)
+            }
+            Err(error) => {
+                batch.failed.fetch_add(1, Ordering::Relaxed);
+                protocol::failed_line(&batch.id, job.index, error)
+            }
+        };
+        let _ = batch.out.send(line);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _ = batch.out.send(protocol::done_line(
+                &batch.id,
+                batch.ok.load(Ordering::Relaxed),
+                batch.failed.load(Ordering::Relaxed),
+            ));
+        }
+    }
+
+    /// Spawns `workers` simulation threads draining this scheduler.
+    pub fn start(self: &Arc<Scheduler>, workers: usize) -> Vec<JoinHandle<()>> {
+        (0..workers.max(1))
+            .map(|i| {
+                let sched = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("cellsim-serve-worker-{i}"))
+                    .spawn(move || sched.worker())
+                    .expect("worker thread spawns")
+            })
+            .collect()
+    }
+
+    /// Tells every worker to exit once its current run completes.
+    /// Queued-but-unstarted runs are dropped; their clients see the
+    /// connection close without `done`.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.work.notify_all();
+    }
+
+    /// Counter snapshot for the `stats` response.
+    #[must_use]
+    pub fn stats(&self) -> SchedulerStats {
+        let inner = self.lock();
+        SchedulerStats {
+            queue_depth: inner.queued,
+            high_water: self.high_water,
+            inflight: inner.inflight.len(),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! The daemon itself: TCP accept loop, per-connection reader/writer
+//! threads, and the `stats` snapshot.
+//!
+//! Each connection gets a reader thread (this function) and a writer
+//! thread draining an [`std::sync::mpsc`] channel; scheduler workers
+//! push result lines into the same channel, so one stream carries
+//! interleaved responses for every batch the connection has in flight,
+//! each line tagged with its batch id. A client that disconnects
+//! mid-stream just makes the channel's sends no-ops — its running
+//! simulations still complete and warm the shared caches for everyone
+//! else.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cellsim_core::exec::{SweepExecutor, DEFAULT_CACHE_CAPACITY};
+
+use crate::framing::{LineRead, LineReader};
+use crate::protocol::{self, Request, MAX_LINE_BYTES};
+use crate::scheduler::{Batch, Job, Scheduler};
+
+/// Daemon construction knobs; `Default` is a sensible single-host setup.
+pub struct ServeOptions {
+    /// Executor worker threads per simulation batch (`0` = all cores).
+    pub jobs: usize,
+    /// Scheduler worker threads — concurrent runs in flight (`0` = all
+    /// cores). Each worker drives one run at a time through the shared
+    /// executor.
+    pub workers: usize,
+    /// Persistent content-addressed cache directory, shared freely with
+    /// concurrent daemons and `repro --cache-dir` invocations.
+    pub cache_dir: Option<PathBuf>,
+    /// In-memory report cache entry cap.
+    pub cache_capacity: usize,
+    /// Admission high-water mark: most queued (admitted, unstarted)
+    /// runs before batches are rejected as overloaded.
+    pub high_water: usize,
+    /// Longest accepted request line in bytes.
+    pub max_line: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            jobs: 0,
+            workers: 0,
+            cache_dir: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            high_water: 4096,
+            max_line: MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// A bound, not-yet-serving daemon. [`Server::serve`] blocks; grab a
+/// [`Server::handle`] first to stop it from another thread.
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    workers: Vec<JoinHandle<()>>,
+    connections: Arc<AtomicUsize>,
+    next_conn: AtomicU64,
+    stopping: Arc<AtomicBool>,
+    max_line: usize,
+}
+
+/// Remote control for a serving daemon.
+#[derive(Clone)]
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+}
+
+impl ServeHandle {
+    /// Asks the accept loop to exit. Existing connections finish their
+    /// in-flight runs; queued-but-unstarted runs are dropped.
+    pub fn shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the scheduler workers. The socket is listening when this
+    /// returns; call [`Server::serve`] to start accepting.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from binding or from opening the cache
+    /// directory.
+    pub fn bind<A: ToSocketAddrs>(addr: A, opts: &ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let exec = Arc::new(SweepExecutor::with_cache_options(
+            opts.jobs,
+            opts.cache_capacity,
+            opts.cache_dir.as_deref(),
+        )?);
+        let scheduler = Arc::new(Scheduler::new(exec, opts.high_water));
+        let workers = if opts.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            opts.workers
+        };
+        let workers = scheduler.start(workers);
+        Ok(Server {
+            listener,
+            scheduler,
+            workers,
+            connections: Arc::new(AtomicUsize::new(0)),
+            next_conn: AtomicU64::new(0),
+            stopping: Arc::new(AtomicBool::new(false)),
+            max_line: opts.max_line,
+        })
+    }
+
+    /// The bound address (the ephemeral port after `:0`).
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from the socket.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop [`Server::serve`] from another thread.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from reading the bound address.
+    pub fn handle(&self) -> std::io::Result<ServeHandle> {
+        Ok(ServeHandle {
+            addr: self.listener.local_addr()?,
+            stopping: Arc::clone(&self.stopping),
+        })
+    }
+
+    /// Accepts connections until [`ServeHandle::shutdown`], spawning a
+    /// reader/writer thread pair per connection.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from `accept` (per-connection I/O errors
+    /// only close that connection).
+    pub fn serve(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
+            let scheduler = Arc::clone(&self.scheduler);
+            let connections = Arc::clone(&self.connections);
+            let max_line = self.max_line;
+            self.connections.fetch_add(1, Ordering::Relaxed);
+            let spawned = std::thread::Builder::new()
+                .name(format!("cellsim-serve-conn-{conn}"))
+                .spawn(move || {
+                    serve_connection(&scheduler, &connections, conn, stream, max_line);
+                    connections.fetch_sub(1, Ordering::Relaxed);
+                });
+            if spawned.is_err() {
+                self.connections.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        self.scheduler.shutdown();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// The per-connection reader loop: frame, decode, dispatch.
+fn serve_connection(
+    scheduler: &Arc<Scheduler>,
+    connections: &AtomicUsize,
+    conn: u64,
+    stream: TcpStream,
+    max_line: usize,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name(format!("cellsim-serve-write-{conn}"))
+        .spawn(move || {
+            let mut out = write_half;
+            for line in rx {
+                if out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| out.write_all(b"\n"))
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        });
+    let mut reader = LineReader::new(BufReader::new(stream), max_line);
+    loop {
+        match reader.read() {
+            Err(_) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                // An over-long line cannot be framed; answering anything
+                // further would be guesswork. Error and hang up.
+                let _ = tx.send(protocol::error_line(
+                    None,
+                    "protocol",
+                    &format!("request line exceeds {max_line} bytes"),
+                ));
+                break;
+            }
+            Ok(LineRead::Line) => {}
+        }
+        let line = String::from_utf8_lossy(reader.line());
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match protocol::decode_request(line) {
+            Err(refusal) => {
+                let _ = tx.send(refusal.to_line());
+            }
+            Ok(Request::Stats) => {
+                let _ = tx.send(stats_line(scheduler, connections));
+            }
+            Ok(Request::Run(batch)) => {
+                submit_batch(scheduler, conn, &tx, batch);
+            }
+        }
+    }
+    // Drop only the reader's sender: batches still in flight hold their
+    // own clones, so their remaining lines (and `done`) still go out.
+    // The writer exits when the last clone is gone, or on its first
+    // failed write after the peer vanished.
+    drop(tx);
+    let _ = writer.map(JoinHandle::join);
+}
+
+/// Wraps a decoded batch in delivery state and offers it for admission.
+fn submit_batch(
+    scheduler: &Arc<Scheduler>,
+    conn: u64,
+    tx: &Sender<String>,
+    request: protocol::BatchRequest,
+) {
+    let batch = Batch::new(request.id, tx.clone(), request.specs.len());
+    let jobs: Vec<Job> = request
+        .specs
+        .into_iter()
+        .enumerate()
+        .map(|(index, spec)| Job {
+            spec,
+            index,
+            batch: Arc::clone(&batch),
+        })
+        .collect();
+    if let Err(overloaded) = scheduler.submit(conn, &batch, jobs) {
+        let _ = tx.send(protocol::reject_line(
+            &batch.id,
+            overloaded.queued,
+            overloaded.high_water,
+        ));
+    }
+}
+
+/// The `stats` response: scheduler counters, executor cache counters,
+/// and (when a cache dir is attached) both the process's disk-tier
+/// activity and a census of the shared directory.
+fn stats_line(scheduler: &Scheduler, connections: &AtomicUsize) -> String {
+    let sched = scheduler.stats();
+    let exec = scheduler.executor();
+    let cache = exec.stats();
+    let disk = match (exec.disk_stats(), exec.disk_dir_stats()) {
+        (Some(activity), Some(dir)) => format!(
+            "{{\"loaded\":{},\"stored\":{},\"discarded\":{},\
+             \"entries\":{},\"bytes\":{},\"temp_files\":{}}}",
+            activity.loaded,
+            activity.stored,
+            activity.discarded,
+            dir.entries,
+            dir.bytes,
+            dir.temp_files
+        ),
+        _ => "null".to_string(),
+    };
+    format!(
+        "{{\"op\":\"stats\",\"connections\":{},\"queue_depth\":{},\
+         \"high_water\":{},\"inflight\":{},\"deduped\":{},\
+         \"accepted\":{},\"completed\":{},\"rejected\":{},\
+         \"cache\":{{\"hits\":{},\"misses\":{}}},\"disk\":{disk}}}",
+        connections.load(Ordering::Relaxed),
+        sched.queue_depth,
+        sched.high_water,
+        sched.inflight,
+        sched.deduped,
+        sched.accepted,
+        sched.completed,
+        sched.rejected,
+        cache.hits,
+        cache.misses
+    )
+}

@@ -1,0 +1,319 @@
+//! End-to-end daemon tests: real sockets, concurrent clients, a shared
+//! cache directory, and hostile input. Every test binds an ephemeral
+//! port and shuts its daemon down, so the suite parallelizes cleanly.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use cellsim_core::diskcache::report_to_json;
+use cellsim_core::exec::{RunSpec, SweepExecutor, Workload};
+use cellsim_core::experiments::{
+    figure10_with, figure12_with, figure_points, figure_specs, workload_plan, ExperimentConfig,
+};
+use cellsim_core::{CellSystem, FaultPlan, Placement, SyncPolicy};
+use cellsim_serve::protocol::encode_run_request;
+use cellsim_serve::{Client, ClientError, ServeHandle, ServeOptions, Server};
+
+/// A reduced sweep: enough runs for the figures to have shape, small
+/// enough that every test stays fast.
+fn tiny_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        volume_per_spe: 32 << 10,
+        dma_elem_sizes: vec![1024],
+        placements: 2,
+        seed: 0xCE11,
+    }
+}
+
+fn tiny_specs(system: &CellSystem, figure: &str) -> Vec<RunSpec> {
+    let cfg = tiny_cfg();
+    let points = figure_points(&cfg, figure)
+        .expect("valid config")
+        .expect("fabric figure");
+    figure_specs(system, &cfg, &points)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cellsim-serve-test-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+struct Daemon {
+    addr: std::net::SocketAddr,
+    handle: ServeHandle,
+    thread: thread::JoinHandle<()>,
+}
+
+fn start_daemon(opts: &ServeOptions) -> Daemon {
+    let server = Server::bind("127.0.0.1:0", opts).expect("bind");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.handle().expect("handle");
+    let thread = thread::spawn(move || server.serve().expect("serve"));
+    Daemon {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+impl Daemon {
+    fn stop(self) {
+        self.handle.shutdown();
+        let _ = self.thread.join();
+    }
+}
+
+/// Fetches a figure-12 batch from the daemon and renders the figures
+/// from the replayed reports, exactly as `cellsim-client` does.
+fn render_figure12_from(addr: std::net::SocketAddr) -> Vec<String> {
+    let cfg = tiny_cfg();
+    let system = CellSystem::blade();
+    let specs = tiny_specs(&system, "12");
+    let mut client = Client::connect(addr).expect("connect");
+    let outcome = client.run_batch("fig12", None, &specs).expect("batch");
+    assert_eq!(outcome.failed, 0, "healthy runs must not fail");
+    let exec = SweepExecutor::new(1);
+    for (spec, result) in specs.into_iter().zip(outcome.results) {
+        exec.preload(spec.key, result.expect("ok result"));
+    }
+    figure12_with(&exec, &system, &cfg)
+        .expect("render")
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn two_concurrent_clients_render_bit_identical_figures() {
+    let cache = temp_dir("shared");
+    let daemon = start_daemon(&ServeOptions {
+        workers: 4,
+        cache_dir: Some(cache.clone()),
+        ..ServeOptions::default()
+    });
+
+    let cfg = tiny_cfg();
+    let system = CellSystem::blade();
+    let total = tiny_specs(&system, "12").len();
+    let reference: Vec<String> = figure12_with(&SweepExecutor::new(1), &system, &cfg)
+        .expect("local render")
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+
+    let addr = daemon.addr;
+    let a = thread::spawn(move || render_figure12_from(addr));
+    let b = thread::spawn(move || render_figure12_from(addr));
+    assert_eq!(a.join().expect("client a"), reference);
+    assert_eq!(b.join().expect("client b"), reference);
+
+    // 2×`total` runs were answered, but each distinct key simulated
+    // exactly once: the duplicate copy was either deduped in flight or
+    // served from the run cache — never simulated again.
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.accepted, 2 * total as u64);
+    assert_eq!(stats.completed, 2 * total as u64);
+    assert_eq!(stats.cache_misses, total as u64, "stats: {stats:?}");
+    assert_eq!(
+        stats.cache_hits + stats.deduped,
+        total as u64,
+        "stats: {stats:?}"
+    );
+    let (entries, bytes) = stats.disk_entries.expect("cache dir attached");
+    assert_eq!(entries, total as u64);
+    assert!(bytes > 0);
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn duplicate_runs_in_one_batch_simulate_once() {
+    let daemon = start_daemon(&ServeOptions {
+        workers: 4,
+        ..ServeOptions::default()
+    });
+    let system = CellSystem::blade();
+    // Heavy enough that the duplicates are popped (and parked on the
+    // in-flight simulation) long before the first copy completes.
+    let workload = Workload {
+        pattern: "cycle",
+        spes: 8,
+        volume: 4 << 20,
+        elem: 4096,
+        list: false,
+        sync: SyncPolicy::AfterAll,
+    };
+    let plan = workload_plan(&workload).expect("plannable");
+    let spec = RunSpec::new(&system, workload, Placement::identity(), plan);
+    let specs = vec![spec.clone(), spec.clone(), spec.clone(), spec];
+
+    let mut client = Client::connect(daemon.addr).expect("connect");
+    let outcome = client.run_batch("dup", None, &specs).expect("batch");
+    assert_eq!(outcome.ok, 4);
+    assert_eq!(outcome.failed, 0);
+    let first = report_to_json(outcome.results[0].as_ref().expect("ok"));
+    for result in &outcome.results {
+        assert_eq!(report_to_json(result.as_ref().expect("ok")), first);
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache_misses, 1, "stats: {stats:?}");
+    assert_eq!(stats.cache_hits + stats.deduped, 3, "stats: {stats:?}");
+    assert!(stats.deduped >= 1, "expected in-flight dedup: {stats:?}");
+    daemon.stop();
+}
+
+#[test]
+fn oversized_batches_are_rejected_whole() {
+    let daemon = start_daemon(&ServeOptions {
+        high_water: 2,
+        workers: 1,
+        ..ServeOptions::default()
+    });
+    let specs = tiny_specs(&CellSystem::blade(), "12");
+    assert!(specs.len() >= 3, "need a batch larger than the mark");
+
+    let mut client = Client::connect(daemon.addr).expect("connect");
+    match client.run_batch("big", None, &specs[..3]) {
+        Err(ClientError::Overloaded { high_water, .. }) => assert_eq!(high_water, 2),
+        other => panic!(
+            "expected an overload rejection, got {other:?}",
+            other = other.err()
+        ),
+    }
+    // Nothing from the rejected batch ran, and smaller batches still do.
+    let outcome = client.run_batch("small", None, &specs[..2]).expect("batch");
+    assert_eq!(outcome.ok, 2);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.accepted, 2);
+    daemon.stop();
+}
+
+#[test]
+fn disconnecting_mid_batch_leaves_the_daemon_serving() {
+    let daemon = start_daemon(&ServeOptions::default());
+    let system = CellSystem::blade();
+    let specs = tiny_specs(&system, "12");
+
+    // Fire a whole batch and hang up without reading a single byte.
+    {
+        let mut stream = TcpStream::connect(daemon.addr).expect("connect");
+        let line = encode_run_request("orphan", None, &specs);
+        stream.write_all(line.as_bytes()).expect("send");
+        stream.write_all(b"\n").expect("send");
+    }
+
+    // A fresh client gets full service; the orphan's completed runs can
+    // only have warmed the shared cache.
+    let mut client = Client::connect(daemon.addr).expect("connect");
+    let outcome = client.run_batch("after", None, &specs).expect("batch");
+    assert_eq!(outcome.failed, 0);
+    assert_eq!(outcome.ok, specs.len());
+    daemon.stop();
+}
+
+#[test]
+fn hostile_lines_get_typed_errors_without_killing_the_connection() {
+    let daemon = start_daemon(&ServeOptions::default());
+    let stream = TcpStream::connect(daemon.addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut exchange = |line: &str| -> String {
+        writer.write_all(line.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("recv");
+        response
+    };
+
+    let truncated = exchange("{\"op\":\"run\",\"id\":\"x\",\"runs\":[");
+    assert!(truncated.contains("\"op\":\"error\""), "{truncated}");
+    assert!(truncated.contains("\"reason\":\"protocol\""), "{truncated}");
+
+    let over_deep = exchange(&format!("{}{}", "[".repeat(200), "]".repeat(200)));
+    assert!(over_deep.contains("\"reason\":\"protocol\""), "{over_deep}");
+    assert!(over_deep.contains("deeper than"), "{over_deep}");
+
+    let missing_runs = exchange("{\"op\":\"run\",\"id\":\"x\"}");
+    assert!(
+        missing_runs.contains("\"reason\":\"bad-request\""),
+        "{missing_runs}"
+    );
+
+    // Three refused requests later, the same connection still serves.
+    let stats = exchange("{\"op\":\"stats\"}");
+    assert!(stats.contains("\"op\":\"stats\""), "{stats}");
+    daemon.stop();
+}
+
+#[test]
+fn over_long_lines_error_and_close() {
+    let daemon = start_daemon(&ServeOptions {
+        max_line: 1024,
+        ..ServeOptions::default()
+    });
+    let mut stream = TcpStream::connect(daemon.addr).expect("connect");
+    stream.write_all(&vec![b'a'; 4096]).expect("send");
+    stream.write_all(b"\n").expect("send");
+    let mut response = String::new();
+    let mut reader = BufReader::new(stream);
+    reader.read_line(&mut response).expect("recv");
+    assert!(response.contains("\"op\":\"error\""), "{response}");
+    assert!(response.contains("exceeds 1024 bytes"), "{response}");
+    // The daemon hangs up after an unframeable line.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("drain");
+    assert!(rest.is_empty(), "connection should be closed");
+    daemon.stop();
+}
+
+#[test]
+fn faulted_batches_match_a_local_faulted_executor() {
+    let plan = FaultPlan::parse(
+        "{\"seed\":7,\"eib\":{\"derate\":[{\"start\":0,\"cycles\":100000,\
+         \"capacity_percent\":50}]}}",
+    )
+    .expect("valid plan");
+    let system = CellSystem::blade().with_faults(plan.clone());
+    let specs = tiny_specs(&system, "10");
+
+    let daemon = start_daemon(&ServeOptions::default());
+    let mut client = Client::connect(daemon.addr).expect("connect");
+    let outcome = client.run_batch("deg", Some(&plan), &specs).expect("batch");
+
+    let local = SweepExecutor::new(1);
+    let local_results = local.try_run(specs.clone());
+    for (wire, local) in outcome.results.iter().zip(local_results) {
+        let wire = wire.as_ref().expect("wire run succeeded");
+        let local = local.expect("local run succeeded");
+        assert_eq!(report_to_json(wire), report_to_json(&local));
+    }
+
+    // And the replayed reports render the same degraded figure as a
+    // local faulted executor.
+    let cfg = tiny_cfg();
+    let replay = SweepExecutor::new(1);
+    for (spec, result) in specs.iter().zip(&outcome.results) {
+        replay.preload(spec.key.clone(), result.as_ref().expect("ok").clone());
+    }
+    let from_wire = figure10_with(&replay, &system, &cfg)
+        .expect("render")
+        .to_string();
+    let from_local = figure10_with(&local, &system, &cfg)
+        .expect("render")
+        .to_string();
+    assert_eq!(from_wire, from_local);
+    daemon.stop();
+}

@@ -85,9 +85,38 @@ fn panicking_spec_fails_alone_and_in_order() {
             assert!(result.is_ok(), "healthy spec {i} must survive the batch");
         }
     }
-    let failures = exec.failures();
+    let failures = exec.take_failures();
     assert_eq!(failures.len(), 1);
     assert_eq!(failures[0].key().workload.elem, 4096);
+    // Collecting drains: the same failure is never reported twice, and a
+    // reused executor starts the next batch with a clean slate.
+    assert!(exec.take_failures().is_empty());
+}
+
+#[test]
+fn failures_are_per_batch_on_a_reused_executor() {
+    // A daemon reuses one executor across requests; one request's
+    // failures must not leak into the next request's collection.
+    let exec = SweepExecutor::new(2);
+    let poison = panicking_blade();
+    let _ = exec.try_run(mixed_specs(&poison));
+    let first = exec.take_failures();
+    assert_eq!(first.len(), 1, "first batch reports its own failure");
+    // A healthy second batch reports nothing — the first batch's
+    // failure was already drained and does not accumulate.
+    let healthy = CellSystem::blade();
+    let spec = RunSpec::new(
+        &healthy,
+        workload(512),
+        Placement::identity(),
+        get_plan(512),
+    );
+    let results = exec.try_run(vec![spec]);
+    assert!(results[0].is_ok());
+    assert!(exec.take_failures().is_empty());
+    // A second poisoned batch reports exactly its own failure again.
+    let _ = exec.try_run(mixed_specs(&poison));
+    assert_eq!(exec.take_failures().len(), 1);
 }
 
 #[test]
