@@ -150,16 +150,22 @@ fn fetch_figure(
 fn print_stats(client: &mut Client) -> Result<(), ClientError> {
     let s = client.stats()?;
     println!(
-        "cellsim-serve stats: {} connection(s), {} queued (high water {}), \
-         {} in flight, {} deduped, {} accepted, {} completed, {} rejected",
+        "cellsim-serve stats: {} connection(s), {} queued (high water {}, \
+         peak {}), {} in flight, {} deduped, {} accepted, {} completed, \
+         {} rejected",
         s.connections,
         s.queue_depth,
         s.high_water,
+        s.queue_peak,
         s.inflight,
         s.deduped,
         s.accepted,
         s.completed,
         s.rejected
+    );
+    println!(
+        "uptime: {} ms wall, {} simulated cycles",
+        s.uptime_ms, s.uptime_cycles
     );
     println!(
         "run cache: {} hits / {} misses",

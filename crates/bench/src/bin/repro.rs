@@ -5,7 +5,8 @@
 //! repro [--quick|--full] [--figure <id>]... [--ablations] [--seed N]
 //!       [--faults <plan.json>] [--jobs N] [--cache-dir <dir>] [--verbose]
 //!       [--csv <dir>] [--metrics <dir>] [--trace-out <file>]
-//!       [--baseline-out <file>] [--check <file>] [--tolerance N]
+//!       [--run-dir <dir>] [--baseline-out <file>] [--check <file>]
+//!       [--tolerance N]
 //!
 //!   --quick             reduced sweep (fast smoke run)
 //!   --full              paper-scale protocol (32 MiB per SPE, slow)
@@ -35,7 +36,16 @@
 //!                       <dir> as CSV and JSON
 //!   --trace-out <file>  record the 8-SPE cycle at the largest swept
 //!                       element size and write a Chrome tracing JSON
-//!                       (open with chrome://tracing or Perfetto)
+//!                       (open with chrome://tracing or Perfetto); the
+//!                       JSON is streamed from a trace store, so --full
+//!                       scale runs in bounded memory
+//!   --run-dir <dir>     record a queryable trace store for every run:
+//!                       one subdirectory per run key holding trace.bin
+//!                       (indexed, checksummed event log) and
+//!                       manifest.json (identity + metrics digest).
+//!                       Query with cellsim-trace; artifacts are
+//!                       byte-identical for any --jobs and are reused,
+//!                       not re-recorded, when already complete
 //!   --baseline-out <f>  snapshot every figure's bandwidths and latency
 //!                       percentiles into <f> (JSON) and exit; uses the
 //!                       active --quick/--full/--seed configuration
@@ -76,13 +86,15 @@
 //! job counts too.
 
 use std::fmt;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cellsim_bench::all_ablations_with;
 use cellsim_core::baseline::Baseline;
-use cellsim_core::exec::SweepExecutor;
+use cellsim_core::exec::{RunSpec, SweepExecutor, Workload};
 use cellsim_core::experiments::{
     figure10_with, figure12_with, figure13_with, figure15_with, figure16_with, figure3, figure4,
     figure6, figure8_with, figure_degraded_with, figure_metrics_with, section_4_2_2,
@@ -90,6 +102,7 @@ use cellsim_core::experiments::{
 };
 use cellsim_core::perf::PerfBaseline;
 use cellsim_core::report::{Figure, MetricsTable, SpreadFigure};
+use cellsim_core::tracestore::{record_run_to, TraceStore, TRACE_FILE};
 use cellsim_core::{CellSystem, FaultPlan, Placement, SyncPolicy, TransferPlan};
 use cellsim_kernels::roofline_figure;
 
@@ -102,6 +115,7 @@ struct Args {
     csv_dir: Option<PathBuf>,
     metrics_dir: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    run_dir: Option<PathBuf>,
     baseline_out: Option<PathBuf>,
     check: Option<PathBuf>,
     tolerance: Option<f64>,
@@ -122,6 +136,7 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir = None;
     let mut metrics_dir = None;
     let mut trace_out = None;
+    let mut run_dir = None;
     let mut baseline_out = None;
     let mut check = None;
     let mut tolerance = None;
@@ -165,6 +180,10 @@ fn parse_args() -> Result<Args, String> {
             "--trace-out" => {
                 let file = argv.next().ok_or("--trace-out needs a file path")?;
                 trace_out = Some(PathBuf::from(file));
+            }
+            "--run-dir" => {
+                let dir = argv.next().ok_or("--run-dir needs a directory")?;
+                run_dir = Some(PathBuf::from(dir));
             }
             "--baseline-out" => {
                 let file = argv.next().ok_or("--baseline-out needs a file path")?;
@@ -216,10 +235,10 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "repro [--quick|--full] [--figure <id>]... [--faults <plan.json>] \
                      [--ablations] [--kernels] [--csv <dir>] [--metrics <dir>] \
-                     [--trace-out <file>] [--baseline-out <file>] [--check <file>] \
-                     [--tolerance N] [--perf-baseline-out <file>] [--perf-check <file>] \
-                     [--perf-band N] [--seed N] [--jobs N] [--cache-dir <dir>] \
-                     [--verbose]\n\n\
+                     [--trace-out <file>] [--run-dir <dir>] [--baseline-out <file>] \
+                     [--check <file>] [--tolerance N] [--perf-baseline-out <file>] \
+                     [--perf-check <file>] [--perf-band N] [--seed N] [--jobs N] \
+                     [--cache-dir <dir>] [--verbose]\n\n\
                      figure ids: {}\n\n\
                      exit codes:\n  \
                      0  success\n  \
@@ -267,6 +286,7 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         metrics_dir,
         trace_out,
+        run_dir,
         baseline_out,
         check,
         tolerance,
@@ -604,12 +624,16 @@ fn check_perf(args: &Args, path: &Path) -> Result<bool, String> {
 }
 
 /// Records the paper's most contended pattern — the 8-SPE cycle at the
-/// largest swept element size — and writes it as Chrome tracing JSON.
-/// The trace buffer is sized for the plan (≤ 4 phases per 128-byte bus
-/// packet); if it still truncates, refuse rather than write a silently
-/// partial trace.
+/// largest swept element size — into a trace store and streams it out
+/// as Chrome tracing JSON. The store is the source of truth: with
+/// `--run-dir` it is the run's persisted artifact (recorded through the
+/// executor, so a completed artifact is reused and the run key dedups
+/// against the figure sweeps); without, it is a temporary file deleted
+/// after the projection. Either way nothing buffers the whole event
+/// stream, so `--full` scale runs in bounded memory.
 fn write_chrome_trace(
     path: &Path,
+    exec: &SweepExecutor,
     system: &CellSystem,
     cfg: &ExperimentConfig,
 ) -> Result<(), String> {
@@ -628,64 +652,53 @@ fn write_chrome_trace(
             SyncPolicy::AfterAll,
         );
     }
-    let plan = b.build().map_err(|e| e.to_string())?;
-    let capacity = usize::try_from(4 * (plan.total_bytes() / 128) + 4096)
-        .map_err(|_| "trace capacity overflows usize".to_string())?;
+    let plan = Arc::new(b.build().map_err(|e| e.to_string())?);
     let placement = Placement::lottery(cfg.seed, 0);
-    let (report, trace) = system
-        .try_run_traced_with_capacity(&placement, &plan, capacity)
-        .map_err(|failure| format!("trace run stalled: {failure}"))?;
-    trace
-        .require_complete()
-        .map_err(|e| format!("refusing to write a truncated trace: {e}"))?;
-
-    let clock = system.config().clock;
-    let mut out = String::from("{\"traceEvents\":[\n");
-    out.push_str(
-        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
-         \"args\":{\"name\":\"SPEs\"}},\n\
-         {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
-         \"args\":{\"name\":\"EIB rings\"}},\n\
-         {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
-         \"args\":{\"name\":\"XDR banks\"}}",
+    let spec = RunSpec::new(
+        system,
+        Workload {
+            pattern: "cycle",
+            spes: 8,
+            volume: cfg.volume_per_spe,
+            elem,
+            list: false,
+            sync: SyncPolicy::AfterAll,
+        },
+        placement,
+        Arc::clone(&plan),
     );
-    for e in trace.events() {
-        let ts = clock.seconds(e.at.as_u64()) * 1e6;
-        let (name, pid, tid, extra) = match e.kind {
-            cellsim_core::FabricEvent::CommandIssued { spe } => {
-                ("issue".to_string(), 0, spe as u64, String::new())
-            }
-            cellsim_core::FabricEvent::Delivered { spe, bytes } => (
-                "deliver".to_string(),
-                0,
-                spe as u64,
-                format!(",\"args\":{{\"bytes\":{bytes}}}"),
-            ),
-            cellsim_core::FabricEvent::Granted { ring, hops, bytes } => (
-                "grant".to_string(),
-                1,
-                ring.0 as u64,
-                format!(",\"args\":{{\"bytes\":{bytes},\"hops\":{hops}}}"),
-            ),
-            cellsim_core::FabricEvent::MemoryAccess { bank, bytes } => (
-                format!("{bank:?}").to_lowercase(),
-                2,
-                u64::from(bank as u8),
-                format!(",\"args\":{{\"bytes\":{bytes}}}"),
-            ),
-        };
-        out.push_str(&format!(
-            ",\n{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\
-             \"ts\":{ts:.4},\"pid\":{pid},\"tid\":{tid}{extra}}}"
-        ));
-    }
-    out.push_str("\n]}\n");
-    std::fs::write(path, &out).map_err(|e| format!("could not write {}: {e}", path.display()))?;
+
+    let (cycles, gbps, store) = if let Some(rd) = exec.run_dir() {
+        let key = spec.key.clone();
+        let report = exec
+            .try_run_recorded(vec![spec], true)
+            .pop()
+            .expect("one result per spec")
+            .map_err(|e| format!("trace run failed: {e}"))?;
+        let store = TraceStore::open(&rd.entry_dir(&key).join(TRACE_FILE))
+            .map_err(|e| format!("recorded trace store: {e}"))?;
+        (report.cycles, report.aggregate_gbps, store)
+    } else {
+        let tmp = path.with_extension("store-tmp");
+        let (report, _) = record_run_to(system, &placement, &plan, &tmp)?;
+        let store = TraceStore::open(&tmp).map_err(|e| format!("recorded trace store: {e}"))?;
+        let _ = std::fs::remove_file(&tmp);
+        (report.cycles, report.aggregate_gbps, store)
+    };
+
+    let file = std::fs::File::create(path)
+        .map_err(|e| format!("could not create {}: {e}", path.display()))?;
+    let mut out = std::io::BufWriter::new(file);
+    store
+        .export_chrome(&system.config().clock, &mut out)
+        .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+    out.flush()
+        .map_err(|e| format!("could not write {}: {e}", path.display()))?;
     eprintln!(
         "trace: 8-SPE cycle, {} events over {} cycles ({:.1} GB/s) -> {}",
-        trace.events().len(),
-        report.cycles,
-        report.aggregate_gbps,
+        store.totals().events,
+        cycles,
+        gbps,
         path.display()
     );
     Ok(())
@@ -720,7 +733,7 @@ fn main() -> ExitCode {
     let jobs = args
         .jobs
         .unwrap_or_else(|| cellsim_core::exec::jobs_from_env().unwrap_or(0));
-    let exec = match &args.cache_dir {
+    let mut exec = match &args.cache_dir {
         Some(dir) => match SweepExecutor::with_cache_dir(jobs, dir) {
             Ok(exec) => exec,
             Err(e) => {
@@ -730,6 +743,13 @@ fn main() -> ExitCode {
         },
         None => SweepExecutor::new(jobs),
     };
+    if let Some(dir) = &args.run_dir {
+        if let Err(e) = exec.set_run_dir(dir) {
+            eprintln!("error: could not open run dir {}: {e}", dir.display());
+            return ExitCode::from(EXIT_BAD_INVOCATION);
+        }
+    }
+    let exec = exec;
     let cfg = &args.cfg;
     if let Some(path) = &args.baseline_out {
         return match write_baseline(&args, &exec, path) {
@@ -797,7 +817,7 @@ fn main() -> ExitCode {
         return ExitCode::from(EXIT_BAD_INVOCATION);
     }
     if let Some(path) = &args.trace_out {
-        if let Err(e) = write_chrome_trace(path, &machine(&args), cfg) {
+        if let Err(e) = write_chrome_trace(path, &exec, &machine(&args), cfg) {
             eprintln!("error: {e}");
             return ExitCode::from(EXIT_BAD_INVOCATION);
         }
@@ -817,6 +837,16 @@ fn main() -> ExitCode {
             eprintln!(
                 "repro: disk cache: {} loaded, {} stored, {} discarded",
                 disk.loaded, disk.stored, disk.discarded
+            );
+        }
+        if let (Some(rd), Some(dir)) = (exec.run_dir(), &args.run_dir) {
+            let stats = rd.stats();
+            eprintln!(
+                "repro: run dir: {} recorded, {} reused, {} errors -> {}",
+                stats.written,
+                stats.reused,
+                stats.errors,
+                dir.display()
             );
         }
     }

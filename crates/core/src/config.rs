@@ -15,7 +15,7 @@ use crate::fabric::{self, FabricReport};
 use crate::failure::RunFailure;
 use crate::placement::Placement;
 use crate::plan::TransferPlan;
-use crate::tracing::FabricTrace;
+use crate::tracing::{FabricTrace, TraceSink};
 
 /// Every tunable of the simulated blade in one place.
 ///
@@ -229,6 +229,33 @@ impl CellSystem {
             Some(&mut trace),
         )?;
         Ok((report, trace))
+    }
+
+    /// Runs a plan streaming every packet-phase event into `sink` — the
+    /// unbounded-trace entry point behind the persistent trace store
+    /// ([`crate::tracestore`]). Timing is identical to
+    /// [`CellSystem::try_run`]: sinks observe the simulation, they never
+    /// perturb it.
+    ///
+    /// # Errors
+    ///
+    /// [`RunFailure::Stall`] under the same conditions as
+    /// [`CellSystem::try_run`]; whatever the sink already consumed is the
+    /// caller's to discard.
+    pub fn try_run_with_sink(
+        &self,
+        placement: &Placement,
+        plan: &TransferPlan,
+        sink: &mut dyn TraceSink,
+    ) -> Result<FabricReport, RunFailure> {
+        fabric::run_plan_traced(
+            &self.config,
+            self.faults(),
+            placement,
+            plan,
+            None,
+            Some(sink),
+        )
     }
 
     /// Deprecated panicking form of [`CellSystem::try_run`].

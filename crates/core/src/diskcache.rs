@@ -174,7 +174,7 @@ impl DiskCache {
 /// [`config_fingerprint`](crate::exec::config_fingerprint), chosen over
 /// `DefaultHasher` because the standard library's algorithm may change
 /// across Rust releases, which would orphan every persisted entry.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &byte in bytes {
         h ^= u64::from(byte);
@@ -184,9 +184,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Canonical JSON of a [`RunKey`]: names the entry file and is embedded
-/// in the entry so loads verify the full cache identity, not just the
-/// filename hash.
-fn key_json(key: &RunKey) -> String {
+/// in the entry (and in every trace-store manifest) so loads verify the
+/// full cache identity, not just the filename hash.
+#[must_use]
+pub fn key_json(key: &RunKey) -> String {
     let w = &key.workload;
     format!(
         "{{\"config\":{},\"faults\":{},\"pattern\":\"{}\",\"spes\":{},\

@@ -46,6 +46,7 @@ use crate::fabric::FabricReport;
 use crate::failure::StallDiagnosis;
 use crate::placement::Placement;
 use crate::plan::{SyncPolicy, TransferPlan};
+use crate::tracestore::RunDir;
 
 // The executor moves configs, plans and reports across scoped threads;
 // keep that a compile-time guarantee rather than an accident.
@@ -347,6 +348,9 @@ pub struct SweepExecutor {
     failures: Mutex<Vec<RunError>>,
     /// Optional persistent tier under the in-memory cache.
     disk: Option<DiskCache>,
+    /// Optional per-run artifact root for recorded batches
+    /// ([`SweepExecutor::try_run_recorded`]).
+    run_dir: Option<RunDir>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -392,6 +396,7 @@ impl SweepExecutor {
             cache: Mutex::new(BoundedCache::new(capacity)),
             failures: Mutex::new(Vec::new()),
             disk: None,
+            run_dir: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -469,6 +474,24 @@ impl SweepExecutor {
         self.lock_cache().insert(key, report);
     }
 
+    /// Attaches a per-run artifact root: recorded batches
+    /// ([`SweepExecutor::try_run_recorded`] with `record = true`) commit
+    /// one trace store + manifest per [`RunKey`] under `dir`. See
+    /// [`crate::tracestore`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from creating the directory.
+    pub fn set_run_dir(&mut self, dir: &std::path::Path) -> std::io::Result<()> {
+        self.run_dir = Some(RunDir::create(dir)?);
+        Ok(())
+    }
+
+    /// The attached artifact root, if any.
+    pub fn run_dir(&self) -> Option<&RunDir> {
+        self.run_dir.as_ref()
+    }
+
     /// Persistent-cache counters, if a cache directory is attached.
     pub fn disk_stats(&self) -> Option<DiskCacheStats> {
         self.disk.as_ref().map(DiskCache::stats)
@@ -502,7 +525,32 @@ impl SweepExecutor {
     /// [`SweepExecutor::with_cache_dir`]) verified on disk — are not
     /// re-simulated. Only successful reports are cached; a failed key is
     /// retried on its next appearance.
+    /// With a run directory attached ([`SweepExecutor::set_run_dir`])
+    /// every batch records per-run trace artifacts; this is
+    /// `try_run_recorded(specs, true)`. Callers needing unrecorded
+    /// batches on a recording executor (the serve daemon's per-batch
+    /// opt-in) call [`SweepExecutor::try_run_recorded`] directly.
     pub fn try_run(&self, specs: Vec<RunSpec>) -> Vec<Result<Arc<FabricReport>, RunError>> {
+        self.try_run_recorded(specs, true)
+    }
+
+    /// Like [`SweepExecutor::try_run`], optionally recording a per-run
+    /// trace artifact for every spec. With `record = true` and a run
+    /// directory attached ([`SweepExecutor::set_run_dir`]), each key ends
+    /// the batch with a complete store + manifest entry: keys whose
+    /// artifact already exists are answered from cache as usual (counted
+    /// in [`RunDirStats::reused`](crate::tracestore::RunDirStats)), while
+    /// keys missing one bypass the report caches and re-simulate with a
+    /// streaming store writer attached — tracing never perturbs timing,
+    /// so the report (and the refreshed cache entry) is bit-identical to
+    /// an untraced run. With `record = false` (or no run directory) this
+    /// is exactly `try_run`.
+    pub fn try_run_recorded(
+        &self,
+        specs: Vec<RunSpec>,
+        record: bool,
+    ) -> Vec<Result<Arc<FabricReport>, RunError>> {
+        let recording = if record { self.run_dir.as_ref() } else { None };
         // Resolve against the cache tiers and dedup the remainder,
         // keeping the first spec of each distinct key as the one to
         // simulate.
@@ -513,24 +561,41 @@ impl SweepExecutor {
         {
             let mut cache = self.lock_cache();
             for spec in &specs {
-                if let Some(report) = cache.get(&spec.key) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    resolution.push(Ok(report));
-                    continue;
-                }
+                // Within-batch duplicates always collapse onto the first
+                // occurrence (which records the artifact if one is owed).
                 if let Some(&slot) = todo_index.get(&spec.key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     resolution.push(Err(slot));
                     continue;
                 }
-                // Memory miss: a verified disk entry promotes into the
-                // memory tier and counts as a hit.
-                if let Some(report) = self.disk.as_ref().and_then(|d| d.load(&spec.key)) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    let report = Arc::new(report);
-                    cache.insert(spec.key.clone(), Arc::clone(&report));
-                    resolution.push(Ok(report));
-                    continue;
+                // A recorded batch may only answer from the report caches
+                // when the key's artifact is already complete; otherwise
+                // it re-simulates to produce one.
+                let cacheable = match recording {
+                    Some(rd) => rd.is_complete(&spec.key),
+                    None => true,
+                };
+                if cacheable {
+                    if let Some(report) = cache.get(&spec.key) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        if let Some(rd) = recording {
+                            rd.note_reused();
+                        }
+                        resolution.push(Ok(report));
+                        continue;
+                    }
+                    // Memory miss: a verified disk entry promotes into the
+                    // memory tier and counts as a hit.
+                    if let Some(report) = self.disk.as_ref().and_then(|d| d.load(&spec.key)) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        if let Some(rd) = recording {
+                            rd.note_reused();
+                        }
+                        let report = Arc::new(report);
+                        cache.insert(spec.key.clone(), Arc::clone(&report));
+                        resolution.push(Ok(report));
+                        continue;
+                    }
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 let slot = todo.len();
@@ -548,8 +613,9 @@ impl SweepExecutor {
         let fresh: Vec<OnceLock<Result<Arc<FabricReport>, RunError>>> =
             (0..todo.len()).map(|_| OnceLock::new()).collect();
         let simulate = |spec: &RunSpec| -> Result<Arc<FabricReport>, RunError> {
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                spec.system.try_run(&spec.placement, &spec.plan)
+            let outcome = catch_unwind(AssertUnwindSafe(|| match recording {
+                Some(rd) => rd.run_recorded(spec),
+                None => spec.system.try_run(&spec.placement, &spec.plan),
             }));
             match outcome {
                 Ok(Ok(report)) => Ok(Arc::new(report)),

@@ -28,11 +28,11 @@ use cellsim_mfc::{
 use crate::config::CellConfig;
 use crate::data::MachineState;
 use crate::failure::{PacketPhase, RunFailure, SpeStall, StallDiagnosis, StallKind};
-use crate::latency::LatencyMetrics;
+use crate::latency::{DmaPathClass, LatencyMetrics};
 use crate::metrics::{BankMetrics, FabricMetrics, FaultStats, SpeMetrics};
 use crate::placement::Placement;
 use crate::plan::{Planned, SyncPolicy, TransferPlan};
-use crate::tracing::{FabricEvent, FabricTrace};
+use crate::tracing::{FabricEvent, TraceMeta, TraceSink};
 use cellsim_kernel::RunOutcome;
 
 /// Safety horizon: a fabric run that has not completed by this many bus
@@ -237,8 +237,23 @@ struct Fabric<'d> {
     /// Optional functional storage: when present, every delivered packet
     /// copies real bytes.
     data: Option<&'d mut MachineState>,
-    /// Optional event trace.
-    trace: Option<&'d mut FabricTrace>,
+    /// Optional event sink (in-memory trace or streaming store writer).
+    trace: Option<&'d mut (dyn TraceSink + 'd)>,
+}
+
+/// The sink metadata every trace point carries: the initiating logical
+/// SPE and the packet's DMA path class, both read off the packet record.
+fn trace_meta(info: &PacketInfo) -> TraceMeta {
+    let path = match (info.kind, info.bank.is_some()) {
+        (DmaKind::Get, true) => DmaPathClass::MemGet,
+        (DmaKind::Put, true) => DmaPathClass::MemPut,
+        (DmaKind::Get, false) => DmaPathClass::LsGet,
+        (DmaKind::Put, false) => DmaPathClass::LsPut,
+    };
+    TraceMeta {
+        spe: u8::try_from(info.spe).expect("logical SPE index fits u8"),
+        path,
+    }
 }
 
 /// Copies a delivered packet's payload through the functional storage.
@@ -411,8 +426,8 @@ impl Fabric<'_> {
         let live = (self.packets.len() - self.free_slots.len()) as u64;
         self.peak_live_packets = self.peak_live_packets.max(live);
         let cmd_done = self.cmdbus.issue(now);
-        if let Some(t) = self.trace.as_deref_mut() {
-            t.trace.record(now, FabricEvent::CommandIssued { spe });
+        if let Some(t) = self.trace.as_mut() {
+            t.record(now, trace_meta(&info), FabricEvent::CommandIssued { spe });
         }
         sched.schedule(cmd_done, Ev::CmdDone(id));
     }
@@ -452,9 +467,10 @@ impl Fabric<'_> {
         self.spes[info.spe]
             .mfc
             .note_bank_service(info.token, access.service_cycles());
-        if let Some(t) = self.trace.as_deref_mut() {
-            t.trace.record(
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
                 now,
+                trace_meta(&info),
                 FabricEvent::MemoryAccess {
                     bank,
                     bytes: info.bytes,
@@ -555,13 +571,14 @@ impl Fabric<'_> {
                 .note_grant(now, info.token, grant.waited);
             let spe = info.spe;
             self.note_spe_state(spe, now);
-            if let Some(t) = self.trace.as_deref_mut() {
-                t.trace.record(
+            if let Some(t) = self.trace.as_mut() {
+                t.record(
                     now,
+                    trace_meta(&info),
                     FabricEvent::Granted {
                         ring: grant.ring,
                         hops: grant.hops,
-                        bytes: self.packets[id as usize].bytes,
+                        bytes: info.bytes,
                     },
                 );
             }
@@ -583,15 +600,6 @@ impl Fabric<'_> {
         let info = self.packets[id as usize];
         if let Some(data) = self.data.as_deref_mut() {
             apply_payload(data, &info);
-        }
-        if let Some(t) = self.trace.as_deref_mut() {
-            t.trace.record(
-                now,
-                FabricEvent::Delivered {
-                    spe: info.spe,
-                    bytes: info.bytes,
-                },
-            );
         }
         if info.kind == DmaKind::Put && info.bank.is_some() {
             self.put_write_to_memory(id, now, sched, cfg);
@@ -624,9 +632,10 @@ impl Fabric<'_> {
         self.spes[info.spe]
             .mfc
             .note_bank_service(info.token, access.service_cycles());
-        if let Some(t) = self.trace.as_deref_mut() {
-            t.trace.record(
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
                 now,
+                trace_meta(&info),
                 FabricEvent::MemoryAccess {
                     bank,
                     bytes: info.bytes,
@@ -640,6 +649,21 @@ impl Fabric<'_> {
         let info = self.packets[id as usize];
         self.packets[id as usize].phase = PacketPhase::Retired;
         self.free_slots.push(id); // no pending event references `id` now
+                                  // Delivered is recorded at retirement, not wire arrival, so the
+                                  // event count equals `FabricReport::packets` by construction —
+                                  // a mem-PUT abandoned between delivery and its DRAM write never
+                                  // produces a Delivered event, exactly as it never counts as a
+                                  // delivered packet.
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                now,
+                trace_meta(&info),
+                FabricEvent::Delivered {
+                    spe: info.spe,
+                    bytes: info.bytes,
+                },
+            );
+        }
         let ctx = &mut self.spes[info.spe];
         let completed = ctx.mfc.packet_delivered(now, info.token);
         ctx.bytes += u64::from(info.bytes);
@@ -718,13 +742,13 @@ pub(crate) fn run_plan(
     run_plan_traced(cfg, faults, placement, plan, data, None)
 }
 
-pub(crate) fn run_plan_traced(
+pub(crate) fn run_plan_traced<'d>(
     cfg: &CellConfig,
     faults: Option<&FaultPlan>,
     placement: &Placement,
     plan: &TransferPlan,
-    data: Option<&mut MachineState>,
-    trace: Option<&mut FabricTrace>,
+    data: Option<&'d mut MachineState>,
+    trace: Option<&'d mut (dyn TraceSink + 'd)>,
 ) -> Result<FabricReport, RunFailure> {
     // A fused-off SPE has no functioning MFC: driving one is a harness
     // bug, caught here rather than surfacing as nonsense bandwidth.

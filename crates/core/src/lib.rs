@@ -55,6 +55,7 @@ pub mod latency;
 pub mod metrics;
 pub mod perf;
 pub mod report;
+pub mod tracestore;
 
 // JSON parsing moved into the kernel crate so serde-free parsing is
 // available below core (the faults crate parses `FaultPlan` files);
@@ -76,7 +77,7 @@ pub use latency::{DmaPathClass, LatencyHistogram, LatencyMetrics, PathLatency};
 pub use metrics::{BankMetrics, FabricMetrics, FaultStats, MetricsSummary, SpeMetrics};
 pub use placement::Placement;
 pub use plan::{PlanError, Planned, SpeScript, SyncPolicy, TransferPlan, TransferPlanBuilder};
-pub use tracing::{FabricEvent, FabricTrace, TraceTruncated};
+pub use tracing::{FabricEvent, FabricTrace, TraceMeta, TraceSink, TraceTruncated};
 
 /// Number of SPEs on a CBE.
 pub const SPE_COUNT: usize = 8;

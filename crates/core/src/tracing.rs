@@ -21,6 +21,38 @@ use cellsim_kernel::trace::Trace;
 use cellsim_kernel::{Cycle, MachineClock};
 use cellsim_mem::BankId;
 
+use crate::latency::DmaPathClass;
+
+/// Context the fabric knows at every trace point but [`FabricEvent`]
+/// does not carry: the initiating logical SPE and the DMA path class of
+/// the packet. The in-memory [`FabricTrace`] ignores it (its analyses
+/// predate it); the persistent trace store indexes on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Initiating logical SPE.
+    pub spe: u8,
+    /// The packet's DMA path (mem-get/mem-put/ls-get/ls-put).
+    pub path: DmaPathClass,
+}
+
+/// Where the fabric sends trace events. One simulation drives at most
+/// one sink; the two implementations are the bounded in-memory
+/// [`FabricTrace`] (post-hoc analyses) and the streaming
+/// [`TraceStoreWriter`](crate::tracestore::TraceStoreWriter) (persistent
+/// per-run artifacts, no full-run buffering). Sinks must be infallible:
+/// a sink that can fail (I/O) latches its error internally and reports
+/// it when finalized, never mid-run.
+pub trait TraceSink {
+    /// Records one event at simulated time `at`.
+    fn record(&mut self, at: Cycle, meta: TraceMeta, event: FabricEvent);
+}
+
+impl TraceSink for FabricTrace {
+    fn record(&mut self, at: Cycle, _meta: TraceMeta, event: FabricEvent) {
+        self.trace.record(at, event);
+    }
+}
+
 /// One traced fabric occurrence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FabricEvent {
@@ -45,7 +77,11 @@ pub enum FabricEvent {
         /// Payload size.
         bytes: u32,
     },
-    /// A payload arrived at its destination.
+    /// A packet retired: its payload reached its final destination (for
+    /// memory PUTs that is the DRAM write completing, not wire arrival)
+    /// and its MFC slot freed. Recorded at retirement so the event count
+    /// equals [`FabricReport::packets`](crate::FabricReport::packets)
+    /// exactly, even when a fault plan abandons packets mid-flight.
     Delivered {
         /// Initiating logical SPE.
         spe: usize,

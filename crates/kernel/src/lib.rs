@@ -45,6 +45,7 @@ pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod trace;
+pub mod varint;
 
 pub use engine::{Model, RunOutcome, Scheduler, Simulation};
 pub use queue::EventQueue;

@@ -1,0 +1,99 @@
+//! LEB128 variable-length integers — the wire encoding of the trace
+//! store's event records.
+//!
+//! Seven payload bits per byte, low bits first, high bit set on every
+//! byte but the last. Small values (inter-event cycle deltas, payload
+//! sizes) take one or two bytes; the encoding is canonical (one byte
+//! sequence per value), so byte-identical traces follow from identical
+//! event streams with no further care.
+
+/// Longest encoding of a `u64`: ⌈64 / 7⌉ bytes.
+pub const MAX_VARINT_BYTES: usize = 10;
+
+/// Encodes `value` into `buf`, returning the number of bytes used.
+pub fn encode_u64(value: u64, buf: &mut [u8; MAX_VARINT_BYTES]) -> usize {
+    let mut v = value;
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[n] = byte;
+            return n + 1;
+        }
+        buf[n] = byte | 0x80;
+        n += 1;
+    }
+}
+
+/// Decodes one varint from the front of `bytes`, returning the value and
+/// the number of bytes consumed. `None` when `bytes` ends mid-varint or
+/// the encoding overflows 64 bits.
+#[must_use]
+pub fn decode_u64(bytes: &[u8]) -> Option<(u64, usize)> {
+    let mut value: u64 = 0;
+    for (i, &byte) in bytes.iter().enumerate().take(MAX_VARINT_BYTES) {
+        let payload = u64::from(byte & 0x7f);
+        // The tenth byte may only carry the single remaining bit.
+        if i == MAX_VARINT_BYTES - 1 && payload > 1 {
+            return None;
+        }
+        value |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_across_the_range() {
+        let samples = [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &samples {
+            let mut buf = [0u8; MAX_VARINT_BYTES];
+            let n = encode_u64(v, &mut buf);
+            assert_eq!(decode_u64(&buf[..n]), Some((v, n)), "value {v}");
+        }
+    }
+
+    #[test]
+    fn encoding_lengths_are_minimal() {
+        let mut buf = [0u8; MAX_VARINT_BYTES];
+        assert_eq!(encode_u64(0, &mut buf), 1);
+        assert_eq!(encode_u64(127, &mut buf), 1);
+        assert_eq!(encode_u64(128, &mut buf), 2);
+        assert_eq!(encode_u64((1 << 14) - 1, &mut buf), 2);
+        assert_eq!(encode_u64(1 << 14, &mut buf), 3);
+        assert_eq!(encode_u64(u64::MAX, &mut buf), MAX_VARINT_BYTES);
+    }
+
+    #[test]
+    fn truncated_and_overlong_inputs_are_refused() {
+        let mut buf = [0u8; MAX_VARINT_BYTES];
+        let n = encode_u64(u64::from(u32::MAX), &mut buf);
+        assert!(decode_u64(&buf[..n - 1]).is_none(), "mid-varint end");
+        assert!(decode_u64(&[]).is_none());
+        // Eleven continuation bytes can never be a u64.
+        assert!(decode_u64(&[0x80; 11]).is_none());
+        // A tenth byte carrying more than the one remaining bit
+        // overflows 64 bits.
+        let mut overflow = [0x80u8; MAX_VARINT_BYTES];
+        overflow[MAX_VARINT_BYTES - 1] = 0x02;
+        assert!(decode_u64(&overflow).is_none());
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! cellsim-serve [--addr HOST:PORT] [--jobs N] [--workers N]
 //!               [--cache-dir <dir>] [--cache-capacity N] [--high-water N]
+//!               [--run-dir <dir>] [--stats-log <file>] [--stats-interval-ms N]
 //!
 //!   --addr HOST:PORT    listen address (default 127.0.0.1:7117;
 //!                       use :0 for an ephemeral port)
@@ -12,6 +13,15 @@
 //!                       directory as repro --cache-dir)
 //!   --cache-capacity N  in-memory report cache entry cap
 //!   --high-water N      admission queue high-water mark (default 4096)
+//!   --run-dir <dir>     trace-store run directory; batches sent with
+//!                       "record":true persist one queryable artifact per
+//!                       run here (same layout as repro --run-dir, read
+//!                       with cellsim-trace). Without it, recording
+//!                       batches are refused.
+//!   --stats-log <file>  append one {"op":"stats"} snapshot line per
+//!                       interval (and one at shutdown) — a stats history
+//!                       with uptime and queue high-water marks
+//!   --stats-interval-ms N  snapshot interval (default 60000)
 //!
 //! exit codes: 0 clean shutdown, 3 bad invocation or I/O error
 //! ```
@@ -64,10 +74,21 @@ fn parse_args() -> Result<Args, String> {
                 }
                 opts.high_water = mark;
             }
+            "--run-dir" => opts.run_dir = Some(PathBuf::from(value("a directory")?)),
+            "--stats-log" => opts.stats_log = Some(PathBuf::from(value("a file")?)),
+            "--stats-interval-ms" => {
+                let n = value("a count")?;
+                let ms: u64 = n.parse().map_err(|_| format!("bad interval: {n}"))?;
+                if ms == 0 {
+                    return Err("--stats-interval-ms must be >= 1".into());
+                }
+                opts.stats_interval = std::time::Duration::from_millis(ms);
+            }
             "--help" | "-h" => {
                 println!(
                     "cellsim-serve [--addr HOST:PORT] [--jobs N] [--workers N] \
-                     [--cache-dir <dir>] [--cache-capacity N] [--high-water N]\n\n\
+                     [--cache-dir <dir>] [--cache-capacity N] [--high-water N] \
+                     [--run-dir <dir>] [--stats-log <file>] [--stats-interval-ms N]\n\n\
                      Long-running sweep daemon; see README §cellsim-serve for the \
                      line protocol."
                 );
@@ -106,6 +127,16 @@ fn main() -> ExitCode {
     }
     if let Some(dir) = &args.opts.cache_dir {
         eprintln!("cellsim-serve: cache dir {}", dir.display());
+    }
+    if let Some(dir) = &args.opts.run_dir {
+        eprintln!("cellsim-serve: run dir {}", dir.display());
+    }
+    if let Some(path) = &args.opts.stats_log {
+        eprintln!(
+            "cellsim-serve: stats log {} every {} ms",
+            path.display(),
+            args.opts.stats_interval.as_millis()
+        );
     }
     if let Err(e) = server.serve() {
         eprintln!("error: {e}");

@@ -111,6 +111,12 @@ pub struct ServeStats {
     pub completed: u64,
     /// Batches rejected as overloaded.
     pub rejected: u64,
+    /// Deepest the admission queue has ever been.
+    pub queue_peak: u64,
+    /// Daemon wall-clock uptime in milliseconds.
+    pub uptime_ms: u64,
+    /// Σ simulated cycles over every successful run answered.
+    pub uptime_cycles: u64,
     /// Executor in-memory cache hits.
     pub cache_hits: u64,
     /// Executor misses (actual simulations).
@@ -175,7 +181,25 @@ impl Client {
         faults: Option<&FaultPlan>,
         specs: &[RunSpec],
     ) -> Result<BatchOutcome, ClientError> {
-        self.send(&encode_run_request(id, faults, specs))?;
+        self.run_batch_recorded(id, faults, specs, false)
+    }
+
+    /// Like [`Client::run_batch`], with `record` asking the daemon to
+    /// persist a trace-store artifact per run under its `--run-dir`. A
+    /// daemon without one refuses the batch ([`ClientError::Refused`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] — including [`ClientError::Overloaded`] when the
+    /// daemon rejected the batch (nothing ran; retry later).
+    pub fn run_batch_recorded(
+        &mut self,
+        id: &str,
+        faults: Option<&FaultPlan>,
+        specs: &[RunSpec],
+        record: bool,
+    ) -> Result<BatchOutcome, ClientError> {
+        self.send(&encode_run_request(id, faults, specs, record))?;
         let mut results: Vec<Option<Result<Arc<FabricReport>, WireFailure>>> =
             (0..specs.len()).map(|_| None).collect();
         loop {
@@ -275,6 +299,9 @@ impl Client {
             accepted: get_u64(&v, "accepted")?,
             completed: get_u64(&v, "completed")?,
             rejected: get_u64(&v, "rejected")?,
+            queue_peak: get_u64(&v, "queue_peak")?,
+            uptime_ms: get_u64(&v, "uptime_ms")?,
+            uptime_cycles: get_u64(&v, "uptime_cycles")?,
             cache_hits: get_u64(cache, "hits")?,
             cache_misses: get_u64(cache, "misses")?,
             disk_entries,

@@ -5,8 +5,13 @@
 //!
 //! ```text
 //! {"op":"stats"}
-//! {"op":"run","id":"<batch id>","faults":{<FaultPlan JSON>},"runs":[<run>...]}
+//! {"op":"run","id":"<batch id>","faults":{<FaultPlan JSON>},"record":true,"runs":[<run>...]}
 //! ```
+//!
+//! The optional `record` flag (default `false`) asks the daemon to
+//! persist a trace-store artifact for every run of the batch under its
+//! `--run-dir`; a daemon started without one refuses such batches with
+//! a `bad-request` error before anything is enqueued.
 //!
 //! Each run names one simulation point explicitly — the daemon never
 //! invents placements, so a batch replays bit-identically anywhere:
@@ -82,6 +87,8 @@ pub struct BatchRequest {
     pub id: String,
     /// The decoded specs, in request order.
     pub specs: Vec<RunSpec>,
+    /// Whether the batch asked for trace-store artifacts (`"record"`).
+    pub record: bool,
 }
 
 /// Why a request line was refused. `reason` is the wire taxonomy:
@@ -170,6 +177,16 @@ fn decode_run_request(v: &JsonValue) -> Result<BatchRequest, ProtocolError> {
     let fused = system
         .faults()
         .map_or(0, cellsim_faults::FaultPlan::fused_mask);
+    let record = match v.get("record") {
+        Some(JsonValue::Bool(b)) => *b,
+        None => false,
+        Some(_) => {
+            return Err(ProtocolError::bad_request(
+                &id,
+                "field 'record' must be a boolean".to_string(),
+            ))
+        }
+    };
     let runs = v
         .get("runs")
         .and_then(JsonValue::as_array)
@@ -189,7 +206,7 @@ fn decode_run_request(v: &JsonValue) -> Result<BatchRequest, ProtocolError> {
             .map_err(|cause| ProtocolError::bad_request(&id, format!("run {index}: {cause}")))?;
         specs.push(spec);
     }
-    Ok(BatchRequest { id, specs })
+    Ok(BatchRequest { id, specs, record })
 }
 
 fn field_u64(run: &JsonValue, name: &str) -> Result<u64, String> {
@@ -381,15 +398,24 @@ pub fn encode_run(spec: &RunSpec) -> String {
 }
 
 /// Encodes a whole `run` request line (without the trailing newline).
+/// `record` asks the daemon to persist trace-store artifacts for the
+/// batch; `false` omits the key, so the line is byte-identical to what
+/// older clients sent.
 #[must_use]
-pub fn encode_run_request(id: &str, faults: Option<&FaultPlan>, specs: &[RunSpec]) -> String {
+pub fn encode_run_request(
+    id: &str,
+    faults: Option<&FaultPlan>,
+    specs: &[RunSpec],
+    record: bool,
+) -> String {
     let runs: Vec<String> = specs.iter().map(encode_run).collect();
     let faults = match faults {
         Some(plan) => format!("\"faults\":{},", plan.to_json()),
         None => String::new(),
     };
+    let record = if record { "\"record\":true," } else { "" };
     format!(
-        "{{\"op\":\"run\",\"id\":\"{}\",{faults}\"runs\":[{}]}}",
+        "{{\"op\":\"run\",\"id\":\"{}\",{faults}{record}\"runs\":[{}]}}",
         json::escape(id),
         runs.join(",")
     )
@@ -409,16 +435,23 @@ mod tests {
     #[test]
     fn encoded_requests_decode_to_the_same_run_keys() {
         let specs = quick_specs();
-        let line = encode_run_request("b1", None, &specs);
+        let line = encode_run_request("b1", None, &specs, false);
         let Request::Run(batch) = decode_request(&line).unwrap_or_else(|e| panic!("{}", e.detail))
         else {
             panic!("expected a run request");
         };
         assert_eq!(batch.id, "b1");
+        assert!(!batch.record, "record defaults to false");
         assert_eq!(batch.specs.len(), specs.len());
         for (sent, got) in specs.iter().zip(&batch.specs) {
             assert_eq!(sent.key, got.key);
         }
+        let line = encode_run_request("b2", None, &specs, true);
+        let Request::Run(batch) = decode_request(&line).unwrap_or_else(|e| panic!("{}", e.detail))
+        else {
+            panic!("expected a run request");
+        };
+        assert!(batch.record, "record survives the round trip");
     }
 
     #[test]
@@ -429,7 +462,7 @@ mod tests {
         )
         .expect("valid plan");
         let specs = quick_specs();
-        let line = encode_run_request("deg", Some(&plan), &specs);
+        let line = encode_run_request("deg", Some(&plan), &specs, false);
         let Request::Run(batch) = decode_request(&line).unwrap_or_else(|e| panic!("{}", e.detail))
         else {
             panic!("expected a run request");
@@ -493,6 +526,17 @@ mod tests {
             "{}",
             err.detail
         );
+    }
+
+    #[test]
+    fn non_boolean_record_is_refused() {
+        let line = "{\"op\":\"run\",\"id\":\"b\",\"record\":1,\"runs\":[]}";
+        let err = match decode_request(line) {
+            Err(e) => e,
+            Ok(_) => panic!("expected refusal"),
+        };
+        assert_eq!(err.reason, "bad-request");
+        assert!(err.detail.contains("'record'"), "{}", err.detail);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   the run as a waiter instead; when the first simulation completes,
 //!   every waiter is answered from the same result.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -37,6 +37,15 @@ pub struct Batch {
     pub id: String,
     /// The owning connection's writer channel.
     pub out: Sender<String>,
+    /// The owning connection's id (per-connection stats tallies).
+    pub conn: u64,
+    /// Whether the batch asked for trace-store artifacts. A run is
+    /// recorded when the job that *triggers* its simulation carries the
+    /// flag; a recording batch whose key rides an already-in-flight
+    /// unrecorded simulation gets its result without an artifact, and a
+    /// later recording request for the same key re-simulates (the run
+    /// dir gates cache hits on artifact completeness).
+    pub record: bool,
     remaining: AtomicUsize,
     ok: AtomicUsize,
     failed: AtomicUsize,
@@ -45,10 +54,18 @@ pub struct Batch {
 impl Batch {
     /// A tracker expecting `runs` deliveries before `done` goes out.
     #[must_use]
-    pub fn new(id: String, out: Sender<String>, runs: usize) -> Arc<Batch> {
+    pub fn new(
+        id: String,
+        out: Sender<String>,
+        conn: u64,
+        record: bool,
+        runs: usize,
+    ) -> Arc<Batch> {
         Arc::new(Batch {
             id,
             out,
+            conn,
+            record,
             remaining: AtomicUsize::new(runs),
             ok: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
@@ -74,13 +91,30 @@ pub struct Overloaded {
     pub high_water: usize,
 }
 
-/// Point-in-time scheduler counters (the `stats` response).
+/// One connection's lifetime tallies (survive the connection itself).
 #[derive(Debug, Clone, Copy, Default)]
+pub struct ConnTally {
+    /// The connection id.
+    pub conn: u64,
+    /// Runs admitted from this connection.
+    pub accepted: u64,
+    /// Runs answered to this connection.
+    pub completed: u64,
+}
+
+/// Most connections tallied individually; beyond this, new connections
+/// still serve but are no longer broken out in `per_connection`.
+pub const MAX_TRACKED_CONNECTIONS: usize = 256;
+
+/// Point-in-time scheduler counters (the `stats` response).
+#[derive(Debug, Clone, Default)]
 pub struct SchedulerStats {
     /// Runs admitted but not yet popped by a worker.
     pub queue_depth: usize,
     /// The admission high-water mark.
     pub high_water: usize,
+    /// Deepest the queue has ever been (admitted, unstarted runs).
+    pub queue_peak: usize,
     /// Distinct keys currently being simulated.
     pub inflight: usize,
     /// Runs answered by parking on another run's in-flight simulation.
@@ -91,6 +125,12 @@ pub struct SchedulerStats {
     pub completed: u64,
     /// Batches refused as overloaded since start.
     pub rejected: u64,
+    /// Σ simulated `report.cycles` over every successful run answered —
+    /// the daemon's uptime in simulated bus cycles.
+    pub uptime_cycles: u64,
+    /// Per-connection accepted/completed tallies, ordered by connection
+    /// id; capped at [`MAX_TRACKED_CONNECTIONS`] entries.
+    pub per_connection: Vec<ConnTally>,
 }
 
 struct Inner {
@@ -99,9 +139,24 @@ struct Inner {
     queues: HashMap<u64, VecDeque<Job>>,
     rotation: VecDeque<u64>,
     queued: usize,
+    /// Deepest `queued` has ever been.
+    queue_peak: usize,
     /// Keys being simulated right now → runs parked on the result.
     inflight: HashMap<RunKey, Vec<Job>>,
+    /// Lifetime per-connection tallies (accepted, completed), bounded
+    /// by [`MAX_TRACKED_CONNECTIONS`].
+    tallies: BTreeMap<u64, (u64, u64)>,
     shutdown: bool,
+}
+
+impl Inner {
+    /// The tally slot for `conn`, unless the cap would be exceeded.
+    fn tally(&mut self, conn: u64) -> Option<&mut (u64, u64)> {
+        if self.tallies.len() >= MAX_TRACKED_CONNECTIONS && !self.tallies.contains_key(&conn) {
+            return None;
+        }
+        Some(self.tallies.entry(conn).or_default())
+    }
 }
 
 /// The daemon's work queue; see the module docs for the invariants.
@@ -114,6 +169,7 @@ pub struct Scheduler {
     accepted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
+    uptime_cycles: AtomicU64,
 }
 
 impl Scheduler {
@@ -127,7 +183,9 @@ impl Scheduler {
                 queues: HashMap::new(),
                 rotation: VecDeque::new(),
                 queued: 0,
+                queue_peak: 0,
                 inflight: HashMap::new(),
+                tallies: BTreeMap::new(),
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -136,6 +194,7 @@ impl Scheduler {
             accepted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            uptime_cycles: AtomicU64::new(0),
         }
     }
 
@@ -181,6 +240,10 @@ impl Scheduler {
                 inner.rotation.push_back(conn);
             }
             inner.queued += n;
+            inner.queue_peak = inner.queue_peak.max(inner.queued);
+            if let Some(tally) = inner.tally(conn) {
+                tally.0 += n as u64;
+            }
             let _ = batch.out.send(protocol::accepted_line(&batch.id, n));
         }
         self.accepted.fetch_add(n as u64, Ordering::Relaxed);
@@ -236,7 +299,7 @@ impl Scheduler {
             let key = job.spec.key.clone();
             let result = self
                 .exec
-                .try_run(vec![job.spec.clone()])
+                .try_run_recorded(vec![job.spec.clone()], job.batch.record)
                 .pop()
                 .expect("one result per submitted spec");
             // The wire carries the typed error; drain the executor's
@@ -256,6 +319,8 @@ impl Scheduler {
         let line = match result {
             Ok(report) => {
                 batch.ok.fetch_add(1, Ordering::Relaxed);
+                self.uptime_cycles
+                    .fetch_add(report.cycles, Ordering::Relaxed);
                 protocol::result_line(&batch.id, job.index, &job.spec.key, report)
             }
             Err(error) => {
@@ -265,6 +330,9 @@ impl Scheduler {
         };
         let _ = batch.out.send(line);
         self.completed.fetch_add(1, Ordering::Relaxed);
+        if let Some(tally) = self.lock().tally(batch.conn) {
+            tally.1 += 1;
+        }
         if batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _ = batch.out.send(protocol::done_line(
                 &batch.id,
@@ -302,11 +370,22 @@ impl Scheduler {
         SchedulerStats {
             queue_depth: inner.queued,
             high_water: self.high_water,
+            queue_peak: inner.queue_peak,
             inflight: inner.inflight.len(),
             deduped: self.deduped.load(Ordering::Relaxed),
             accepted: self.accepted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            uptime_cycles: self.uptime_cycles.load(Ordering::Relaxed),
+            per_connection: inner
+                .tallies
+                .iter()
+                .map(|(&conn, &(accepted, completed))| ConnTally {
+                    conn,
+                    accepted,
+                    completed,
+                })
+                .collect(),
         }
     }
 }

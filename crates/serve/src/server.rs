@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use cellsim_core::exec::{SweepExecutor, DEFAULT_CACHE_CAPACITY};
 
@@ -42,6 +43,16 @@ pub struct ServeOptions {
     pub high_water: usize,
     /// Longest accepted request line in bytes.
     pub max_line: usize,
+    /// Trace-store run directory: batches sent with `"record":true`
+    /// persist one artifact per run here (same layout as
+    /// `repro --run-dir`). `None` refuses recording batches.
+    pub run_dir: Option<PathBuf>,
+    /// Stats-history log: every `stats_interval`, one `stats` snapshot
+    /// line (identical to the wire response) is appended here, plus a
+    /// final snapshot at shutdown.
+    pub stats_log: Option<PathBuf>,
+    /// Interval between appended stats snapshots.
+    pub stats_interval: Duration,
 }
 
 impl Default for ServeOptions {
@@ -53,6 +64,9 @@ impl Default for ServeOptions {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             high_water: 4096,
             max_line: MAX_LINE_BYTES,
+            run_dir: None,
+            stats_log: None,
+            stats_interval: Duration::from_secs(60),
         }
     }
 }
@@ -67,6 +81,9 @@ pub struct Server {
     next_conn: AtomicU64,
     stopping: Arc<AtomicBool>,
     max_line: usize,
+    started: Instant,
+    stats_log: Option<PathBuf>,
+    stats_interval: Duration,
 }
 
 /// Remote control for a serving daemon.
@@ -97,11 +114,15 @@ impl Server {
     /// directory.
     pub fn bind<A: ToSocketAddrs>(addr: A, opts: &ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let exec = Arc::new(SweepExecutor::with_cache_options(
+        let mut exec = SweepExecutor::with_cache_options(
             opts.jobs,
             opts.cache_capacity,
             opts.cache_dir.as_deref(),
-        )?);
+        )?;
+        if let Some(dir) = &opts.run_dir {
+            exec.set_run_dir(dir)?;
+        }
+        let exec = Arc::new(exec);
         let scheduler = Arc::new(Scheduler::new(exec, opts.high_water));
         let workers = if opts.workers == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -117,6 +138,9 @@ impl Server {
             next_conn: AtomicU64::new(0),
             stopping: Arc::new(AtomicBool::new(false)),
             max_line: opts.max_line,
+            started: Instant::now(),
+            stats_log: opts.stats_log.clone(),
+            stats_interval: opts.stats_interval.max(Duration::from_millis(10)),
         })
     }
 
@@ -149,6 +173,27 @@ impl Server {
     /// Any [`std::io::Error`] from `accept` (per-connection I/O errors
     /// only close that connection).
     pub fn serve(self) -> std::io::Result<()> {
+        let stats_thread = self.stats_log.as_ref().map(|path| {
+            let path = path.clone();
+            let scheduler = Arc::clone(&self.scheduler);
+            let connections = Arc::clone(&self.connections);
+            let stopping = Arc::clone(&self.stopping);
+            let interval = self.stats_interval;
+            let started = self.started;
+            std::thread::Builder::new()
+                .name("cellsim-serve-stats".to_string())
+                .spawn(move || {
+                    stats_history(
+                        &path,
+                        &scheduler,
+                        &connections,
+                        &stopping,
+                        interval,
+                        started,
+                    );
+                })
+                .expect("stats thread spawns")
+        });
         for stream in self.listener.incoming() {
             if self.stopping.load(Ordering::SeqCst) {
                 break;
@@ -158,22 +203,64 @@ impl Server {
             let scheduler = Arc::clone(&self.scheduler);
             let connections = Arc::clone(&self.connections);
             let max_line = self.max_line;
+            let started = self.started;
             self.connections.fetch_add(1, Ordering::Relaxed);
             let spawned = std::thread::Builder::new()
                 .name(format!("cellsim-serve-conn-{conn}"))
                 .spawn(move || {
-                    serve_connection(&scheduler, &connections, conn, stream, max_line);
+                    serve_connection(&scheduler, &connections, conn, stream, max_line, started);
                     connections.fetch_sub(1, Ordering::Relaxed);
                 });
             if spawned.is_err() {
                 self.connections.fetch_sub(1, Ordering::Relaxed);
             }
         }
+        self.stopping.store(true, Ordering::SeqCst);
+        if let Some(thread) = stats_thread {
+            let _ = thread.join();
+        }
         self.scheduler.shutdown();
         for worker in self.workers {
             let _ = worker.join();
         }
         Ok(())
+    }
+}
+
+/// Appends one `stats` snapshot line per interval (and a final one at
+/// shutdown) to `path`. The sleep is chopped into 100 ms steps so the
+/// thread notices shutdown promptly; an unwritable log is reported once
+/// per failed append on stderr and never affects serving.
+fn stats_history(
+    path: &std::path::Path,
+    scheduler: &Arc<Scheduler>,
+    connections: &AtomicUsize,
+    stopping: &AtomicBool,
+    interval: Duration,
+    started: Instant,
+) {
+    let append = |line: &str| {
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        if let Err(e) = written {
+            eprintln!("cellsim-serve: stats log {}: {e}", path.display());
+        }
+    };
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if stopping.load(Ordering::SeqCst) {
+                append(&stats_line(scheduler, connections, started));
+                return;
+            }
+            let step = (interval - slept).min(Duration::from_millis(100));
+            std::thread::sleep(step);
+            slept += step;
+        }
+        append(&stats_line(scheduler, connections, started));
     }
 }
 
@@ -184,6 +271,7 @@ fn serve_connection(
     conn: u64,
     stream: TcpStream,
     max_line: usize,
+    started: Instant,
 ) {
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -230,7 +318,7 @@ fn serve_connection(
                 let _ = tx.send(refusal.to_line());
             }
             Ok(Request::Stats) => {
-                let _ = tx.send(stats_line(scheduler, connections));
+                let _ = tx.send(stats_line(scheduler, connections, started));
             }
             Ok(Request::Run(batch)) => {
                 submit_batch(scheduler, conn, &tx, batch);
@@ -252,7 +340,21 @@ fn submit_batch(
     tx: &Sender<String>,
     request: protocol::BatchRequest,
 ) {
-    let batch = Batch::new(request.id, tx.clone(), request.specs.len());
+    if request.record && scheduler.executor().run_dir().is_none() {
+        let _ = tx.send(protocol::error_line(
+            Some(&request.id),
+            "bad-request",
+            "batch requests recording but the daemon has no --run-dir",
+        ));
+        return;
+    }
+    let batch = Batch::new(
+        request.id,
+        tx.clone(),
+        conn,
+        request.record,
+        request.specs.len(),
+    );
     let jobs: Vec<Job> = request
         .specs
         .into_iter()
@@ -272,10 +374,13 @@ fn submit_batch(
     }
 }
 
-/// The `stats` response: scheduler counters, executor cache counters,
-/// and (when a cache dir is attached) both the process's disk-tier
-/// activity and a census of the shared directory.
-fn stats_line(scheduler: &Scheduler, connections: &AtomicUsize) -> String {
+/// The `stats` response: scheduler counters (including the queue's
+/// high-water peak, uptime in wall milliseconds and simulated cycles,
+/// and per-connection tallies), executor cache counters, run-dir
+/// recording counters when attached, and (when a cache dir is
+/// attached) both the process's disk-tier activity and a census of the
+/// shared directory.
+fn stats_line(scheduler: &Scheduler, connections: &AtomicUsize, started: Instant) -> String {
     let sched = scheduler.stats();
     let exec = scheduler.executor();
     let cache = exec.stats();
@@ -292,20 +397,46 @@ fn stats_line(scheduler: &Scheduler, connections: &AtomicUsize) -> String {
         ),
         _ => "null".to_string(),
     };
+    let run_dir = match exec.run_dir() {
+        Some(rd) => {
+            let stats = rd.stats();
+            format!(
+                "{{\"written\":{},\"reused\":{},\"errors\":{}}}",
+                stats.written, stats.reused, stats.errors
+            )
+        }
+        None => "null".to_string(),
+    };
+    let per_connection: Vec<String> = sched
+        .per_connection
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"conn\":{},\"accepted\":{},\"completed\":{}}}",
+                t.conn, t.accepted, t.completed
+            )
+        })
+        .collect();
     format!(
         "{{\"op\":\"stats\",\"connections\":{},\"queue_depth\":{},\
-         \"high_water\":{},\"inflight\":{},\"deduped\":{},\
+         \"high_water\":{},\"queue_peak\":{},\"inflight\":{},\"deduped\":{},\
          \"accepted\":{},\"completed\":{},\"rejected\":{},\
-         \"cache\":{{\"hits\":{},\"misses\":{}}},\"disk\":{disk}}}",
+         \"uptime_ms\":{},\"uptime_cycles\":{},\
+         \"cache\":{{\"hits\":{},\"misses\":{}}},\"disk\":{disk},\
+         \"run_dir\":{run_dir},\"per_connection\":[{}]}}",
         connections.load(Ordering::Relaxed),
         sched.queue_depth,
         sched.high_water,
+        sched.queue_peak,
         sched.inflight,
         sched.deduped,
         sched.accepted,
         sched.completed,
         sched.rejected,
+        u128::min(started.elapsed().as_millis(), u128::from(u64::MAX)),
+        sched.uptime_cycles,
         cache.hits,
-        cache.misses
+        cache.misses,
+        per_connection.join(",")
     )
 }

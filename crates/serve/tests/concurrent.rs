@@ -8,11 +8,12 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
-use cellsim_core::diskcache::report_to_json;
+use cellsim_core::diskcache::{key_fingerprint, report_to_json};
 use cellsim_core::exec::{RunSpec, SweepExecutor, Workload};
 use cellsim_core::experiments::{
     figure10_with, figure12_with, figure_points, figure_specs, workload_plan, ExperimentConfig,
 };
+use cellsim_core::tracestore::{Manifest, TraceStore, TRACE_FILE};
 use cellsim_core::{CellSystem, FaultPlan, Placement, SyncPolicy};
 use cellsim_serve::protocol::encode_run_request;
 use cellsim_serve::{Client, ClientError, ServeHandle, ServeOptions, Server};
@@ -210,7 +211,7 @@ fn disconnecting_mid_batch_leaves_the_daemon_serving() {
     // Fire a whole batch and hang up without reading a single byte.
     {
         let mut stream = TcpStream::connect(daemon.addr).expect("connect");
-        let line = encode_run_request("orphan", None, &specs);
+        let line = encode_run_request("orphan", None, &specs, false);
         stream.write_all(line.as_bytes()).expect("send");
         stream.write_all(b"\n").expect("send");
     }
@@ -276,6 +277,146 @@ fn over_long_lines_error_and_close() {
     let mut rest = Vec::new();
     reader.read_to_end(&mut rest).expect("drain");
     assert!(rest.is_empty(), "connection should be closed");
+    daemon.stop();
+}
+
+#[test]
+fn stats_carry_uptime_queue_peak_and_per_connection_tallies() {
+    let daemon = start_daemon(&ServeOptions::default());
+    let system = CellSystem::blade();
+    let specs = tiny_specs(&system, "12");
+    let n = specs.len() as u64;
+
+    let mut client = Client::connect(daemon.addr).expect("connect");
+    let outcome = client.run_batch("up", None, &specs).expect("batch");
+    assert_eq!(outcome.failed, 0);
+
+    // The typed client sees the new counters...
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.queue_peak >= 1 && stats.queue_peak <= n,
+        "peak {} out of range for a {n}-run batch",
+        stats.queue_peak
+    );
+    assert!(stats.uptime_cycles > 0, "successful runs accumulate cycles");
+
+    // ...and the raw wire line carries every schema key, including the
+    // per-connection breakdown naming this connection's tallies.
+    let mut stream = TcpStream::connect(daemon.addr).expect("connect");
+    stream.write_all(b"{\"op\":\"stats\"}\n").expect("send");
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).expect("recv");
+    for key in [
+        "\"queue_peak\":",
+        "\"uptime_ms\":",
+        "\"uptime_cycles\":",
+        "\"per_connection\":[",
+        "\"run_dir\":null",
+    ] {
+        assert!(line.contains(key), "stats line lacks {key}: {line}");
+    }
+    assert!(
+        line.contains(&format!(
+            "{{\"conn\":0,\"accepted\":{n},\"completed\":{n}}}"
+        )),
+        "per-connection tally missing: {line}"
+    );
+    daemon.stop();
+}
+
+#[test]
+fn stats_log_appends_periodic_and_final_snapshots() {
+    let dir = temp_dir("stats-log");
+    let log = dir.join("stats.jsonl");
+    let daemon = start_daemon(&ServeOptions {
+        stats_log: Some(log.clone()),
+        stats_interval: std::time::Duration::from_millis(50),
+        ..ServeOptions::default()
+    });
+    let system = CellSystem::blade();
+    let specs = tiny_specs(&system, "12");
+    let mut client = Client::connect(daemon.addr).expect("connect");
+    let outcome = client.run_batch("logged", None, &specs).expect("batch");
+    assert_eq!(outcome.failed, 0);
+    thread::sleep(std::time::Duration::from_millis(150));
+    drop(client);
+    daemon.stop();
+
+    let history = std::fs::read_to_string(&log).expect("stats log exists");
+    let lines: Vec<&str> = history.lines().collect();
+    assert!(
+        lines.len() >= 2,
+        "expected periodic plus final snapshots, got {}",
+        lines.len()
+    );
+    for line in &lines {
+        assert!(line.starts_with("{\"op\":\"stats\""), "{line}");
+        assert!(line.contains("\"uptime_ms\":"), "{line}");
+        assert!(line.contains("\"queue_peak\":"), "{line}");
+    }
+    // The final (shutdown) snapshot has seen the whole batch complete.
+    let last = lines.last().expect("non-empty");
+    assert!(
+        last.contains(&format!("\"completed\":{}", specs.len())),
+        "final snapshot stale: {last}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn recorded_batches_persist_queryable_artifacts() {
+    let run_dir = temp_dir("record");
+    let daemon = start_daemon(&ServeOptions {
+        run_dir: Some(run_dir.clone()),
+        ..ServeOptions::default()
+    });
+    let system = CellSystem::blade();
+    let specs = tiny_specs(&system, "12");
+
+    let mut client = Client::connect(daemon.addr).expect("connect");
+    let outcome = client
+        .run_batch_recorded("rec", None, &specs, true)
+        .expect("batch");
+    assert_eq!(outcome.failed, 0);
+
+    // Every distinct key of the batch left a complete, self-consistent
+    // artifact: manifest metrics match the wire report, and the trace
+    // store's conserved totals match the manifest.
+    let mut distinct = std::collections::BTreeSet::new();
+    for (spec, result) in specs.iter().zip(&outcome.results) {
+        let report = result.as_ref().expect("ok result");
+        if !distinct.insert(key_fingerprint(&spec.key)) {
+            continue;
+        }
+        let entry = run_dir.join(format!("{:016x}", key_fingerprint(&spec.key)));
+        let manifest = Manifest::load(&entry).expect("manifest parses");
+        assert_eq!(manifest.packets, report.packets);
+        assert_eq!(manifest.total_bytes, report.total_bytes);
+        let store = TraceStore::open(&entry.join(TRACE_FILE)).expect("store opens");
+        let totals = store.totals();
+        assert_eq!(totals.delivered, report.packets);
+        assert_eq!(totals.delivered_bytes, report.total_bytes);
+    }
+    assert!(!distinct.is_empty());
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(run_dir);
+}
+
+#[test]
+fn recording_without_a_run_dir_is_refused() {
+    let daemon = start_daemon(&ServeOptions::default());
+    let specs = tiny_specs(&CellSystem::blade(), "12");
+    let mut client = Client::connect(daemon.addr).expect("connect");
+    match client.run_batch_recorded("norec", None, &specs, true) {
+        Err(ClientError::Refused { reason, detail }) => {
+            assert_eq!(reason, "bad-request");
+            assert!(detail.contains("--run-dir"), "{detail}");
+        }
+        other => panic!("expected refusal, got {other:?}", other = other.err()),
+    }
+    // The same connection still serves unrecorded batches.
+    let outcome = client.run_batch("plain", None, &specs[..1]).expect("batch");
+    assert_eq!(outcome.ok, 1);
     daemon.stop();
 }
 

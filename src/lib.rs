@@ -54,11 +54,11 @@ pub use cellsim_runtime as runtime;
 pub use cellsim_spe as spe;
 
 pub use cellsim_core::{
-    baseline, diskcache, exec, experiments, failure, json, latency, metrics, report, BankFaults,
-    BankMetrics, CellConfig, CellSystem, DerateWindow, DmaPathClass, EibFaults, FabricEvent,
-    FabricMetrics, FabricReport, FabricTrace, FaultPlan, FaultPlanError, FaultStats,
+    baseline, diskcache, exec, experiments, failure, json, latency, metrics, report, tracestore,
+    BankFaults, BankMetrics, CellConfig, CellSystem, DerateWindow, DmaPathClass, EibFaults,
+    FabricEvent, FabricMetrics, FabricReport, FabricTrace, FaultPlan, FaultPlanError, FaultStats,
     LatencyHistogram, LatencyMetrics, MachineState, MetricsSummary, MfcFaults, PacketPhase,
     Placement, PlanError, RetryPolicy, RingOutage, RunFailure, SpeMetrics, SpeScript, SpeStall,
-    StallDiagnosis, StallKind, SyncPolicy, TraceTruncated, TransferPlan, TransferPlanBuilder,
-    Window, REGION_STRIDE, SPE_COUNT,
+    StallDiagnosis, StallKind, SyncPolicy, TraceMeta, TraceSink, TraceTruncated, TransferPlan,
+    TransferPlanBuilder, Window, REGION_STRIDE, SPE_COUNT,
 };
