@@ -8,7 +8,8 @@
 //!   --addr HOST:PORT    daemon address (required unless --help)
 //!   --quick / --full    reduced / paper-scale sweep (same as repro)
 //!   --figure <id>       only the named fabric figure: 8, 10, 12, 13,
-//!                       15, 16 (repeatable; default: all six)
+//!                       15, 16, gups, stencil, pairlist (repeatable;
+//!                       default: all nine)
 //!   --seed N            placement lottery seed (same as repro)
 //!   --faults <plan.json> fault plan applied to every batch, in-band
 //!   --stats             print the daemon's counters and exit
@@ -32,7 +33,8 @@ use std::process::ExitCode;
 use cellsim_core::exec::{RunSpec, SweepExecutor};
 use cellsim_core::experiments::{
     figure10_with, figure12_with, figure13_with, figure15_with, figure16_with, figure8_with,
-    figure_points, figure_specs, ExperimentConfig, ExperimentError,
+    figure_gups_with, figure_pairlist_with, figure_points, figure_specs, figure_stencil_with,
+    ExperimentConfig, ExperimentError,
 };
 use cellsim_core::{CellSystem, FaultPlan};
 use cellsim_serve::{Client, ClientError};
@@ -41,7 +43,9 @@ const EXIT_FAILED_RUNS: u8 = 2;
 const EXIT_BAD_INVOCATION: u8 = 3;
 
 /// The fabric figures the serve protocol can replay, in render order.
-const FABRIC_FIGURES: &[&str] = &["8", "10", "12", "13", "15", "16"];
+const FABRIC_FIGURES: &[&str] = &[
+    "8", "10", "12", "13", "15", "16", "gups", "stencil", "pairlist",
+];
 
 struct Args {
     addr: String,
@@ -235,6 +239,18 @@ fn run(args: &Args) -> Result<usize, String> {
                     println!("{f}");
                 }
             }
+            "gups" => println!(
+                "{}",
+                figure_gups_with(&exec, &system, cfg).map_err(err_string)?
+            ),
+            "stencil" => println!(
+                "{}",
+                figure_stencil_with(&exec, &system, cfg).map_err(err_string)?
+            ),
+            "pairlist" => println!(
+                "{}",
+                figure_pairlist_with(&exec, &system, cfg).map_err(err_string)?
+            ),
             _ => unreachable!("FABRIC_FIGURES is fixed"),
         }
         // Rendering re-requests exactly the preloaded keys; a failed

@@ -11,7 +11,8 @@
 //!   --quick             reduced sweep (fast smoke run)
 //!   --full              paper-scale protocol (32 MiB per SPE, slow)
 //!   --figure <id>       only the named figure: 3, 4, 6, 8, 10, 12, 13,
-//!                       15, 16, 4.2.2 or degraded (repeatable)
+//!                       15, 16, 4.2.2, gups, stencil, pairlist or
+//!                       degraded (repeatable)
 //!   --faults <f>        run every figure on a degraded machine: <f> is a
 //!                       FaultPlan JSON (see README). Plans with
 //!                       fused_spes need --figure degraded — the paper
@@ -97,8 +98,9 @@ use cellsim_core::baseline::Baseline;
 use cellsim_core::exec::{RunSpec, SweepExecutor, Workload};
 use cellsim_core::experiments::{
     figure10_with, figure12_with, figure13_with, figure15_with, figure16_with, figure3, figure4,
-    figure6, figure8_with, figure_degraded_with, figure_metrics_with, section_4_2_2,
-    ExperimentConfig, ExperimentError, FIGURE_IDS,
+    figure6, figure8_with, figure_degraded_with, figure_gups_with, figure_metrics_with,
+    figure_pairlist_with, figure_stencil_with, section_4_2_2, ExperimentConfig, ExperimentError,
+    FIGURE_IDS,
 };
 use cellsim_core::perf::PerfBaseline;
 use cellsim_core::report::{Figure, MetricsTable, SpreadFigure};
@@ -458,6 +460,27 @@ fn run(args: &Args, exec: &SweepExecutor) -> Result<(), String> {
         }
         emit_metrics(args, exec, &system, "16")?;
     }
+    if wanted(&args.figures, "gups") {
+        emit(
+            csv,
+            &figure_gups_with(exec, &system, cfg).map_err(err_string)?,
+        )?;
+        emit_metrics(args, exec, &system, "gups")?;
+    }
+    if wanted(&args.figures, "stencil") {
+        emit(
+            csv,
+            &figure_stencil_with(exec, &system, cfg).map_err(err_string)?,
+        )?;
+        emit_metrics(args, exec, &system, "stencil")?;
+    }
+    if wanted(&args.figures, "pairlist") {
+        emit(
+            csv,
+            &figure_pairlist_with(exec, &system, cfg).map_err(err_string)?,
+        )?;
+        emit_metrics(args, exec, &system, "pairlist")?;
+    }
     if wanted(&args.figures, "degraded") {
         let (fig, table) = figure_degraded_with(exec, &system, cfg).map_err(err_string)?;
         emit(csv, &fig)?;
@@ -663,6 +686,7 @@ fn write_chrome_trace(
             elem,
             list: false,
             sync: SyncPolicy::AfterAll,
+            params: 0,
         },
         placement,
         Arc::clone(&plan),

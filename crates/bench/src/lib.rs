@@ -67,6 +67,7 @@ fn cycle8_workload(cfg: &ExperimentConfig, elem: u32) -> Workload {
         elem,
         list: false,
         sync: SyncPolicy::AfterAll,
+        params: 0,
     }
 }
 
@@ -78,6 +79,7 @@ fn mem_get_workload(cfg: &ExperimentConfig, spes: u8, elem: u32) -> Workload {
         elem,
         list: false,
         sync: SyncPolicy::AfterAll,
+        params: 0,
     }
 }
 

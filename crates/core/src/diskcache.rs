@@ -192,7 +192,7 @@ pub fn key_json(key: &RunKey) -> String {
     format!(
         "{{\"config\":{},\"faults\":{},\"pattern\":\"{}\",\"spes\":{},\
          \"volume\":{},\"elem\":{},\"list\":{},\"sync\":\"{}\",\
-         \"placement\":{}}}",
+         \"params\":{},\"placement\":{}}}",
         key.config,
         key.faults,
         json::escape(w.pattern),
@@ -201,6 +201,7 @@ pub fn key_json(key: &RunKey) -> String {
         w.elem,
         w.list,
         json::escape(&format!("{:?}", w.sync)),
+        w.params,
         u64_array(key.placement.iter().map(|&p| u64::from(p)))
     )
 }
@@ -579,6 +580,7 @@ mod tests {
                 elem: 4096,
                 list: false,
                 sync: SyncPolicy::AfterAll,
+                params: 0,
             },
             Placement::identity(),
             Arc::clone(&plan),

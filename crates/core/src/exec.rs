@@ -97,6 +97,11 @@ pub struct Workload {
     pub list: bool,
     /// Tag-group synchronization policy.
     pub sync: SyncPolicy,
+    /// Packed pattern-specific parameters (0 for the paper's streaming
+    /// micro-benchmarks; application workloads fold their generator
+    /// parameters — table sizes, grid shapes, seeds — in here so the
+    /// cache/baseline identity covers them).
+    pub params: u64,
 }
 
 /// Cache identity of one simulation point.
@@ -118,13 +123,13 @@ pub struct RunKey {
 impl fmt::Display for RunKey {
     /// Compact one-line identity, the form failures are reported in:
     /// `pattern=couples spes=2 volume=262144 elem=128 list=false
-    /// sync=AfterAll placement=[0,1,..] config=0x.. faults=0x..`.
+    /// sync=AfterAll params=0 placement=[0,1,..] config=0x.. faults=0x..`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let w = &self.workload;
         let placement: Vec<String> = self.placement.iter().map(u8::to_string).collect();
         write!(
             f,
-            "pattern={} spes={} volume={} elem={} list={} sync={:?} \
+            "pattern={} spes={} volume={} elem={} list={} sync={:?} params={} \
              placement=[{}] config={:#018x} faults={:#018x}",
             w.pattern,
             w.spes,
@@ -132,6 +137,7 @@ impl fmt::Display for RunKey {
             w.elem,
             w.list,
             w.sync,
+            w.params,
             placement.join(","),
             self.config,
             self.faults
@@ -325,6 +331,7 @@ impl CacheStats {
 ///     elem: 16 * 1024,
 ///     list: false,
 ///     sync: SyncPolicy::AfterAll,
+///     params: 0,
 /// };
 /// let exec = SweepExecutor::new(2);
 /// let specs: Vec<RunSpec> = (0..4)
@@ -741,6 +748,7 @@ mod tests {
                 elem,
                 list: false,
                 sync: SyncPolicy::AfterAll,
+                params: 0,
             },
             placement,
             plan,

@@ -129,6 +129,7 @@ pub fn figure_degraded_with(
                         elem,
                         list: false,
                         sync: SyncPolicy::AfterAll,
+                        params: 0,
                     },
                     Placement::lottery_avoiding(cfg.seed, k as u64, mask),
                     Arc::clone(&plan),

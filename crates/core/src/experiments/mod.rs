@@ -12,6 +12,9 @@
 //! | [`figure13`] | Fig. 13 (a,b) | Couples: spread over placements |
 //! | [`figure15`] | Fig. 15 (a,b) | Cycle of SPEs, DMA-elem vs DMA-list |
 //! | [`figure16`] | Fig. 16 (a,b) | Cycle: spread over placements |
+//! | [`figure_gups`] | — (extension) | GUPS random 8–128 B get+put update cycles |
+//! | [`figure_stencil`] | — (extension) | Stencil halo exchange, halo width × grid shape |
+//! | [`figure_pairlist`] | — (extension) | Pair-list skewed indexed gather/scatter |
 //! | [`figure_degraded`] | — (extension) | Fault-injection ladder: healthy → 7 SPE → ring derate → bank NACKs |
 //!
 //! All DMA experiments honour the paper's protocol: weak scaling (a fixed
@@ -30,12 +33,17 @@
 //! placement [`Placement::lottery`]`(cfg.seed, k)`, independent of
 //! scheduling.
 
+mod appwork;
 mod degraded;
 mod ppe;
 mod spe_mem;
 mod spe_pairs;
 mod spu_ls;
 
+pub use appwork::{
+    figure_gups, figure_gups_with, figure_pairlist, figure_pairlist_with, figure_stencil,
+    figure_stencil_with,
+};
 pub use degraded::{figure_degraded, figure_degraded_with};
 pub use ppe::{figure3, figure4, figure6};
 pub use spe_mem::{figure8, figure8_with};
@@ -58,12 +66,14 @@ use crate::report::{Figure, SpreadFigure};
 use crate::{CellSystem, TransferPlan};
 
 /// Every figure id `repro --figure` accepts: the paper figures in paper
-/// order, then the `degraded` fault-injection extension. `degraded` is
-/// not part of the baseline set ([`crate::Baseline`] collects only the
-/// healthy paper figures), so committed baselines are unaffected by the
-/// fault subsystem.
+/// order, then the application-workload extensions (`gups`, `stencil`,
+/// `pairlist` — baselined like the paper figures), then the `degraded`
+/// fault-injection extension. `degraded` is not part of the baseline
+/// set ([`crate::Baseline`] collects only healthy figures), so
+/// committed baselines are unaffected by the fault subsystem.
 pub const FIGURE_IDS: &[&str] = &[
-    "3", "4", "6", "8", "4.2.2", "10", "12", "13", "15", "16", "degraded",
+    "3", "4", "6", "8", "4.2.2", "10", "12", "13", "15", "16", "gups", "stencil", "pairlist",
+    "degraded",
 ];
 
 /// Shared knobs of the DMA experiments.
@@ -351,6 +361,9 @@ pub fn figure_points(
         "13" => ("13", spe_pairs::figure13_points),
         "15" => ("15", spe_pairs::figure15_points),
         "16" => ("16", spe_pairs::figure16_points),
+        "gups" => ("gups", appwork::gups_points),
+        "stencil" => ("stencil", appwork::stencil_points),
+        "pairlist" => ("pairlist", appwork::pairlist_points),
         _ => return Ok(None),
     };
     cfg.validate()
@@ -364,7 +377,7 @@ pub fn figure_points(
 /// of panicking a resident process.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkloadError {
-    /// The pattern name is not one of the five sweepable patterns.
+    /// The pattern name is not one of the sweepable patterns.
     UnknownPattern(String),
     /// The SPE count is invalid for the pattern (`couples` needs an
     /// even count; every pattern needs `1..=8`, exchanges `2..=8`).
@@ -392,6 +405,14 @@ pub enum WorkloadError {
     /// The plan builder rejected the parameters (e.g. a DMA element
     /// larger than the MFC's 16 KiB limit).
     Plan(crate::PlanError),
+    /// The packed `Workload::params` word (or a field interacting with
+    /// it) is invalid for the pattern's stream generator.
+    BadParams {
+        /// The canonical pattern name.
+        pattern: &'static str,
+        /// The generator's rejection, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -413,6 +434,9 @@ impl fmt::Display for WorkloadError {
                 )
             }
             WorkloadError::Plan(e) => write!(f, "plan rejected: {e}"),
+            WorkloadError::BadParams { pattern, detail } => {
+                write!(f, "pattern '{pattern}' has invalid params: {detail}")
+            }
         }
     }
 }
@@ -429,6 +453,9 @@ pub fn canonical_pattern(name: &str) -> Option<&'static str> {
         "mem-copy" => Some("mem-copy"),
         "couples" => Some("couples"),
         "cycle" => Some("cycle"),
+        "gups" => Some("gups"),
+        "stencil" => Some("stencil"),
+        "pairlist" => Some("pairlist"),
         _ => None,
     }
 }
@@ -494,6 +521,9 @@ pub fn workload_plan(w: &Workload) -> Result<Arc<TransferPlan>, WorkloadError> {
             }
             spe_pairs::pattern_plan(shape, spes, w.volume, w.elem, w.list, w.sync)
         }
+        "gups" => return appwork::gups_plan(w).map(Arc::new),
+        "stencil" => return appwork::stencil_plan(w).map(Arc::new),
+        "pairlist" => return appwork::pairlist_plan(w).map(Arc::new),
         _ => unreachable!("canonical_pattern returned an unhandled name"),
     };
     plan.map(Arc::new).map_err(WorkloadError::Plan)
@@ -559,6 +589,9 @@ pub fn all_figures_with(
     figures.push(figure10_with(exec, system, cfg)?);
     figures.extend(figure12_with(exec, system, cfg)?);
     figures.extend(figure15_with(exec, system, cfg)?);
+    figures.push(figure_gups_with(exec, system, cfg)?);
+    figures.push(figure_stencil_with(exec, system, cfg)?);
+    figures.push(figure_pairlist_with(exec, system, cfg)?);
     let mut spreads = Vec::new();
     spreads.extend(figure13_with(exec, system, cfg)?);
     spreads.extend(figure16_with(exec, system, cfg)?);

@@ -111,6 +111,7 @@ pub(crate) fn figure8_points(cfg: &ExperimentConfig) -> Vec<SweepPoint> {
                         elem,
                         list: false,
                         sync: SyncPolicy::AfterAll,
+                        params: 0,
                     },
                     plan: Arc::new(
                         mem_plan(op, n, cfg.volume_per_spe, elem)

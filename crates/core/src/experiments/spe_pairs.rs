@@ -91,6 +91,7 @@ fn point(
             elem,
             list,
             sync,
+            params: 0,
         },
         plan: Arc::new(
             pattern_plan(pattern, spes, volume, elem, list, sync)

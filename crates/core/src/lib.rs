@@ -76,7 +76,9 @@ pub use failure::{PacketPhase, RunFailure, SpeStall, StallDiagnosis, StallKind};
 pub use latency::{DmaPathClass, LatencyHistogram, LatencyMetrics, PathLatency};
 pub use metrics::{BankMetrics, FabricMetrics, FaultStats, MetricsSummary, SpeMetrics};
 pub use placement::Placement;
-pub use plan::{PlanError, Planned, SpeScript, SyncPolicy, TransferPlan, TransferPlanBuilder};
+pub use plan::{
+    PlanError, Planned, SpeScript, SyncPolicy, TransferPlan, TransferPlanBuilder, LS_WINDOW,
+};
 pub use tracing::{FabricEvent, FabricTrace, TraceMeta, TraceSink, TraceTruncated};
 
 /// Number of SPEs on a CBE.

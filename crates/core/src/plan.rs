@@ -5,7 +5,8 @@ use std::fmt;
 
 use cellsim_mem::RegionId;
 use cellsim_mfc::{
-    DmaCommand, DmaError, DmaKind, DmaListCommand, EffectiveAddr, LsAddr, TagId, LOCAL_STORE_BYTES,
+    DmaCommand, DmaError, DmaKind, DmaListCommand, EffectiveAddr, ListElement, LsAddr, TagId,
+    LOCAL_STORE_BYTES, MAX_LIST_ELEMENTS,
 };
 
 use crate::SPE_COUNT;
@@ -13,7 +14,7 @@ use crate::SPE_COUNT;
 /// The Local Store window each script cycles its DMA buffers through.
 /// Half the LS: the other half is left to "code" and to incoming traffic
 /// from partners, mirroring how the paper's micro-benchmarks are laid out.
-pub(crate) const LS_WINDOW: u32 = LOCAL_STORE_BYTES / 2;
+pub const LS_WINDOW: u32 = LOCAL_STORE_BYTES / 2;
 
 /// When the SPU waits for its outstanding DMAs (the paper's Figure 10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -564,6 +565,188 @@ impl TransferPlanBuilder {
         self
     }
 
+    /// SPE `spe` GETs one `bytes`-sized element at each scattered `offsets`
+    /// entry of `region` — the building block for application-shaped
+    /// address streams (random gathers, indexed reads). Local Store slots
+    /// rotate through [`LS_WINDOW`] on a 16-byte-aligned stride, so
+    /// sub-quadword elements require 16-byte-aligned effective offsets
+    /// (the MFC's LS/EA low-nibble agreement rule); violations surface as
+    /// [`PlanError::Dma`] at [`TransferPlanBuilder::build`], never panics.
+    pub fn get_elems_at(self, spe: usize, region: RegionId, offsets: &[u64], bytes: u32) -> Self {
+        self.elems_at(spe, DmaKind::Get, region, offsets, bytes)
+    }
+
+    /// Scatter counterpart of [`TransferPlanBuilder::get_elems_at`]: one
+    /// PUT per offset.
+    pub fn put_elems_at(self, spe: usize, region: RegionId, offsets: &[u64], bytes: u32) -> Self {
+        self.elems_at(spe, DmaKind::Put, region, offsets, bytes)
+    }
+
+    /// Read-modify-write cycle at each scattered offset: a fenced GET then
+    /// a fenced PUT of the same element on a rotating tag chain, exactly
+    /// the `mfc_getf`/`mfc_putf` discipline real GUPS update loops use so
+    /// the store cannot overtake its load.
+    pub fn update_elems_at(
+        mut self,
+        spe: usize,
+        region: RegionId,
+        offsets: &[u64],
+        bytes: u32,
+    ) -> Self {
+        if self.err.is_some() {
+            return self;
+        }
+        if spe >= SPE_COUNT {
+            self.err = Some(PlanError::BadSpe(spe));
+            return self;
+        }
+        let stride = u64::from(bytes.max(16));
+        for (j, &off) in offsets.iter().enumerate() {
+            let ls = LsAddr(((j as u64 * stride) % u64::from(LS_WINDOW)) as u32);
+            let chain = chain_tag(j as u64);
+            let ea = EffectiveAddr::Memory {
+                region,
+                offset: off,
+            };
+            for kind in [DmaKind::Get, DmaKind::Put] {
+                match DmaCommand::new(kind, ls, ea, bytes, chain) {
+                    Ok(cmd) => self.scripts[spe]
+                        .commands
+                        .push(Planned::Elem(cmd.with_fence())),
+                    Err(e) => {
+                        self.err = Some(e.into());
+                        return self;
+                    }
+                }
+            }
+        }
+        if !offsets.is_empty() {
+            self.scripts[spe].sync.get_or_insert(SyncPolicy::AfterAll);
+        }
+        self
+    }
+
+    /// SPE `spe` GETLs the given (possibly strided or indexed) `elements`
+    /// relative to the start of `region`, batched into hardware-legal list
+    /// commands (≤ [`MAX_LIST_ELEMENTS`][cellsim_mfc::MAX_LIST_ELEMENTS]
+    /// entries, payload ≤ [`LS_WINDOW`] each).
+    pub fn get_list_at(self, spe: usize, region: RegionId, elements: &[ListElement]) -> Self {
+        self.list_at(spe, region, elements, ListOp::Single(DmaKind::Get))
+    }
+
+    /// Scatter counterpart of [`TransferPlanBuilder::get_list_at`].
+    pub fn put_list_at(self, spe: usize, region: RegionId, elements: &[ListElement]) -> Self {
+        self.list_at(spe, region, elements, ListOp::Single(DmaKind::Put))
+    }
+
+    /// Gather/scatter cycle over an element list: each batch issues a GETL
+    /// followed by a fenced PUTL of the same elements on the batch's tag
+    /// chain — the indexed pair-list update shape.
+    pub fn update_list_at(self, spe: usize, region: RegionId, elements: &[ListElement]) -> Self {
+        self.list_at(spe, region, elements, ListOp::Update)
+    }
+
+    fn elems_at(
+        mut self,
+        spe: usize,
+        kind: DmaKind,
+        region: RegionId,
+        offsets: &[u64],
+        bytes: u32,
+    ) -> Self {
+        if self.err.is_some() {
+            return self;
+        }
+        if spe >= SPE_COUNT {
+            self.err = Some(PlanError::BadSpe(spe));
+            return self;
+        }
+        let stride = u64::from(bytes.max(16));
+        for (j, &off) in offsets.iter().enumerate() {
+            let ls = LsAddr(((j as u64 * stride) % u64::from(LS_WINDOW)) as u32);
+            let ea = EffectiveAddr::Memory {
+                region,
+                offset: off,
+            };
+            match DmaCommand::new(kind, ls, ea, bytes, tag()) {
+                Ok(cmd) => self.scripts[spe].commands.push(Planned::Elem(cmd)),
+                Err(e) => {
+                    self.err = Some(e.into());
+                    return self;
+                }
+            }
+        }
+        if !offsets.is_empty() {
+            self.scripts[spe].sync.get_or_insert(SyncPolicy::AfterAll);
+        }
+        self
+    }
+
+    fn list_at(
+        mut self,
+        spe: usize,
+        region: RegionId,
+        elements: &[ListElement],
+        op: ListOp,
+    ) -> Self {
+        if self.err.is_some() {
+            return self;
+        }
+        if spe >= SPE_COUNT {
+            self.err = Some(PlanError::BadSpe(spe));
+            return self;
+        }
+        let base = region_ea(region, 0);
+        let mut start = 0usize;
+        let mut batch_idx = 0u64;
+        while start < elements.len() {
+            let mut end = start;
+            let mut payload = 0u64;
+            while end < elements.len()
+                && end - start < MAX_LIST_ELEMENTS
+                && payload + u64::from(elements[end].bytes) <= u64::from(LS_WINDOW)
+            {
+                payload += u64::from(elements[end].bytes);
+                end += 1;
+            }
+            // A single element larger than the window: pass it through so
+            // the MFC validator reports the real error.
+            if end == start {
+                end = start + 1;
+            }
+            let batch = elements[start..end].to_vec();
+            let result = match op {
+                ListOp::Single(kind) => DmaListCommand::new(kind, LsAddr(0), base, batch, tag())
+                    .map(|cmd| {
+                        self.scripts[spe].commands.push(Planned::List(cmd));
+                    }),
+                ListOp::Update => {
+                    let chain = chain_tag(batch_idx);
+                    DmaListCommand::new(DmaKind::Get, LsAddr(0), base, batch.clone(), chain)
+                        .and_then(|get| {
+                            let put =
+                                DmaListCommand::new(DmaKind::Put, LsAddr(0), base, batch, chain)?;
+                            self.scripts[spe].commands.push(Planned::List(get));
+                            self.scripts[spe]
+                                .commands
+                                .push(Planned::List(put.with_fence()));
+                            Ok(())
+                        })
+                }
+            };
+            if let Err(e) = result {
+                self.err = Some(e.into());
+                return self;
+            }
+            batch_idx += 1;
+            start = end;
+        }
+        if !elements.is_empty() {
+            self.scripts[spe].sync.get_or_insert(SyncPolicy::AfterAll);
+        }
+        self
+    }
+
     fn check_stream(&self, spe: usize, total: u64, elem: u32) -> Result<(), PlanError> {
         if spe >= SPE_COUNT {
             return Err(PlanError::BadSpe(spe));
@@ -590,6 +773,15 @@ impl TransferPlanBuilder {
         }
         Ok(())
     }
+}
+
+/// How a batched element list is issued.
+#[derive(Debug, Clone, Copy)]
+enum ListOp {
+    /// One list command per batch in the given direction.
+    Single(DmaKind),
+    /// GETL then fenced PUTL per batch (gather/scatter update).
+    Update,
 }
 
 fn tag() -> TagId {
@@ -817,6 +1009,137 @@ mod tests {
             .unwrap();
         assert_eq!(plan.scripts()[0].sync(), SyncPolicy::Every(2));
         assert_eq!(plan.scripts()[1].sync(), SyncPolicy::AfterAll);
+    }
+
+    #[test]
+    fn scattered_elems_rotate_aligned_slots() {
+        let offsets: Vec<u64> = (0..64).map(|i| i * 4096).collect();
+        let plan = TransferPlan::builder()
+            .get_elems_at(0, RegionId(0), &offsets, 8)
+            .build()
+            .unwrap();
+        let cmds = plan.scripts()[0].commands();
+        assert_eq!(cmds.len(), 64);
+        for (j, p) in cmds.iter().enumerate() {
+            let Planned::Elem(c) = p else { panic!() };
+            // 8-byte elements still advance on a 16-byte LS stride so the
+            // low nibble agrees with the 16-aligned effective addresses.
+            assert_eq!(c.ls().0, (j as u32 * 16) % LS_WINDOW);
+            assert_eq!(c.bytes(), 8);
+        }
+        assert_eq!(plan.total_bytes(), 64 * 8);
+    }
+
+    #[test]
+    fn update_elems_fence_get_before_put() {
+        let offsets = [0u64, 1 << 16, 1 << 20];
+        let plan = TransferPlan::builder()
+            .update_elems_at(1, RegionId(1), &offsets, 128)
+            .build()
+            .unwrap();
+        let cmds = plan.scripts()[1].commands();
+        assert_eq!(cmds.len(), 6);
+        for (j, pair) in cmds.chunks(2).enumerate() {
+            let (Planned::Elem(get), Planned::Elem(put)) = (&pair[0], &pair[1]) else {
+                panic!("elem pair expected")
+            };
+            assert_eq!(get.kind(), DmaKind::Get);
+            assert_eq!(put.kind(), DmaKind::Put);
+            assert!(get.fence() && put.fence());
+            assert_eq!(get.ea(), put.ea());
+            assert_eq!(get.tag(), chain_tag(j as u64));
+        }
+    }
+
+    #[test]
+    fn indexed_lists_batch_within_hardware_limits() {
+        let elements: Vec<ListElement> = (0..5000u64)
+            .map(|i| ListElement {
+                ea_offset: i * 256,
+                bytes: 64,
+            })
+            .collect();
+        let plan = TransferPlan::builder()
+            .get_list_at(0, RegionId(0), &elements)
+            .build()
+            .unwrap();
+        let mut total_elems = 0usize;
+        for p in plan.scripts()[0].commands() {
+            let Planned::List(l) = p else {
+                panic!("list expected")
+            };
+            assert!(l.elements().len() <= MAX_LIST_ELEMENTS);
+            assert!(l.total_bytes() <= u64::from(LS_WINDOW));
+            total_elems += l.elements().len();
+        }
+        assert_eq!(total_elems, 5000);
+        assert_eq!(plan.total_bytes(), 5000 * 64);
+    }
+
+    #[test]
+    fn update_lists_pair_get_with_fenced_put() {
+        let elements: Vec<ListElement> = (0..10u64)
+            .map(|i| ListElement {
+                ea_offset: i * 1024,
+                bytes: 128,
+            })
+            .collect();
+        let plan = TransferPlan::builder()
+            .update_list_at(2, RegionId(2), &elements)
+            .build()
+            .unwrap();
+        let cmds = plan.scripts()[2].commands();
+        assert_eq!(cmds.len(), 2);
+        let (Planned::List(get), Planned::List(put)) = (&cmds[0], &cmds[1]) else {
+            panic!("list pair expected")
+        };
+        assert_eq!(get.kind(), DmaKind::Get);
+        assert_eq!(put.kind(), DmaKind::Put);
+        assert!(!get.fence());
+        assert!(put.fence());
+        assert_eq!(get.elements(), put.elements());
+    }
+
+    #[test]
+    fn scattered_errors_surface_not_panic() {
+        // Misaligned sub-quadword offset: LS slot is 16-aligned, EA is not.
+        assert!(matches!(
+            TransferPlan::builder()
+                .get_elems_at(0, RegionId(0), &[8], 8)
+                .build()
+                .unwrap_err(),
+            PlanError::Dma(_)
+        ));
+        assert_eq!(
+            TransferPlan::builder()
+                .get_elems_at(9, RegionId(0), &[0], 16)
+                .build()
+                .unwrap_err(),
+            PlanError::BadSpe(9)
+        );
+        assert_eq!(
+            TransferPlan::builder()
+                .update_list_at(
+                    8,
+                    RegionId(0),
+                    &[ListElement {
+                        ea_offset: 0,
+                        bytes: 16
+                    }]
+                )
+                .build()
+                .unwrap_err(),
+            PlanError::BadSpe(8)
+        );
+        // Empty offset slices queue nothing: an otherwise empty plan still
+        // reports EmptyPlan.
+        assert_eq!(
+            TransferPlan::builder()
+                .get_elems_at(0, RegionId(0), &[], 16)
+                .build()
+                .unwrap_err(),
+            PlanError::EmptyPlan
+        );
     }
 
     #[test]

@@ -1379,6 +1379,7 @@ mod tests {
                 elem: 4096,
                 list: false,
                 sync: SyncPolicy::AfterAll,
+                params: 0,
             },
             Placement::identity(),
             Arc::clone(&plan),

@@ -249,6 +249,12 @@ fn decode_run(run: &JsonValue, system: &CellSystem, fused: u8) -> Result<RunSpec
             SyncPolicy::Every(every)
         }
     };
+    let params = match run.get("params") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| "field 'params' must be an unsigned integer".to_string())?,
+    };
     let workload = Workload {
         pattern,
         spes,
@@ -256,6 +262,7 @@ fn decode_run(run: &JsonValue, system: &CellSystem, fused: u8) -> Result<RunSpec
         elem,
         list,
         sync,
+        params,
     };
     let plan = workload_plan(&workload).map_err(|e| e.to_string())?;
     let mapping = run
@@ -385,9 +392,16 @@ pub fn encode_run(spec: &RunSpec) -> String {
         SyncPolicy::Every(n) => format!("{{\"every\":{n}}}"),
     };
     let placement: Vec<String> = spec.key.placement.iter().map(u8::to_string).collect();
+    // Workload params are emitted only when nonzero: streaming-figure
+    // request lines stay byte-identical to what older clients sent.
+    let params = if w.params == 0 {
+        String::new()
+    } else {
+        format!("\"params\":{},", w.params)
+    };
     format!(
         "{{\"pattern\":\"{}\",\"spes\":{},\"volume\":{},\"elem\":{},\
-         \"list\":{},\"sync\":{sync},\"placement\":[{}]}}",
+         \"list\":{},\"sync\":{sync},{params}\"placement\":[{}]}}",
         json::escape(w.pattern),
         w.spes,
         w.volume,

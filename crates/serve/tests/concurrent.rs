@@ -154,6 +154,7 @@ fn duplicate_runs_in_one_batch_simulate_once() {
         elem: 4096,
         list: false,
         sync: SyncPolicy::AfterAll,
+        params: 0,
     };
     let plan = workload_plan(&workload).expect("plannable");
     let spec = RunSpec::new(&system, workload, Placement::identity(), plan);

@@ -38,6 +38,7 @@ fn exchange(
         elem,
         list,
         sync,
+        params: 0,
     };
     let spec = RunSpec::new(system, workload, Placement::identity(), plan);
     Ok(exec.run(vec![spec])[0].aggregate_gbps)

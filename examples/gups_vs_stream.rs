@@ -1,0 +1,144 @@
+//! The random-access penalty: GUPS updates vs Figure 8 streaming.
+//!
+//! Both workloads drive eight SPEs against main memory, but their
+//! address streams could not be further apart. The streaming plan GETs
+//! 16 KiB blocks back to back — Figure 8's best case. The GUPS plan
+//! replays a seeded [`cellsim::workloads::GupsParams`] stream of 8 B
+//! update cycles (fenced GET+PUT per slot) scattered over a 16 MiB
+//! table — the paper's worst case, every access a full-latency round
+//! trip with no unroller help.
+//!
+//! Each plan runs twice: on the healthy blade, and under a seeded
+//! [`FaultPlan`] that makes both XDR banks NACK 6% / 3% of accesses.
+//! The always-on latency digest then attributes every cycle to a DMA
+//! phase per path, showing *where* each pattern spends its time and
+//! how NACK retries shift the split.
+//!
+//! ```text
+//! cargo run --release --example gups_vs_stream
+//! ```
+
+use cellsim::latency::DmaPathClass;
+use cellsim::mfc::DmaPhase;
+use cellsim::workloads::GupsParams;
+use cellsim::{
+    CellSystem, FabricReport, FaultPlan, Placement, PlanError, SyncPolicy, TransferPlan,
+};
+
+const SPES: usize = 8;
+const STREAM_VOLUME: u64 = 256 << 10; // per SPE
+const STREAM_ELEM: u32 = 16 * 1024;
+const GUPS_VOLUME: u64 = 32 << 10; // per SPE: an eighth, like the sweep
+const GUPS_GRAIN: u32 = 8;
+const TABLE_LOG2: u8 = 24; // 16 MiB table per SPE
+const SEED: u32 = 0xCE11;
+
+fn streaming_plan() -> Result<TransferPlan, PlanError> {
+    let mut b = TransferPlan::builder();
+    for spe in 0..SPES {
+        b = b.get_from_memory(spe, STREAM_VOLUME, STREAM_ELEM, SyncPolicy::AfterAll);
+    }
+    b.build()
+}
+
+fn gups_plan() -> Result<TransferPlan, PlanError> {
+    let params = GupsParams {
+        table_log2: TABLE_LOG2,
+        seed: SEED,
+    };
+    let count = GUPS_VOLUME / u64::from(GUPS_GRAIN);
+    let mut b = TransferPlan::builder();
+    for spe in 0..SPES {
+        let offsets = params
+            .offsets(spe as u8, count, GUPS_GRAIN)
+            .expect("in-range GUPS parameters");
+        b = b.update_elems_at(spe, TransferPlan::get_region(spe), &offsets, GUPS_GRAIN);
+    }
+    b.build()
+}
+
+fn nack_storm() -> FaultPlan {
+    let mut plan = FaultPlan {
+        seed: 77,
+        ..FaultPlan::default()
+    };
+    plan.local_bank.nack_ppm = 60_000;
+    plan.remote_bank.nack_ppm = 30_000;
+    plan.validate().expect("valid fault plan");
+    plan
+}
+
+/// Prints one path's end-to-end percentiles and its cycle split across
+/// the DMA phases.
+fn print_path(report: &FabricReport, class: DmaPathClass) {
+    let path = report.latency.path(class);
+    if path.commands == 0 {
+        return;
+    }
+    let h = &path.end_to_end;
+    println!(
+        "  {class}: {} commands, p50 {} / p95 {} / max {} cycles",
+        path.commands,
+        h.percentile(50),
+        h.percentile(95),
+        h.max
+    );
+    for (i, phase) in DmaPhase::ALL.iter().enumerate() {
+        let share = 100.0 * path.phase_cycles[i] as f64 / h.total.max(1) as f64;
+        if share >= 0.05 {
+            println!("    {:<12} {share:5.1}%", phase.name());
+        }
+    }
+    // The digest is exact: phases partition the end-to-end cycles.
+    assert_eq!(path.phase_cycles.iter().sum::<u64>(), h.total);
+}
+
+fn report(name: &str, system: &CellSystem, plan: &TransferPlan) -> f64 {
+    let r = system.try_run(&Placement::identity(), plan).unwrap();
+    let f = r.metrics.faults;
+    println!(
+        "{name:<28} {:6.2} GB/s over {} cycles ({} NACKs, {} retries)",
+        r.aggregate_gbps, r.cycles, f.nacks, f.retries
+    );
+    for class in [DmaPathClass::MemGet, DmaPathClass::MemPut] {
+        print_path(&r, class);
+    }
+    println!();
+    r.aggregate_gbps
+}
+
+fn main() -> Result<(), PlanError> {
+    let streaming = streaming_plan()?;
+    let gups = gups_plan()?;
+    let healthy = CellSystem::blade();
+    let stormy = CellSystem::blade().with_faults(nack_storm());
+
+    println!(
+        "8 SPEs vs main memory: {} KiB streamed at {} KiB, {} KiB updated at {} B\n",
+        STREAM_VOLUME >> 10,
+        STREAM_ELEM >> 10,
+        GUPS_VOLUME >> 10,
+        GUPS_GRAIN
+    );
+    let stream_gbps = report("streaming GET (healthy)", &healthy, &streaming);
+    let gups_gbps = report("GUPS 8 B updates (healthy)", &healthy, &gups);
+    let stream_faulted = report("streaming GET (bank NACKs)", &stormy, &streaming);
+    let gups_faulted = report("GUPS 8 B updates (bank NACKs)", &stormy, &gups);
+
+    println!(
+        "Random 8 B updates reach {:.1}% of streaming bandwidth even\n\
+         counting both directions of every update cycle: the phase\n\
+         tables show tiny transfers living in queue-wait and ring-wait\n\
+         while 16 KiB streams only ever wait on a pipeline slot. The\n\
+         NACK storm costs streaming {:.1}% and GUPS {:.1}% — thousands\n\
+         of retries vanish into slack each pattern already had — so the\n\
+         access pattern, not the fault, is what prices the bandwidth.",
+        100.0 * gups_gbps / stream_gbps,
+        100.0 * (stream_gbps - stream_faulted) / stream_gbps,
+        100.0 * (gups_gbps - gups_faulted) / gups_gbps
+    );
+    assert!(gups_gbps < stream_gbps / 4.0, "the random-access penalty");
+    assert!(stream_faulted <= stream_gbps * 1.02);
+    assert!(gups_faulted <= gups_gbps * 1.02);
+    Ok(())
+}

@@ -33,6 +33,7 @@ fn main() -> Result<(), PlanError> {
         elem: ELEM,
         list: false,
         sync: SyncPolicy::AfterAll,
+        params: 0,
     };
 
     // Draw k of the lottery is Placement::lottery(seed, k): the same

@@ -22,6 +22,9 @@
 //! * [`ppe`] — the SMT PPU with its L1/L2 hierarchy and store queues;
 //! * [`core`] — the assembled machine, transfer plans and the paper's
 //!   experiments;
+//! * [`workloads`] — seeded application-shaped address-stream
+//!   generators (GUPS random updates, stencil halos, pair lists) that
+//!   `core` compiles into transfer plans;
 //! * [`kernels`] — small-kernel (dot product, triad, GEMM) performance
 //!   estimation on the simulated fabric — the paper's stated future work;
 //! * [`runtime`] — a CellSs-style task runtime model: scheduling and
@@ -52,6 +55,7 @@ pub use cellsim_mfc as mfc;
 pub use cellsim_ppe as ppe;
 pub use cellsim_runtime as runtime;
 pub use cellsim_spe as spe;
+pub use cellsim_workloads as workloads;
 
 pub use cellsim_core::{
     baseline, diskcache, exec, experiments, failure, json, latency, metrics, report, tracestore,

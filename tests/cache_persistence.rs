@@ -39,6 +39,7 @@ fn specs() -> Vec<RunSpec> {
                     elem,
                     list: false,
                     sync: SyncPolicy::AfterAll,
+                    params: 0,
                 },
                 Placement::lottery(0xCE11, k),
                 Arc::clone(&plan),

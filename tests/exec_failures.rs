@@ -17,6 +17,7 @@ fn workload(elem: u32) -> Workload {
         elem,
         list: false,
         sync: SyncPolicy::AfterAll,
+        params: 0,
     }
 }
 

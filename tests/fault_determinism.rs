@@ -33,6 +33,7 @@ fn copy_specs(system: &CellSystem, mask: u8) -> Vec<RunSpec> {
                     elem,
                     list: false,
                     sync: SyncPolicy::AfterAll,
+                    params: 0,
                 },
                 Placement::lottery_avoiding(9, k, mask),
                 Arc::clone(&plan),

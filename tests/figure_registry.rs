@@ -1,0 +1,135 @@
+//! Drift guard for the figure registry: `FIGURE_IDS` is the single
+//! source of truth that `repro --figure`, `cellsim-client`, baseline
+//! collection and the metrics digests all enumerate. These tests pin
+//! the contract in both directions — every listed id expands and
+//! renders, and no renderable figure exists that the list misses — so
+//! adding a figure without registering it (or registering one that
+//! cannot run) fails here instead of silently diverging downstream.
+
+use cellsim::exec::SweepExecutor;
+use cellsim::experiments::{
+    all_figures_with, canonical_pattern, figure_degraded_with, figure_metrics_with, figure_points,
+    figure_specs, workload_plan, ExperimentConfig, FIGURE_IDS,
+};
+use cellsim::CellSystem;
+
+/// The ids whose sweeps exercise the DMA fabric (and therefore carry
+/// sweep points, metrics digests, and baseline latency percentiles).
+const SWEEPABLE: &[&str] = &[
+    "8", "10", "12", "13", "15", "16", "gups", "stencil", "pairlist",
+];
+
+/// Maps a rendered figure/spread id (e.g. `"8a"`, `"§4.2.2"`,
+/// `"gups"`) back to its `FIGURE_IDS` entry, if any.
+fn registry_entry(rendered: &str) -> Option<&'static str> {
+    FIGURE_IDS.iter().copied().find(|&entry| {
+        let exact = rendered == entry;
+        let section = rendered.strip_prefix('§') == Some(entry);
+        let sub_lettered = rendered
+            .strip_prefix(entry)
+            .is_some_and(|rest| rest.len() == 1 && rest.chars().all(|c| c.is_ascii_lowercase()));
+        exact || section || sub_lettered
+    })
+}
+
+#[test]
+fn figure_ids_are_unique_and_include_the_workload_extensions() {
+    for (i, id) in FIGURE_IDS.iter().enumerate() {
+        assert!(
+            !FIGURE_IDS[..i].contains(id),
+            "duplicate figure id '{id}' in FIGURE_IDS"
+        );
+    }
+    for id in ["gups", "stencil", "pairlist", "degraded"] {
+        assert!(FIGURE_IDS.contains(&id), "extension id '{id}' missing");
+    }
+}
+
+#[test]
+fn every_listed_id_expands_and_renders_consistently() {
+    let cfg = ExperimentConfig::quick();
+    let sys = CellSystem::blade();
+    let exec = SweepExecutor::new(2);
+    for id in FIGURE_IDS {
+        let points = figure_points(&cfg, id).unwrap_or_else(|e| panic!("figure {id}: {e}"));
+        let metrics = figure_metrics_with(&exec, &sys, &cfg, id)
+            .unwrap_or_else(|e| panic!("figure {id}: {e}"));
+        if SWEEPABLE.contains(id) {
+            let points = points.unwrap_or_else(|| panic!("figure {id} must carry sweep points"));
+            assert!(!points.is_empty(), "figure {id} expanded to zero points");
+            let specs = figure_specs(&sys, &cfg, &points);
+            assert_eq!(
+                specs.len(),
+                points.len() * cfg.placements,
+                "figure {id} must expand placements-per-point"
+            );
+            assert!(
+                metrics.is_some(),
+                "sweepable figure {id} must produce a metrics digest"
+            );
+        } else {
+            assert!(points.is_none(), "non-fabric figure {id} grew sweep points");
+            assert!(
+                metrics.is_none(),
+                "non-fabric figure {id} grew a metrics digest"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_sweep_workload_round_trips_through_the_wire_path() {
+    // The serve daemon rebuilds plans from bare workloads
+    // (`workload_plan`); if a point builder and the rebuild path ever
+    // disagree, remote figures silently diverge from local ones.
+    let cfg = ExperimentConfig::quick();
+    for id in SWEEPABLE {
+        for point in figure_points(&cfg, id).unwrap().unwrap() {
+            let w = &point.workload;
+            assert_eq!(
+                canonical_pattern(w.pattern),
+                Some(w.pattern),
+                "figure {id}: pattern '{}' is not canonical",
+                w.pattern
+            );
+            let rebuilt = workload_plan(w)
+                .unwrap_or_else(|e| panic!("figure {id}: workload {w:?} does not rebuild: {e}"));
+            assert_eq!(
+                rebuilt.total_bytes(),
+                point.plan.total_bytes(),
+                "figure {id}: rebuilt plan moves different bytes for {w:?}"
+            );
+            assert_eq!(
+                rebuilt.active_spes().count(),
+                point.plan.active_spes().count(),
+                "figure {id}: rebuilt plan drives different SPEs for {w:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_renderable_figure_escapes_the_registry() {
+    let cfg = ExperimentConfig::quick();
+    let sys = CellSystem::blade();
+    let exec = SweepExecutor::new(2);
+    let (figures, spreads) = all_figures_with(&exec, &sys, &cfg).unwrap();
+    let (degraded_fig, _) = figure_degraded_with(&exec, &sys, &cfg).unwrap();
+    let mut covered = std::collections::HashSet::new();
+    let rendered_ids = figures
+        .iter()
+        .map(|f| f.id.clone())
+        .chain(spreads.iter().map(|s| s.id.clone()))
+        .chain(std::iter::once(degraded_fig.id));
+    for id in rendered_ids {
+        let entry = registry_entry(&id)
+            .unwrap_or_else(|| panic!("rendered figure '{id}' is not in FIGURE_IDS"));
+        covered.insert(entry);
+    }
+    for entry in FIGURE_IDS {
+        assert!(
+            covered.contains(entry),
+            "registered figure '{entry}' is not reachable from all_figures_with/figure_degraded_with"
+        );
+    }
+}
