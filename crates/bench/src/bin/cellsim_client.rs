@@ -4,6 +4,7 @@
 //! ```text
 //! cellsim-client --addr HOST:PORT [--quick|--full] [--figure <id>]...
 //!                [--seed N] [--faults <plan.json>] [--stats]
+//!                [--retries N] [--retry-base-ms N] [--retry-seed N]
 //!
 //!   --addr HOST:PORT    daemon address (required unless --help)
 //!   --quick / --full    reduced / paper-scale sweep (same as repro)
@@ -13,10 +14,23 @@
 //!   --seed N            placement lottery seed (same as repro)
 //!   --faults <plan.json> fault plan applied to every batch, in-band
 //!   --stats             print the daemon's counters and exit
+//!   --retries N         reconnect/backoff budget per batch: attempts
+//!                       after the first before giving up (default 5;
+//!                       0 = fail fast)
+//!   --retry-base-ms N   first backoff delay; doubles per attempt up
+//!                       to a 5 s ceiling (default 100)
+//!   --retry-seed N      seeds the backoff jitter, making the retry
+//!                       schedule reproducible (default 0)
 //!
 //! exit codes: 0 ok, 2 runs failed on the daemon, 3 bad invocation
 //!             or daemon unreachable/refusing
 //! ```
+//!
+//! Batches ride a reconnect-and-resume client: if the daemon dies or
+//! drains mid-batch, the client backs off, reconnects, and re-requests
+//! only the runs it has not yet been answered for. Results are keyed
+//! content-addressed, so a resumed figure is byte-identical to an
+//! uninterrupted one.
 //!
 //! The client expands each figure into the exact per-placement
 //! [`RunSpec`] batch `repro` would simulate (via
@@ -37,7 +51,7 @@ use cellsim_core::experiments::{
     ExperimentConfig, ExperimentError,
 };
 use cellsim_core::{CellSystem, FaultPlan};
-use cellsim_serve::{Client, ClientError};
+use cellsim_serve::{Client, ClientError, ResilientClient, RetryPolicy};
 
 const EXIT_FAILED_RUNS: u8 = 2;
 const EXIT_BAD_INVOCATION: u8 = 3;
@@ -53,6 +67,9 @@ struct Args {
     figures: Vec<String>,
     faults: Option<FaultPlan>,
     stats: bool,
+    retries: u32,
+    retry_base_ms: u64,
+    retry_seed: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +79,9 @@ fn parse_args() -> Result<Args, String> {
     let mut figures = Vec::new();
     let mut faults = None;
     let mut stats = false;
+    let mut retries: u32 = 5;
+    let mut retry_base_ms: u64 = 100;
+    let mut retry_seed: u64 = 0;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |what: &str| argv.next().ok_or(format!("{arg} needs {what}"));
@@ -90,12 +110,26 @@ fn parse_args() -> Result<Args, String> {
                 faults = Some(FaultPlan::parse(&text).map_err(|e| format!("{file}: {e}"))?);
             }
             "--stats" => stats = true,
+            "--retries" => {
+                let n = value("a count")?;
+                retries = n.parse().map_err(|_| format!("bad retry count: {n}"))?;
+            }
+            "--retry-base-ms" => {
+                let n = value("a delay")?;
+                retry_base_ms = n.parse().map_err(|_| format!("bad delay: {n}"))?;
+            }
+            "--retry-seed" => {
+                let n = value("a seed")?;
+                retry_seed = n.parse().map_err(|_| format!("bad seed: {n}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "cellsim-client --addr HOST:PORT [--quick|--full] [--figure <id>]... \
-                     [--seed N] [--faults <plan.json>] [--stats]\n\n\
-                     Renders fabric figures from a cellsim-serve daemon; see README \
-                     §cellsim-serve for the line protocol."
+                     [--seed N] [--faults <plan.json>] [--stats] [--retries N] \
+                     [--retry-base-ms N] [--retry-seed N]\n\n\
+                     Renders fabric figures from a cellsim-serve daemon, reconnecting \
+                     and resuming across daemon restarts; see README §cellsim-serve \
+                     for the line protocol."
                 );
                 std::process::exit(0);
             }
@@ -121,6 +155,9 @@ fn parse_args() -> Result<Args, String> {
         figures,
         faults,
         stats,
+        retries,
+        retry_base_ms,
+        retry_seed,
     })
 }
 
@@ -131,7 +168,7 @@ fn err_string(e: ExperimentError) -> String {
 /// Fetches one figure's runs from the daemon and preloads the reports
 /// into `exec`. Returns the number of failed runs (reported on stderr).
 fn fetch_figure(
-    client: &mut Client,
+    client: &mut ResilientClient,
     exec: &SweepExecutor,
     specs: Vec<RunSpec>,
     id: &str,
@@ -183,12 +220,19 @@ fn print_stats(client: &mut Client) -> Result<(), ClientError> {
 }
 
 fn run(args: &Args) -> Result<usize, String> {
-    let mut client = Client::connect(args.addr.as_str())
-        .map_err(|e| format!("could not connect to {}: {e}", args.addr))?;
     if args.stats {
+        let mut client = Client::connect(args.addr.as_str())
+            .map_err(|e| format!("could not connect to {}: {e}", args.addr))?;
         print_stats(&mut client).map_err(|e| e.to_string())?;
         return Ok(0);
     }
+    let policy = RetryPolicy::new(
+        std::time::Duration::from_millis(args.retry_base_ms),
+        std::time::Duration::from_secs(5),
+        args.retries,
+        args.retry_seed,
+    );
+    let mut client = ResilientClient::fixed(&args.addr, policy);
     let system = match &args.faults {
         Some(plan) => CellSystem::blade().with_faults(plan.clone()),
         None => CellSystem::blade(),

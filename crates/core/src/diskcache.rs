@@ -134,7 +134,7 @@ impl DiskCache {
     /// recomputes — the cache never surfaces unverified data).
     pub fn load(&self, key: &RunKey) -> Option<FabricReport> {
         let path = self.entry_path(key);
-        let text = fs::read_to_string(&path).ok()?;
+        let text = crate::iofault::read_to_string(&path).ok()?;
         match validate(key, &text) {
             Some(report) => {
                 self.loaded.fetch_add(1, Ordering::Relaxed);
@@ -157,8 +157,8 @@ impl DiskCache {
             std::process::id(),
             self.tmp_counter.fetch_add(1, Ordering::Relaxed)
         ));
-        let written = fs::write(&tmp, entry_json(key, report))
-            .and_then(|()| fs::rename(&tmp, self.entry_path(key)));
+        let written = crate::iofault::write(&tmp, entry_json(key, report))
+            .and_then(|()| crate::iofault::rename(&tmp, self.entry_path(key)));
         match written {
             Ok(()) => {
                 self.stored.fetch_add(1, Ordering::Relaxed);

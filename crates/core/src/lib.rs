@@ -51,6 +51,7 @@ pub mod baseline;
 pub mod diskcache;
 pub mod exec;
 pub mod experiments;
+pub mod iofault;
 pub mod latency;
 pub mod metrics;
 pub mod perf;

@@ -568,7 +568,7 @@ impl TraceStore {
     /// [`TraceStoreError::Corrupt`] on any truncation, bit flip, or
     /// structural inconsistency — never a panic.
     pub fn open(path: &Path) -> Result<TraceStore, TraceStoreError> {
-        TraceStore::from_bytes(fs::read(path)?)
+        TraceStore::from_bytes(crate::iofault::read(path)?)
     }
 
     /// Verifies `bytes` as a complete store (see [`TraceStore::open`]).
@@ -950,7 +950,7 @@ impl RunDir {
     /// (the partial artifact is removed).
     pub fn run_recorded(&self, spec: &RunSpec) -> Result<FabricReport, RunFailure> {
         let tmp = self.tmp_path();
-        let file = match fs::File::create(&tmp) {
+        let file = match crate::iofault::create_file(&tmp) {
             Ok(file) => file,
             Err(_) => {
                 // Cannot even open a temp file: run untraced, same result.
@@ -981,11 +981,11 @@ impl RunDir {
         let dir = self.entry_dir(&spec.key);
         let manifest = manifest_json(&spec.key, &report, &summary);
         let committed = fs::create_dir_all(&dir)
-            .and_then(|()| fs::rename(&tmp, dir.join(TRACE_FILE)))
+            .and_then(|()| crate::iofault::rename(&tmp, dir.join(TRACE_FILE)))
             .and_then(|()| {
                 let mtmp = self.tmp_path();
-                fs::write(&mtmp, &manifest)
-                    .and_then(|()| fs::rename(&mtmp, dir.join(MANIFEST_FILE)))
+                crate::iofault::write(&mtmp, &manifest)
+                    .and_then(|()| crate::iofault::rename(&mtmp, dir.join(MANIFEST_FILE)))
                     .inspect_err(|_| {
                         let _ = fs::remove_file(&mtmp);
                     })
@@ -1018,8 +1018,8 @@ pub fn record_run_to(
     plan: &TransferPlan,
     path: &Path,
 ) -> Result<(FabricReport, StoreSummary), String> {
-    let file =
-        fs::File::create(path).map_err(|e| format!("could not create {}: {e}", path.display()))?;
+    let file = crate::iofault::create_file(path)
+        .map_err(|e| format!("could not create {}: {e}", path.display()))?;
     let mut writer = TraceStoreWriter::new(io::BufWriter::new(file));
     let report = system
         .try_run_with_sink(placement, plan, &mut writer)
@@ -1128,7 +1128,7 @@ impl Manifest {
     /// schema-1 manifest.
     pub fn load(dir: &Path) -> Result<Manifest, TraceStoreError> {
         let path = dir.join(MANIFEST_FILE);
-        let text = fs::read_to_string(&path)?;
+        let text = crate::iofault::read_to_string(&path)?;
         Manifest::parse(&text)
             .ok_or_else(|| corrupt(format!("unreadable manifest {}", path.display())))
     }

@@ -4,6 +4,8 @@
 //! cellsim-serve [--addr HOST:PORT] [--jobs N] [--workers N]
 //!               [--cache-dir <dir>] [--cache-capacity N] [--high-water N]
 //!               [--run-dir <dir>] [--stats-log <file>] [--stats-interval-ms N]
+//!               [--read-timeout-ms N] [--write-timeout-ms N]
+//!               [--run-timeout-ms N] [--drain-grace-ms N] [--writer-queue N]
 //!
 //!   --addr HOST:PORT    listen address (default 127.0.0.1:7117;
 //!                       use :0 for an ephemeral port)
@@ -22,6 +24,20 @@
 //!                       interval (and one at shutdown) — a stats history
 //!                       with uptime and queue high-water marks
 //!   --stats-interval-ms N  snapshot interval (default 60000)
+//!   --read-timeout-ms N    socket read deadline; a connection idle past
+//!                          it with nothing in flight is reaped
+//!                          (0 = never, the default)
+//!   --write-timeout-ms N   socket write deadline; one write blocked this
+//!                          long marks the peer a slow consumer
+//!                          (0 = never, the default)
+//!   --run-timeout-ms N     per-run wall-clock watchdog; a run outliving
+//!                          it is answered as a typed "timeout" failure
+//!                          (0 = unbounded, the default)
+//!   --drain-grace-ms N     how long a draining daemon waits for in-flight
+//!                          work before exiting anyway (default 30000)
+//!   --writer-queue N       response lines buffered per connection before
+//!                          the peer is declared a slow consumer
+//!                          (default 1024)
 //!
 //! exit codes: 0 clean shutdown, 3 bad invocation or I/O error
 //! ```
@@ -29,12 +45,41 @@
 //! Prints exactly one line to stdout once the socket is listening —
 //! `cellsim-serve listening on <addr>` — so scripts can scrape the
 //! bound (possibly ephemeral) port. Everything else goes to stderr.
+//!
+//! **SIGTERM drains.** On Unix, SIGTERM is the out-of-band twin of the
+//! wire's `{"op":"drain"}`: new batches are refused with reason
+//! `draining`, in-flight work finishes, a final stats snapshot is
+//! appended, and the process exits 0. A second SIGTERM (or SIGKILL) is
+//! the impatient path.
 
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cellsim_serve::{ServeOptions, Server};
+
+/// Set by the SIGTERM handler; polled by a watcher thread that starts
+/// the drain. Signal-handler-safe: the handler only stores a flag.
+#[cfg(unix)]
+static SIGTERM: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Installs a SIGTERM handler that flips [`SIGTERM`], without a libc
+/// dependency: `signal(2)` is declared directly. The handler body is a
+/// single atomic store, which is async-signal-safe.
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" fn on_sigterm(_signo: i32) {
+        SIGTERM.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM_NO: i32 = 15;
+    let handler: extern "C" fn(i32) = on_sigterm;
+    unsafe {
+        signal(SIGTERM_NO, handler as usize);
+    }
+}
 
 struct Args {
     addr: String,
@@ -84,13 +129,44 @@ fn parse_args() -> Result<Args, String> {
                 }
                 opts.stats_interval = std::time::Duration::from_millis(ms);
             }
+            "--read-timeout-ms" => {
+                let n = value("a count")?;
+                let ms: u64 = n.parse().map_err(|_| format!("bad timeout: {n}"))?;
+                opts.read_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--write-timeout-ms" => {
+                let n = value("a count")?;
+                let ms: u64 = n.parse().map_err(|_| format!("bad timeout: {n}"))?;
+                opts.write_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--run-timeout-ms" => {
+                let n = value("a count")?;
+                let ms: u64 = n.parse().map_err(|_| format!("bad timeout: {n}"))?;
+                opts.run_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--drain-grace-ms" => {
+                let n = value("a count")?;
+                let ms: u64 = n.parse().map_err(|_| format!("bad grace: {n}"))?;
+                opts.drain_grace = std::time::Duration::from_millis(ms);
+            }
+            "--writer-queue" => {
+                let n = value("a count")?;
+                let cap: usize = n.parse().map_err(|_| format!("bad queue size: {n}"))?;
+                if cap == 0 {
+                    return Err("--writer-queue must be >= 1".into());
+                }
+                opts.writer_queue = cap;
+            }
             "--help" | "-h" => {
                 println!(
                     "cellsim-serve [--addr HOST:PORT] [--jobs N] [--workers N] \
                      [--cache-dir <dir>] [--cache-capacity N] [--high-water N] \
-                     [--run-dir <dir>] [--stats-log <file>] [--stats-interval-ms N]\n\n\
+                     [--run-dir <dir>] [--stats-log <file>] [--stats-interval-ms N] \
+                     [--read-timeout-ms N] [--write-timeout-ms N] [--run-timeout-ms N] \
+                     [--drain-grace-ms N] [--writer-queue N]\n\n\
                      Long-running sweep daemon; see README §cellsim-serve for the \
-                     line protocol."
+                     line protocol. SIGTERM drains: reject new batches, finish \
+                     in-flight work, exit 0."
                 );
                 std::process::exit(0);
             }
@@ -137,6 +213,22 @@ fn main() -> ExitCode {
             path.display(),
             args.opts.stats_interval.as_millis()
         );
+    }
+    #[cfg(unix)]
+    {
+        install_sigterm_handler();
+        if let Ok(handle) = server.handle() {
+            let _ = std::thread::Builder::new()
+                .name("cellsim-serve-sigterm".to_string())
+                .spawn(move || loop {
+                    if SIGTERM.load(std::sync::atomic::Ordering::SeqCst) {
+                        eprintln!("cellsim-serve: SIGTERM, draining");
+                        handle.drain();
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                });
+        }
     }
     if let Err(e) = server.serve() {
         eprintln!("error: {e}");

@@ -24,6 +24,11 @@ pub struct LineReader<R> {
     reader: R,
     max: usize,
     buf: Vec<u8>,
+    /// Whether the previous `read` completed (line, EOF, or over-long).
+    /// A `read` that failed mid-line — e.g. a socket read deadline
+    /// expiring — leaves this false, so the next call *resumes*
+    /// accumulating the same line instead of corrupting the framing.
+    fresh: bool,
 }
 
 impl<R: BufRead> LineReader<R> {
@@ -34,6 +39,7 @@ impl<R: BufRead> LineReader<R> {
             reader,
             max,
             buf: Vec::new(),
+            fresh: true,
         }
     }
 
@@ -43,13 +49,18 @@ impl<R: BufRead> LineReader<R> {
         &self.buf
     }
 
-    /// Frames the next line into the internal buffer.
+    /// Frames the next line into the internal buffer. An `Err` return
+    /// (including a read-deadline timeout) keeps any partial line; a
+    /// later call picks up where the stream left off.
     ///
     /// # Errors
     ///
     /// Any [`std::io::Error`] from the underlying reader.
     pub fn read(&mut self) -> std::io::Result<LineRead> {
-        self.buf.clear();
+        if self.fresh {
+            self.buf.clear();
+        }
+        self.fresh = false;
         loop {
             let available = match self.reader.fill_buf() {
                 Ok(chunk) => chunk,
@@ -57,6 +68,7 @@ impl<R: BufRead> LineReader<R> {
                 Err(e) => return Err(e),
             };
             if available.is_empty() {
+                self.fresh = true;
                 return Ok(if self.buf.is_empty() {
                     LineRead::Eof
                 } else {
@@ -70,6 +82,7 @@ impl<R: BufRead> LineReader<R> {
                         self.buf.extend_from_slice(&available[..newline]);
                     }
                     self.reader.consume(newline + 1);
+                    self.fresh = true;
                     return Ok(if fits {
                         LineRead::Line
                     } else {
@@ -80,6 +93,7 @@ impl<R: BufRead> LineReader<R> {
                     let taken = available.len();
                     if self.buf.len() + taken > self.max {
                         self.reader.consume(taken);
+                        self.fresh = true;
                         return Ok(LineRead::TooLong);
                     }
                     self.buf.extend_from_slice(available);
@@ -131,6 +145,68 @@ mod tests {
         // A final unterminated line still comes back before EOF.
         assert!(matches!(reader.read(), Ok(LineRead::Line)));
         assert_eq!(reader.line(), b"tail");
+        assert!(matches!(reader.read(), Ok(LineRead::Eof)));
+    }
+
+    /// A reader that interleaves data chunks with transient errors —
+    /// the shape of a socket with a read deadline.
+    struct Flaky {
+        steps: std::collections::VecDeque<Result<Vec<u8>, ()>>,
+        current: Vec<u8>,
+    }
+
+    impl std::io::Read for Flaky {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            unreachable!("LineReader uses fill_buf/consume")
+        }
+    }
+
+    impl BufRead for Flaky {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.current.is_empty() {
+                match self.steps.pop_front() {
+                    Some(Ok(bytes)) => self.current = bytes,
+                    Some(Err(())) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WouldBlock,
+                            "deadline",
+                        ))
+                    }
+                    None => {}
+                }
+            }
+            Ok(&self.current)
+        }
+
+        fn consume(&mut self, n: usize) {
+            self.current.drain(..n);
+        }
+    }
+
+    #[test]
+    fn a_mid_line_error_does_not_corrupt_framing() {
+        let flaky = Flaky {
+            steps: [
+                Ok(b"first\nsec".to_vec()),
+                Err(()),
+                Err(()),
+                Ok(b"ond\nthird\n".to_vec()),
+            ]
+            .into_iter()
+            .collect(),
+            current: Vec::new(),
+        };
+        let mut reader = LineReader::new(flaky, 64);
+        assert!(matches!(reader.read(), Ok(LineRead::Line)));
+        assert_eq!(reader.line(), b"first");
+        // Two deadline expiries mid-"second": the partial line must
+        // survive both and complete when bytes resume.
+        assert!(reader.read().is_err());
+        assert!(reader.read().is_err());
+        assert!(matches!(reader.read(), Ok(LineRead::Line)));
+        assert_eq!(reader.line(), b"second");
+        assert!(matches!(reader.read(), Ok(LineRead::Line)));
+        assert_eq!(reader.line(), b"third");
         assert!(matches!(reader.read(), Ok(LineRead::Eof)));
     }
 }

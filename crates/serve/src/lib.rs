@@ -37,8 +37,10 @@
 pub mod client;
 pub mod framing;
 pub mod protocol;
+pub mod retry;
 pub mod scheduler;
 pub mod server;
 
-pub use client::{BatchOutcome, Client, ClientError, ServeStats, WireFailure};
+pub use client::{BatchOutcome, Client, ClientError, ResilientClient, ServeStats, WireFailure};
+pub use retry::RetryPolicy;
 pub use server::{ServeHandle, ServeOptions, Server};

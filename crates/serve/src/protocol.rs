@@ -5,8 +5,14 @@
 //!
 //! ```text
 //! {"op":"stats"}
+//! {"op":"drain"}
 //! {"op":"run","id":"<batch id>","faults":{<FaultPlan JSON>},"record":true,"runs":[<run>...]}
 //! ```
+//!
+//! `drain` is the wire twin of SIGTERM: the daemon finishes what it
+//! already accepted, rejects new batches with reason `draining`, and
+//! exits once idle (or when its drain grace expires). The ack is a
+//! `{"op":"draining","queued":Q,"inflight":M}` line.
 //!
 //! The optional `record` flag (default `false`) asks the daemon to
 //! persist a trace-store artifact for every run of the batch under its
@@ -49,9 +55,13 @@
 //! so a replayed report compares equal to a locally simulated one.
 //! `failed` reuses the typed [`RunError`] taxonomy: stalls carry the
 //! full [`StallDiagnosis`](cellsim_core::StallDiagnosis) JSON, panics a
-//! `message` string. `error` lines never close the connection (the
-//! daemon keeps serving after a malformed line); only an over-long
-//! line — which cannot be framed — does.
+//! `message` string, watchdog timeouts a `limit_ms` budget. `error`
+//! lines never close the connection (the daemon keeps serving after a
+//! malformed line); an over-long line — which cannot be framed — does,
+//! as do a slow consumer overflowing its bounded writer queue (after a
+//! best-effort `{"op":"error","reason":"slow-consumer",...}` line) and
+//! daemon shutdown (after a `reason":"shutting-down"` error per batch
+//! still owed runs).
 
 use cellsim_core::diskcache::{key_fingerprint, report_to_json};
 use cellsim_core::exec::{RunError, RunKey, RunSpec, Workload};
@@ -79,6 +89,9 @@ pub enum Request {
     Run(BatchRequest),
     /// `{"op":"stats"}` — a snapshot of daemon counters.
     Stats,
+    /// `{"op":"drain"}` — finish in-flight work, refuse new batches,
+    /// exit cleanly (the wire twin of SIGTERM).
+    Drain,
 }
 
 /// A validated `run` request: every spec is simulatable as-is.
@@ -143,9 +156,10 @@ pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
         .ok_or_else(|| ProtocolError::protocol("missing string field 'op'".to_string()))?;
     match op {
         "stats" => Ok(Request::Stats),
+        "drain" => Ok(Request::Drain),
         "run" => decode_run_request(&v).map(Request::Run),
         other => Err(ProtocolError::protocol(format!(
-            "unknown op '{other}' (expected 'run' or 'stats')"
+            "unknown op '{other}' (expected 'run', 'stats' or 'drain')"
         ))),
     }
 }
@@ -318,6 +332,36 @@ pub fn reject_line(id: &str, queued: usize, high_water: usize) -> String {
     )
 }
 
+/// `reject` with reason `draining`: the daemon is finishing in-flight
+/// work and admitting nothing new. Nothing of the batch was enqueued;
+/// the client retries against the restarted daemon.
+#[must_use]
+pub fn drain_reject_line(id: &str) -> String {
+    format!(
+        "{{\"op\":\"reject\",\"id\":\"{}\",\"reason\":\"draining\"}}",
+        json::escape(id)
+    )
+}
+
+/// `draining`: the ack for an `{"op":"drain"}` request, reporting the
+/// work the daemon will still finish before exiting.
+#[must_use]
+pub fn draining_line(queued: usize, inflight: usize) -> String {
+    format!("{{\"op\":\"draining\",\"queued\":{queued},\"inflight\":{inflight}}}")
+}
+
+/// `error` with reason `shutting-down`: a typed goodbye for a batch
+/// whose queued runs the daemon dropped at shutdown — the client sees
+/// a refusal, never a silent EOF.
+#[must_use]
+pub fn shutting_down_line(id: &str) -> String {
+    error_line(
+        Some(id),
+        "shutting-down",
+        "daemon shut down before the batch completed; unfinished runs were dropped",
+    )
+}
+
 /// `error`: the request line itself was refused (see [`ProtocolError`]).
 #[must_use]
 pub fn error_line(id: Option<&str>, reason: &str, detail: &str) -> String {
@@ -368,6 +412,9 @@ pub fn failed_line(id: &str, index: usize, error: &RunError) -> String {
                 "{head},\"kind\":\"panic\",\"message\":\"{}\"}}",
                 json::escape(message)
             )
+        }
+        RunError::Timeout { limit_ms, .. } => {
+            format!("{head},\"kind\":\"timeout\",\"limit_ms\":{limit_ms}}}")
         }
     }
 }

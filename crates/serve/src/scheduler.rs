@@ -18,25 +18,143 @@
 //!   every waiter is answered from the same result.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::Sender;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use cellsim_core::exec::{RunError, RunKey, RunSpec, SweepExecutor};
 use cellsim_core::FabricReport;
 
 use crate::protocol;
 
+/// A connection's bounded, non-blocking response channel.
+///
+/// Scheduler workers are shared by every connection, so a send must
+/// *never* block: a peer that stops reading would otherwise wedge the
+/// workers for everyone. Sends go through `try_send` on a bounded
+/// queue; the first overflow marks the connection **dead** — every
+/// later send is dropped, and the writer thread, on noticing, writes a
+/// final typed `slow-consumer` error line (best effort) and severs the
+/// socket. A send to a vanished peer degrades the same way, minus the
+/// goodbye.
+pub struct ConnSink {
+    tx: SyncSender<String>,
+    dead: Arc<AtomicBool>,
+    last_words: Arc<Mutex<Option<String>>>,
+}
+
+impl Clone for ConnSink {
+    fn clone(&self) -> ConnSink {
+        ConnSink {
+            tx: self.tx.clone(),
+            dead: Arc::clone(&self.dead),
+            last_words: Arc::clone(&self.last_words),
+        }
+    }
+}
+
+impl ConnSink {
+    /// A sink over a queue of at most `capacity` pending lines, plus
+    /// the receiving end for the connection's writer thread.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> (ConnSink, Receiver<String>) {
+        let (tx, rx) = sync_channel(capacity.max(1));
+        (
+            ConnSink {
+                tx,
+                dead: Arc::new(AtomicBool::new(false)),
+                last_words: Arc::new(Mutex::new(None)),
+            },
+            rx,
+        )
+    }
+
+    /// Queues `line` for the writer; never blocks. Overflow kills the
+    /// connection (see the type docs).
+    pub fn send(&self, line: String) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        match self.tx.try_send(line) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                *self
+                    .last_words
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(protocol::error_line(
+                    None,
+                    "slow-consumer",
+                    "response queue overflowed because the peer stopped reading; disconnecting",
+                ));
+                self.dead.store(true, Ordering::SeqCst);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.dead.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Whether the connection has been declared dead (slow consumer or
+    /// vanished peer).
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    /// The writer thread's sender-free view of this sink. The writer
+    /// must not hold a [`ConnSink`] clone: its embedded sender would
+    /// keep the queue's channel open after every real sender hung up,
+    /// and the writer would wait on its own sender forever.
+    #[must_use]
+    pub fn monitor(&self) -> ConnMonitor {
+        ConnMonitor {
+            dead: Arc::clone(&self.dead),
+            last_words: Arc::clone(&self.last_words),
+        }
+    }
+}
+
+/// Liveness and the typed goodbye of a [`ConnSink`], without the
+/// sender; see [`ConnSink::monitor`].
+pub struct ConnMonitor {
+    dead: Arc<AtomicBool>,
+    last_words: Arc<Mutex<Option<String>>>,
+}
+
+impl ConnMonitor {
+    /// Whether the connection has been declared dead.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Declares the connection dead (e.g. the writer's own socket write
+    /// failed).
+    pub fn mark_dead(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+    }
+
+    /// The pending typed goodbye, if an overflow left one (taken
+    /// exactly once).
+    pub fn take_last_words(&self) -> Option<String> {
+        self.last_words
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+}
+
 /// One batch's delivery state, shared by all its jobs. Responses go out
-/// through the owning connection's writer channel; a send to a
-/// disconnected client is silently dropped (the simulation still
-/// completes and populates the caches).
+/// through the owning connection's [`ConnSink`]; a send to a dead
+/// connection is silently dropped (the simulation still completes and
+/// populates the caches).
 pub struct Batch {
     /// Client-chosen id, echoed on every line.
     pub id: String,
-    /// The owning connection's writer channel.
-    pub out: Sender<String>,
+    /// The owning connection's response sink.
+    pub out: ConnSink,
     /// The owning connection's id (per-connection stats tallies).
     pub conn: u64,
     /// Whether the batch asked for trace-store artifacts. A run is
@@ -46,6 +164,9 @@ pub struct Batch {
     /// later recording request for the same key re-simulates (the run
     /// dir gates cache hits on artifact completeness).
     pub record: bool,
+    /// The owning connection's count of unfinished batches; the idle
+    /// reaper leaves a connection alone while this is nonzero.
+    active: Arc<AtomicUsize>,
     remaining: AtomicUsize,
     ok: AtomicUsize,
     failed: AtomicUsize,
@@ -53,19 +174,22 @@ pub struct Batch {
 
 impl Batch {
     /// A tracker expecting `runs` deliveries before `done` goes out.
+    /// `active` is the owning connection's unfinished-batch count.
     #[must_use]
     pub fn new(
         id: String,
-        out: Sender<String>,
+        out: ConnSink,
         conn: u64,
         record: bool,
         runs: usize,
+        active: Arc<AtomicUsize>,
     ) -> Arc<Batch> {
         Arc::new(Batch {
             id,
             out,
             conn,
             record,
+            active,
             remaining: AtomicUsize::new(runs),
             ok: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
@@ -89,6 +213,15 @@ pub struct Overloaded {
     pub queued: usize,
     /// The configured mark.
     pub high_water: usize,
+}
+
+/// Why [`Scheduler::submit`] refused a batch.
+pub enum SubmitError {
+    /// The queue is past its high-water mark; retry later.
+    Overloaded(Overloaded),
+    /// The daemon is draining: finishing what it has, admitting
+    /// nothing new.
+    Draining,
 }
 
 /// One connection's lifetime tallies (survive the connection itself).
@@ -128,6 +261,10 @@ pub struct SchedulerStats {
     /// Σ simulated `report.cycles` over every successful run answered —
     /// the daemon's uptime in simulated bus cycles.
     pub uptime_cycles: u64,
+    /// Runs converted to [`RunError::Timeout`] by the watchdog.
+    pub timeouts: u64,
+    /// Whether the scheduler is draining (reject-new, finish-in-flight).
+    pub draining: bool,
     /// Per-connection accepted/completed tallies, ordered by connection
     /// id; capped at [`MAX_TRACKED_CONNECTIONS`] entries.
     pub per_connection: Vec<ConnTally>,
@@ -165,18 +302,28 @@ pub struct Scheduler {
     inner: Mutex<Inner>,
     work: Condvar,
     high_water: usize,
+    /// Per-run wall-clock budget; `None` trusts every run to finish.
+    run_timeout: Option<Duration>,
+    draining: AtomicBool,
     deduped: AtomicU64,
     accepted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
     uptime_cycles: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 impl Scheduler {
     /// A scheduler feeding `exec`, admitting at most `high_water`
-    /// queued runs (minimum 1).
+    /// queued runs (minimum 1). A run that outlives `run_timeout` is
+    /// answered as [`RunError::Timeout`] instead of blocking its worker
+    /// forever.
     #[must_use]
-    pub fn new(exec: Arc<SweepExecutor>, high_water: usize) -> Scheduler {
+    pub fn new(
+        exec: Arc<SweepExecutor>,
+        high_water: usize,
+        run_timeout: Option<Duration>,
+    ) -> Scheduler {
         Scheduler {
             exec,
             inner: Mutex::new(Inner {
@@ -190,11 +337,14 @@ impl Scheduler {
             }),
             work: Condvar::new(),
             high_water: high_water.max(1),
+            run_timeout,
+            draining: AtomicBool::new(false),
             deduped: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             uptime_cycles: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
         }
     }
 
@@ -215,24 +365,30 @@ impl Scheduler {
     ///
     /// # Errors
     ///
-    /// [`Overloaded`] when the batch would push the queue past the
-    /// high-water mark; nothing is enqueued.
-    pub fn submit(&self, conn: u64, batch: &Batch, jobs: Vec<Job>) -> Result<(), Overloaded> {
+    /// [`SubmitError::Overloaded`] when the batch would push the queue
+    /// past the high-water mark, [`SubmitError::Draining`] when the
+    /// daemon is winding down; either way nothing is enqueued.
+    pub fn submit(&self, conn: u64, batch: &Batch, jobs: Vec<Job>) -> Result<(), SubmitError> {
+        if self.draining.load(Ordering::SeqCst) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Draining);
+        }
         let n = jobs.len();
         if n == 0 {
-            let _ = batch.out.send(protocol::accepted_line(&batch.id, 0));
-            let _ = batch.out.send(protocol::done_line(&batch.id, 0, 0));
+            batch.out.send(protocol::accepted_line(&batch.id, 0));
+            batch.out.send(protocol::done_line(&batch.id, 0, 0));
             return Ok(());
         }
         {
             let mut inner = self.lock();
             if inner.queued + n > self.high_water {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(Overloaded {
+                return Err(SubmitError::Overloaded(Overloaded {
                     queued: inner.queued,
                     high_water: self.high_water,
-                });
+                }));
             }
+            batch.active.fetch_add(1, Ordering::SeqCst);
             let queue = inner.queues.entry(conn).or_default();
             let was_empty = queue.is_empty();
             queue.extend(jobs);
@@ -244,7 +400,7 @@ impl Scheduler {
             if let Some(tally) = inner.tally(conn) {
                 tally.0 += n as u64;
             }
-            let _ = batch.out.send(protocol::accepted_line(&batch.id, n));
+            batch.out.send(protocol::accepted_line(&batch.id, n));
         }
         self.accepted.fetch_add(n as u64, Ordering::Relaxed);
         self.work.notify_all();
@@ -297,6 +453,28 @@ impl Scheduler {
                 }
             };
             let key = job.spec.key.clone();
+            let result = self.run_watchdogged(&job);
+            let waiters = self.lock().inflight.remove(&key).unwrap_or_default();
+            self.deliver(&job, &result);
+            for waiter in &waiters {
+                self.deliver(waiter, &result);
+            }
+        }
+    }
+
+    /// Runs one job on the executor, bounded by the configured
+    /// wall-clock budget when there is one.
+    ///
+    /// With a budget, the simulation runs on a detached thread and this
+    /// worker waits at most `run_timeout` for its answer; a runaway run
+    /// becomes [`RunError::Timeout`], delivered to the requester *and*
+    /// every dedup-parked waiter, and the worker moves on. The runaway
+    /// thread keeps simulating harmlessly — the scheduler state it
+    /// would touch was already handed over, its channel send fails
+    /// silently, and if it ever finishes, the executor caches the
+    /// report so a retry is answered instantly.
+    fn run_watchdogged(&self, job: &Job) -> Result<Arc<FabricReport>, RunError> {
+        let run_inline = || {
             let result = self
                 .exec
                 .try_run_recorded(vec![job.spec.clone()], job.batch.record)
@@ -305,11 +483,42 @@ impl Scheduler {
             // The wire carries the typed error; drain the executor's
             // copy so a resident daemon never accumulates failures.
             let _ = self.exec.take_failures();
-            let waiters = self.lock().inflight.remove(&key).unwrap_or_default();
-            self.deliver(&job, &result);
-            for waiter in &waiters {
-                self.deliver(waiter, &result);
-            }
+            result
+        };
+        let Some(limit) = self.run_timeout else {
+            return run_inline();
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        let exec = Arc::clone(&self.exec);
+        let spec = job.spec.clone();
+        let record = job.batch.record;
+        let spawned = std::thread::Builder::new()
+            .name("cellsim-serve-run".to_string())
+            .spawn(move || {
+                let result = exec
+                    .try_run_recorded(vec![spec], record)
+                    .pop()
+                    .expect("one result per submitted spec");
+                let _ = exec.take_failures();
+                let _ = tx.send(result);
+            });
+        match spawned {
+            // No thread to watchdog: run unbounded rather than not at all.
+            Err(_) => run_inline(),
+            Ok(_detached) => match rx.recv_timeout(limit) {
+                Ok(result) => result,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    Err(RunError::Timeout {
+                        key: job.spec.key.clone(),
+                        limit_ms: u64::try_from(limit.as_millis()).unwrap_or(u64::MAX),
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => Err(RunError::Panicked {
+                    key: job.spec.key.clone(),
+                    message: "watchdogged run thread died without a result".to_string(),
+                }),
+            },
         }
     }
 
@@ -328,17 +537,18 @@ impl Scheduler {
                 protocol::failed_line(&batch.id, job.index, error)
             }
         };
-        let _ = batch.out.send(line);
+        batch.out.send(line);
         self.completed.fetch_add(1, Ordering::Relaxed);
         if let Some(tally) = self.lock().tally(batch.conn) {
             tally.1 += 1;
         }
         if batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _ = batch.out.send(protocol::done_line(
+            batch.out.send(protocol::done_line(
                 &batch.id,
                 batch.ok.load(Ordering::Relaxed),
                 batch.failed.load(Ordering::Relaxed),
             ));
+            batch.active.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -355,12 +565,56 @@ impl Scheduler {
             .collect()
     }
 
+    /// Flips the scheduler into drain mode: every later [`submit`]
+    /// is refused with [`SubmitError::Draining`]; already-admitted work
+    /// keeps running to completion.
+    ///
+    /// [`submit`]: Scheduler::submit
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`Scheduler::drain`] has been called.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Whether nothing is queued and nothing is simulating — every
+    /// admitted run has been delivered (a drained daemon may exit).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        let inner = self.lock();
+        inner.queued == 0 && inner.inflight.is_empty()
+    }
+
     /// Tells every worker to exit once its current run completes.
-    /// Queued-but-unstarted runs are dropped; their clients see the
-    /// connection close without `done`.
+    /// Dedup-parked waiters ride their in-flight simulation to a normal
+    /// delivery; queued-but-unstarted runs are dropped, but each
+    /// affected batch is told so with one typed `shutting-down` error
+    /// line — a client never sees a silent EOF for work the daemon
+    /// accepted.
     pub fn shutdown(&self) {
-        self.lock().shutdown = true;
+        let orphans: Vec<Job> = {
+            let mut inner = self.lock();
+            inner.shutdown = true;
+            inner.rotation.clear();
+            inner.queued = 0;
+            inner.queues.drain().flat_map(|(_, queue)| queue).collect()
+        };
         self.work.notify_all();
+        // One goodbye per distinct batch (a batch's jobs share one Arc).
+        let mut told: Vec<*const Batch> = Vec::new();
+        for job in &orphans {
+            let batch = Arc::as_ptr(&job.batch);
+            if !told.contains(&batch) {
+                told.push(batch);
+                job.batch
+                    .out
+                    .send(protocol::shutting_down_line(&job.batch.id));
+                job.batch.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
     }
 
     /// Counter snapshot for the `stats` response.
@@ -377,6 +631,8 @@ impl Scheduler {
             completed: self.completed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             uptime_cycles: self.uptime_cycles.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::SeqCst),
             per_connection: inner
                 .tallies
                 .iter()

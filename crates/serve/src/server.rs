@@ -2,20 +2,39 @@
 //! threads, and the `stats` snapshot.
 //!
 //! Each connection gets a reader thread (this function) and a writer
-//! thread draining an [`std::sync::mpsc`] channel; scheduler workers
-//! push result lines into the same channel, so one stream carries
-//! interleaved responses for every batch the connection has in flight,
-//! each line tagged with its batch id. A client that disconnects
-//! mid-stream just makes the channel's sends no-ops — its running
-//! simulations still complete and warm the shared caches for everyone
-//! else.
+//! thread draining a bounded [`ConnSink`] queue; scheduler workers push
+//! result lines into the same queue, so one stream carries interleaved
+//! responses for every batch the connection has in flight, each line
+//! tagged with its batch id. A client that disconnects mid-stream just
+//! makes the sink's sends no-ops — its running simulations still
+//! complete and warm the shared caches for everyone else.
+//!
+//! Hardening (all opt-in via [`ServeOptions`]):
+//!
+//! * **Read deadlines + idle reaper** — with a `read_timeout`, a
+//!   connection that has nothing in flight and sends nothing for a full
+//!   deadline is reaped; one that is merely waiting on results keeps
+//!   its socket as long as batches are unfinished (framing survives
+//!   the deadline expiry mid-line — see [`LineReader`]).
+//! * **Bounded writers, typed slow-consumer disconnect** — a peer that
+//!   stops reading overflows its bounded response queue; the writer
+//!   sends one final `slow-consumer` error line (best effort) and
+//!   severs the socket, instead of buffering without limit or wedging
+//!   the shared scheduler workers.
+//! * **Per-run watchdog** — `run_timeout` converts a runaway
+//!   simulation into a typed `timeout` failure on the wire
+//!   (see [`Scheduler`]).
+//! * **Graceful drain** — [`ServeHandle::drain`] (SIGTERM in the
+//!   binary) or an in-band `{"op":"drain"}` flips the daemon to
+//!   reject-new/finish-in-flight; once idle (or after `drain_grace`)
+//!   the accept loop exits cleanly, appending a final stats snapshot.
 
+use std::collections::HashMap;
 use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -23,7 +42,7 @@ use cellsim_core::exec::{SweepExecutor, DEFAULT_CACHE_CAPACITY};
 
 use crate::framing::{LineRead, LineReader};
 use crate::protocol::{self, Request, MAX_LINE_BYTES};
-use crate::scheduler::{Batch, Job, Scheduler};
+use crate::scheduler::{Batch, ConnSink, Job, Scheduler, SubmitError};
 
 /// Daemon construction knobs; `Default` is a sensible single-host setup.
 pub struct ServeOptions {
@@ -53,6 +72,23 @@ pub struct ServeOptions {
     pub stats_log: Option<PathBuf>,
     /// Interval between appended stats snapshots.
     pub stats_interval: Duration,
+    /// Socket read deadline. A connection with batches in flight just
+    /// keeps waiting across expiries; one with nothing in flight is
+    /// reaped as idle. `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Socket write deadline for the connection writer; a single write
+    /// blocked this long marks the peer a slow consumer. `None` blocks
+    /// indefinitely (the bounded queue still protects the workers).
+    pub write_timeout: Option<Duration>,
+    /// Per-run wall-clock watchdog: a simulation outliving this is
+    /// answered as a typed `timeout` failure. `None` trusts every run.
+    pub run_timeout: Option<Duration>,
+    /// How long a draining daemon waits for in-flight work before
+    /// exiting anyway.
+    pub drain_grace: Duration,
+    /// Most response lines queued per connection before the peer is
+    /// declared a slow consumer.
+    pub writer_queue: usize,
 }
 
 impl Default for ServeOptions {
@@ -67,9 +103,18 @@ impl Default for ServeOptions {
             run_dir: None,
             stats_log: None,
             stats_interval: Duration::from_secs(60),
+            read_timeout: None,
+            write_timeout: None,
+            run_timeout: None,
+            drain_grace: Duration::from_secs(30),
+            writer_queue: 1024,
         }
     }
 }
+
+/// Live sockets by connection id, so [`ServeHandle::kill`] can sever
+/// every conversation at once (the crash-test lever).
+type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
 /// A bound, not-yet-serving daemon. [`Server::serve`] blocks; grab a
 /// [`Server::handle`] first to stop it from another thread.
@@ -78,12 +123,18 @@ pub struct Server {
     scheduler: Arc<Scheduler>,
     workers: Vec<JoinHandle<()>>,
     connections: Arc<AtomicUsize>,
+    conns: ConnRegistry,
     next_conn: AtomicU64,
     stopping: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
     max_line: usize,
     started: Instant,
     stats_log: Option<PathBuf>,
     stats_interval: Duration,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    drain_grace: Duration,
+    writer_queue: usize,
 }
 
 /// Remote control for a serving daemon.
@@ -91,14 +142,44 @@ pub struct Server {
 pub struct ServeHandle {
     addr: SocketAddr,
     stopping: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    scheduler: Arc<Scheduler>,
+    conns: ConnRegistry,
 }
 
 impl ServeHandle {
     /// Asks the accept loop to exit. Existing connections finish their
-    /// in-flight runs; queued-but-unstarted runs are dropped.
+    /// in-flight runs; queued-but-unstarted runs get a typed
+    /// `shutting-down` error.
     pub fn shutdown(&self) {
         self.stopping.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Begins a graceful drain: new batches are refused with reason
+    /// `draining`, admitted work runs to completion, and the serve loop
+    /// exits once idle (or when the drain grace expires). The wire twin
+    /// is `{"op":"drain"}`; the binary maps SIGTERM here.
+    pub fn drain(&self) {
+        self.scheduler.drain();
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Kills the daemon the unceremonious way: stops accepting and
+    /// severs every live connection mid-sentence. In-process stand-in
+    /// for `kill -9` in crash-recovery tests — clients see a dropped
+    /// socket, exactly as if the process had died.
+    pub fn kill(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        for stream in self
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
         let _ = TcpStream::connect(self.addr);
     }
 }
@@ -123,7 +204,7 @@ impl Server {
             exec.set_run_dir(dir)?;
         }
         let exec = Arc::new(exec);
-        let scheduler = Arc::new(Scheduler::new(exec, opts.high_water));
+        let scheduler = Arc::new(Scheduler::new(exec, opts.high_water, opts.run_timeout));
         let workers = if opts.workers == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
@@ -135,12 +216,18 @@ impl Server {
             scheduler,
             workers,
             connections: Arc::new(AtomicUsize::new(0)),
+            conns: Arc::new(Mutex::new(HashMap::new())),
             next_conn: AtomicU64::new(0),
             stopping: Arc::new(AtomicBool::new(false)),
+            draining: Arc::new(AtomicBool::new(false)),
             max_line: opts.max_line,
             started: Instant::now(),
             stats_log: opts.stats_log.clone(),
             stats_interval: opts.stats_interval.max(Duration::from_millis(10)),
+            read_timeout: opts.read_timeout,
+            write_timeout: opts.write_timeout,
+            drain_grace: opts.drain_grace,
+            writer_queue: opts.writer_queue.max(1),
         })
     }
 
@@ -153,7 +240,8 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// A handle that can stop [`Server::serve`] from another thread.
+    /// A handle that can stop, drain, or kill [`Server::serve`] from
+    /// another thread.
     ///
     /// # Errors
     ///
@@ -162,18 +250,23 @@ impl Server {
         Ok(ServeHandle {
             addr: self.listener.local_addr()?,
             stopping: Arc::clone(&self.stopping),
+            draining: Arc::clone(&self.draining),
+            scheduler: Arc::clone(&self.scheduler),
+            conns: Arc::clone(&self.conns),
         })
     }
 
-    /// Accepts connections until [`ServeHandle::shutdown`], spawning a
-    /// reader/writer thread pair per connection.
+    /// Accepts connections until [`ServeHandle::shutdown`] (or a drain
+    /// completes), spawning a reader/writer thread pair per connection.
     ///
     /// # Errors
     ///
     /// Any [`std::io::Error`] from `accept` (per-connection I/O errors
     /// only close that connection).
     pub fn serve(self) -> std::io::Result<()> {
-        let stats_thread = self.stats_log.as_ref().map(|path| {
+        // A stats thread that fails to spawn costs the history log, not
+        // the daemon: log once and keep serving.
+        let stats_thread = self.stats_log.as_ref().and_then(|path| {
             let path = path.clone();
             let scheduler = Arc::clone(&self.scheduler);
             let connections = Arc::clone(&self.connections);
@@ -192,27 +285,51 @@ impl Server {
                         started,
                     );
                 })
-                .expect("stats thread spawns")
+                .map_err(|e| eprintln!("cellsim-serve: could not spawn stats thread: {e}"))
+                .ok()
         });
+        let drain_monitor = self.spawn_drain_monitor();
         for stream in self.listener.incoming() {
             if self.stopping.load(Ordering::SeqCst) {
                 break;
             }
             let stream = stream?;
             let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
-            let scheduler = Arc::clone(&self.scheduler);
-            let connections = Arc::clone(&self.connections);
-            let max_line = self.max_line;
-            let started = self.started;
+            if let Ok(clone) = stream.try_clone() {
+                self.conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(conn, clone);
+            }
+            let ctx = ConnContext {
+                scheduler: Arc::clone(&self.scheduler),
+                connections: Arc::clone(&self.connections),
+                draining: Arc::clone(&self.draining),
+                conn,
+                max_line: self.max_line,
+                started: self.started,
+                read_timeout: self.read_timeout,
+                write_timeout: self.write_timeout,
+                writer_queue: self.writer_queue,
+            };
+            let conns = Arc::clone(&self.conns);
             self.connections.fetch_add(1, Ordering::Relaxed);
             let spawned = std::thread::Builder::new()
                 .name(format!("cellsim-serve-conn-{conn}"))
                 .spawn(move || {
-                    serve_connection(&scheduler, &connections, conn, stream, max_line, started);
-                    connections.fetch_sub(1, Ordering::Relaxed);
+                    serve_connection(&ctx, stream);
+                    ctx.connections.fetch_sub(1, Ordering::Relaxed);
+                    conns
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .remove(&conn);
                 });
             if spawned.is_err() {
                 self.connections.fetch_sub(1, Ordering::Relaxed);
+                self.conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&conn);
             }
         }
         self.stopping.store(true, Ordering::SeqCst);
@@ -223,14 +340,52 @@ impl Server {
         for worker in self.workers {
             let _ = worker.join();
         }
+        if let Some(monitor) = drain_monitor {
+            let _ = monitor.join();
+        }
         Ok(())
+    }
+
+    /// Watches for a drain request and, once the scheduler has gone
+    /// idle (or the grace expired), stops the accept loop. A short
+    /// settle pause lets final `done` lines flush through the writer
+    /// queues before the process is free to exit.
+    fn spawn_drain_monitor(&self) -> Option<JoinHandle<()>> {
+        let handle = self.handle().ok()?;
+        let scheduler = Arc::clone(&self.scheduler);
+        let stopping = Arc::clone(&self.stopping);
+        let draining = Arc::clone(&self.draining);
+        let grace = self.drain_grace;
+        std::thread::Builder::new()
+            .name("cellsim-serve-drain".to_string())
+            .spawn(move || {
+                let poll = Duration::from_millis(25);
+                while !draining.load(Ordering::SeqCst) {
+                    if stopping.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(poll);
+                }
+                let deadline = Instant::now() + grace;
+                while !scheduler.is_idle() && Instant::now() < deadline {
+                    if stopping.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(poll);
+                }
+                std::thread::sleep(Duration::from_millis(150));
+                handle.shutdown();
+            })
+            .ok()
     }
 }
 
 /// Appends one `stats` snapshot line per interval (and a final one at
 /// shutdown) to `path`. The sleep is chopped into 100 ms steps so the
 /// thread notices shutdown promptly; an unwritable log is reported once
-/// per failed append on stderr and never affects serving.
+/// per failed append on stderr and never affects serving. Appends go
+/// through the injectable-I/O seam, so disk chaos tests cover the log
+/// too.
 fn stats_history(
     path: &std::path::Path,
     scheduler: &Arc<Scheduler>,
@@ -240,12 +395,7 @@ fn stats_history(
     started: Instant,
 ) {
     let append = |line: &str| {
-        let written = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .and_then(|mut f| writeln!(f, "{line}"));
-        if let Err(e) = written {
+        if let Err(e) = cellsim_core::iofault::append_line(path, line) {
             eprintln!("cellsim-serve: stats log {}: {e}", path.display());
         }
     };
@@ -264,45 +414,100 @@ fn stats_history(
     }
 }
 
-/// The per-connection reader loop: frame, decode, dispatch.
-fn serve_connection(
-    scheduler: &Arc<Scheduler>,
-    connections: &AtomicUsize,
+/// Everything a connection's reader needs, bundled.
+struct ConnContext {
+    scheduler: Arc<Scheduler>,
+    connections: Arc<AtomicUsize>,
+    draining: Arc<AtomicBool>,
     conn: u64,
-    stream: TcpStream,
     max_line: usize,
     started: Instant,
-) {
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    writer_queue: usize,
+}
+
+/// The per-connection reader loop: frame, decode, dispatch.
+fn serve_connection(ctx: &ConnContext, stream: TcpStream) {
+    let _ = stream.set_read_timeout(ctx.read_timeout);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (tx, rx) = channel::<String>();
+    let _ = write_half.set_write_timeout(ctx.write_timeout);
+    let (sink, rx) = ConnSink::bounded(ctx.writer_queue);
+    let monitor = sink.monitor();
     let writer = std::thread::Builder::new()
-        .name(format!("cellsim-serve-write-{conn}"))
+        .name(format!("cellsim-serve-write-{conn}", conn = ctx.conn))
         .spawn(move || {
             let mut out = write_half;
-            for line in rx {
+            loop {
+                if monitor.is_dead() {
+                    break;
+                }
+                // The timeout bounds how long a declared-dead sink goes
+                // unnoticed while the queue is empty.
+                let line = match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(line) => line,
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                };
                 if out
                     .write_all(line.as_bytes())
                     .and_then(|()| out.write_all(b"\n"))
                     .and_then(|()| out.flush())
                     .is_err()
                 {
+                    monitor.mark_dead();
                     break;
                 }
             }
+            // A dead sink means the peer earned a disconnect: best-effort
+            // typed goodbye, then sever both directions so the blocked
+            // reader thread wakes too.
+            if monitor.is_dead() {
+                if let Some(words) = monitor.take_last_words() {
+                    let _ = out
+                        .write_all(words.as_bytes())
+                        .and_then(|()| out.write_all(b"\n"));
+                }
+                let _ = out.shutdown(Shutdown::Both);
+            }
         });
-    let mut reader = LineReader::new(BufReader::new(stream), max_line);
+    // The idle reaper's evidence: how many of this connection's batches
+    // are still owed lines. Shared with every Batch submitted here.
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut reader = LineReader::new(BufReader::new(stream), ctx.max_line);
     loop {
+        if sink.is_dead() {
+            break;
+        }
         match reader.read() {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Read deadline expired. Waiting on results is fine;
+                // idle with nothing in flight is reaped.
+                if active.load(Ordering::SeqCst) == 0 {
+                    sink.send(protocol::error_line(
+                        None,
+                        "idle-timeout",
+                        "no requests and nothing in flight within the read deadline",
+                    ));
+                    break;
+                }
+                continue;
+            }
             Err(_) | Ok(LineRead::Eof) => break,
             Ok(LineRead::TooLong) => {
                 // An over-long line cannot be framed; answering anything
                 // further would be guesswork. Error and hang up.
-                let _ = tx.send(protocol::error_line(
+                sink.send(protocol::error_line(
                     None,
                     "protocol",
-                    &format!("request line exceeds {max_line} bytes"),
+                    &format!("request line exceeds {} bytes", ctx.max_line),
                 ));
                 break;
             }
@@ -315,21 +520,27 @@ fn serve_connection(
         }
         match protocol::decode_request(line) {
             Err(refusal) => {
-                let _ = tx.send(refusal.to_line());
+                sink.send(refusal.to_line());
             }
             Ok(Request::Stats) => {
-                let _ = tx.send(stats_line(scheduler, connections, started));
+                sink.send(stats_line(&ctx.scheduler, &ctx.connections, ctx.started));
+            }
+            Ok(Request::Drain) => {
+                ctx.scheduler.drain();
+                ctx.draining.store(true, Ordering::SeqCst);
+                let stats = ctx.scheduler.stats();
+                sink.send(protocol::draining_line(stats.queue_depth, stats.inflight));
             }
             Ok(Request::Run(batch)) => {
-                submit_batch(scheduler, conn, &tx, batch);
+                submit_batch(&ctx.scheduler, ctx.conn, &sink, &active, batch);
             }
         }
     }
-    // Drop only the reader's sender: batches still in flight hold their
+    // Drop only the reader's sink: batches still in flight hold their
     // own clones, so their remaining lines (and `done`) still go out.
     // The writer exits when the last clone is gone, or on its first
     // failed write after the peer vanished.
-    drop(tx);
+    drop(sink);
     let _ = writer.map(JoinHandle::join);
 }
 
@@ -337,11 +548,12 @@ fn serve_connection(
 fn submit_batch(
     scheduler: &Arc<Scheduler>,
     conn: u64,
-    tx: &Sender<String>,
+    sink: &ConnSink,
+    active: &Arc<AtomicUsize>,
     request: protocol::BatchRequest,
 ) {
     if request.record && scheduler.executor().run_dir().is_none() {
-        let _ = tx.send(protocol::error_line(
+        sink.send(protocol::error_line(
             Some(&request.id),
             "bad-request",
             "batch requests recording but the daemon has no --run-dir",
@@ -350,10 +562,11 @@ fn submit_batch(
     }
     let batch = Batch::new(
         request.id,
-        tx.clone(),
+        sink.clone(),
         conn,
         request.record,
         request.specs.len(),
+        Arc::clone(active),
     );
     let jobs: Vec<Job> = request
         .specs
@@ -365,21 +578,27 @@ fn submit_batch(
             batch: Arc::clone(&batch),
         })
         .collect();
-    if let Err(overloaded) = scheduler.submit(conn, &batch, jobs) {
-        let _ = tx.send(protocol::reject_line(
-            &batch.id,
-            overloaded.queued,
-            overloaded.high_water,
-        ));
+    match scheduler.submit(conn, &batch, jobs) {
+        Ok(()) => {}
+        Err(SubmitError::Overloaded(overloaded)) => {
+            sink.send(protocol::reject_line(
+                &batch.id,
+                overloaded.queued,
+                overloaded.high_water,
+            ));
+        }
+        Err(SubmitError::Draining) => {
+            sink.send(protocol::drain_reject_line(&batch.id));
+        }
     }
 }
 
 /// The `stats` response: scheduler counters (including the queue's
 /// high-water peak, uptime in wall milliseconds and simulated cycles,
-/// and per-connection tallies), executor cache counters, run-dir
-/// recording counters when attached, and (when a cache dir is
-/// attached) both the process's disk-tier activity and a census of the
-/// shared directory.
+/// watchdog timeouts, the draining flag, and per-connection tallies),
+/// executor cache counters, run-dir recording counters when attached,
+/// and (when a cache dir is attached) both the process's disk-tier
+/// activity and a census of the shared directory.
 fn stats_line(scheduler: &Scheduler, connections: &AtomicUsize, started: Instant) -> String {
     let sched = scheduler.stats();
     let exec = scheduler.executor();
@@ -421,6 +640,7 @@ fn stats_line(scheduler: &Scheduler, connections: &AtomicUsize, started: Instant
         "{{\"op\":\"stats\",\"connections\":{},\"queue_depth\":{},\
          \"high_water\":{},\"queue_peak\":{},\"inflight\":{},\"deduped\":{},\
          \"accepted\":{},\"completed\":{},\"rejected\":{},\
+         \"timeouts\":{},\"draining\":{},\
          \"uptime_ms\":{},\"uptime_cycles\":{},\
          \"cache\":{{\"hits\":{},\"misses\":{}}},\"disk\":{disk},\
          \"run_dir\":{run_dir},\"per_connection\":[{}]}}",
@@ -433,6 +653,8 @@ fn stats_line(scheduler: &Scheduler, connections: &AtomicUsize, started: Instant
         sched.accepted,
         sched.completed,
         sched.rejected,
+        sched.timeouts,
+        sched.draining,
         u128::min(started.elapsed().as_millis(), u128::from(u64::MAX)),
         sched.uptime_cycles,
         cache.hits,

@@ -1,0 +1,327 @@
+//! Chaos tests: the daemon and client under deliberately hostile
+//! conditions — a killed-and-restarted daemon mid-batch, a peer that
+//! wedges its reader, injected disk faults in the shared cache dir, and
+//! a graceful drain. The invariant under every one of them: clients
+//! that keep asking end up with figures byte-identical to a local run,
+//! and the daemon never hangs or serves corrupt data.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cellsim_core::exec::{RunSpec, SweepExecutor};
+use cellsim_core::experiments::{figure12_with, figure_points, figure_specs, ExperimentConfig};
+use cellsim_core::iofault::{self, IoFaultPlan};
+use cellsim_core::CellSystem;
+use cellsim_serve::protocol::encode_run_request;
+use cellsim_serve::{
+    Client, ClientError, ResilientClient, RetryPolicy, ServeHandle, ServeOptions, Server,
+};
+
+fn tiny_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        volume_per_spe: 32 << 10,
+        dma_elem_sizes: vec![1024],
+        placements: 2,
+        seed: 0xCE11,
+    }
+}
+
+fn tiny_specs(system: &CellSystem, figure: &str) -> Vec<RunSpec> {
+    let cfg = tiny_cfg();
+    let points = figure_points(&cfg, figure)
+        .expect("valid config")
+        .expect("fabric figure");
+    figure_specs(system, &cfg, &points)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cellsim-chaos-test-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+struct Daemon {
+    addr: std::net::SocketAddr,
+    handle: ServeHandle,
+    thread: thread::JoinHandle<()>,
+}
+
+fn start_daemon(opts: &ServeOptions) -> Daemon {
+    let server = Server::bind("127.0.0.1:0", opts).expect("bind");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.handle().expect("handle");
+    let thread = thread::spawn(move || server.serve().expect("serve"));
+    Daemon {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+impl Daemon {
+    fn stop(self) {
+        self.handle.shutdown();
+        let _ = self.thread.join();
+    }
+}
+
+/// Figure 12 rendered from a purely local simulation — the ground truth
+/// every chaos scenario's output must match byte for byte.
+fn local_figure12() -> Vec<String> {
+    let cfg = tiny_cfg();
+    let system = CellSystem::blade();
+    let exec = SweepExecutor::new(1);
+    figure12_with(&exec, &system, &cfg)
+        .expect("local render")
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+/// Renders figure 12 from reports fetched through `client`, exactly as
+/// `cellsim-client` does.
+fn render_figure12_resilient(client: &mut ResilientClient, id: &str) -> Vec<String> {
+    let cfg = tiny_cfg();
+    let system = CellSystem::blade();
+    let specs = tiny_specs(&system, "12");
+    let outcome = client.run_batch(id, None, &specs).expect("batch");
+    assert_eq!(outcome.failed, 0, "healthy runs must not fail");
+    let exec = SweepExecutor::new(1);
+    for (spec, result) in specs.into_iter().zip(outcome.results) {
+        exec.preload(spec.key, result.expect("ok result"));
+    }
+    figure12_with(&exec, &system, &cfg)
+        .expect("render")
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+/// Kill the daemon while a batch may be in flight, restart it on a new
+/// port over the same cache dir, and let the resilient client reconnect
+/// and resume. Whatever the interleaving — killed before, during, or
+/// after the batch — the rendered figure must be byte-identical to a
+/// local run, because resumption re-requests only unanswered runs by
+/// their content-addressed keys.
+#[test]
+fn killed_daemon_mid_batch_resumes_byte_identical_figures() {
+    let cache = temp_dir("kill-restart");
+    let opts = ServeOptions {
+        jobs: 1,
+        workers: 1,
+        cache_dir: Some(cache.clone()),
+        ..ServeOptions::default()
+    };
+    let first = start_daemon(&opts);
+    let addr_cell = Arc::new(Mutex::new(first.addr.to_string()));
+
+    let render = {
+        let addr_cell = Arc::clone(&addr_cell);
+        thread::spawn(move || {
+            let source = move || addr_cell.lock().expect("addr cell").clone();
+            let mut client = ResilientClient::new(
+                source,
+                RetryPolicy::new(Duration::from_millis(25), Duration::from_millis(250), 40, 1),
+            )
+            .with_read_timeout(Duration::from_secs(5));
+            render_figure12_resilient(&mut client, "chaos-kill")
+        })
+    };
+
+    // Give the batch a moment to get going, then pull the rug: sever
+    // every connection and stop accepting, as a crashed process would.
+    // The replacement comes up on a new port over the same cache dir
+    // *before* the kill, so retries always have somewhere to land.
+    thread::sleep(Duration::from_millis(30));
+    let second = start_daemon(&opts);
+    *addr_cell.lock().expect("addr cell") = second.addr.to_string();
+    first.handle.kill();
+
+    let rendered = render.join().expect("client thread");
+    assert_eq!(rendered, local_figure12(), "resume must be bit-exact");
+
+    let _ = first.thread.join();
+    second.stop();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// A peer that submits a large batch and then never reads a byte must
+/// be declared a slow consumer and disconnected — without wedging the
+/// scheduler workers or other connections.
+#[test]
+fn a_wedged_reader_is_disconnected_while_other_clients_serve() {
+    let daemon = start_daemon(&ServeOptions {
+        jobs: 1,
+        workers: 2,
+        writer_queue: 64,
+        write_timeout: Some(Duration::from_millis(200)),
+        ..ServeOptions::default()
+    });
+
+    // The wedge: one spec duplicated many times — one simulation, a
+    // flood of result lines (far past the socket buffers plus a 64-line
+    // writer queue) that nobody ever drains.
+    let system = CellSystem::blade();
+    let spec = tiny_specs(&system, "12").remove(0);
+    let flood: Vec<RunSpec> = (0..800).map(|_| spec.clone()).collect();
+    let mut wedged = TcpStream::connect(daemon.addr).expect("connect");
+    for round in 0..2 {
+        wedged
+            .write_all(
+                encode_run_request(&format!("wedge-{round}"), None, &flood, false).as_bytes(),
+            )
+            .expect("send batch");
+        wedged.write_all(b"\n").expect("send newline");
+    }
+
+    // A healthy client on another connection is unaffected.
+    let mut client = Client::connect(daemon.addr).expect("connect healthy");
+    let specs = tiny_specs(&system, "12");
+    let outcome = client.run_batch("healthy", None, &specs).expect("batch");
+    assert_eq!(outcome.failed, 0);
+    assert_eq!(outcome.ok, outcome.results.len());
+
+    // The daemon severs the wedged connection once its queue overflows:
+    // reading (which we never did until now) must hit EOF/reset within
+    // the deadline instead of hanging forever.
+    wedged
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .expect("read timeout");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut reader = BufReader::new(wedged);
+    let mut severed = false;
+    let mut line = String::new();
+    while Instant::now() < deadline {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                severed = true;
+                break;
+            }
+            Ok(_) => {} // buffered lines drain first; keep going
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => {
+                severed = true; // reset counts as severed
+                break;
+            }
+        }
+    }
+    assert!(severed, "wedged connection must be disconnected");
+
+    daemon.stop();
+}
+
+/// Injected disk faults scoped to the daemon's cache dir: stores fail
+/// or tear, loads hiccup — and every run still succeeds with
+/// byte-identical figures, because the disk tier is an accelerator the
+/// verify-on-load path is allowed to distrust. Once the chaos lifts, a
+/// fresh daemon over the same directory self-heals it.
+#[test]
+fn disk_chaos_in_the_cache_dir_never_corrupts_results() {
+    let cache = temp_dir("enospc");
+    let opts = ServeOptions {
+        jobs: 1,
+        workers: 1,
+        cache_dir: Some(cache.clone()),
+        ..ServeOptions::default()
+    };
+
+    let truth = local_figure12();
+    {
+        let _guard = IoFaultPlan {
+            seed: 0xD15C,
+            write_error_per_mille: 400,
+            torn_write_per_mille: 300,
+            read_error_per_mille: 200,
+            rename_error_per_mille: 200,
+            scope: Some(cache.clone()),
+        }
+        .install();
+
+        let daemon = start_daemon(&opts);
+        let mut client =
+            ResilientClient::fixed(&daemon.addr.to_string(), RetryPolicy::with_defaults(3, 7));
+        let rendered = render_figure12_resilient(&mut client, "chaos-disk");
+        assert_eq!(rendered, truth, "disk chaos must not leak into figures");
+
+        // Run it twice more so loads of whatever landed get exercised
+        // under read-error fire too.
+        let rendered = render_figure12_resilient(&mut client, "chaos-disk-2");
+        assert_eq!(rendered, truth);
+        daemon.stop();
+
+        let stats = iofault::stats();
+        assert!(
+            stats.write_errors + stats.torn_writes + stats.read_errors + stats.rename_errors > 0,
+            "the chaos plan must actually have fired: {stats:?}"
+        );
+    }
+
+    // Chaos lifted: a fresh daemon over the same (possibly scarred)
+    // directory discards anything torn and heals to a fully warm cache.
+    let daemon = start_daemon(&opts);
+    let mut client =
+        ResilientClient::fixed(&daemon.addr.to_string(), RetryPolicy::with_defaults(3, 8));
+    assert_eq!(render_figure12_resilient(&mut client, "healed"), truth);
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// The graceful drain path: `{"op":"drain"}` acks with queue/inflight
+/// counts, later batches are refused with reason `draining`, the stats
+/// snapshot says so, and the serve loop exits cleanly on its own once
+/// in-flight work is done.
+#[test]
+fn drain_refuses_new_batches_and_exits_cleanly() {
+    let daemon = start_daemon(&ServeOptions {
+        jobs: 1,
+        workers: 1,
+        drain_grace: Duration::from_secs(10),
+        ..ServeOptions::default()
+    });
+    let system = CellSystem::blade();
+    let specs = tiny_specs(&system, "12");
+
+    // Work accepted before the drain completes normally.
+    let mut client = Client::connect(daemon.addr).expect("connect");
+    let outcome = client.run_batch("pre-drain", None, &specs).expect("batch");
+    assert_eq!(outcome.failed, 0);
+
+    // Out-of-band-style drain over the wire.
+    let stream = TcpStream::connect(daemon.addr).expect("connect drainer");
+    let mut drainer = stream.try_clone().expect("clone");
+    drainer.write_all(b"{\"op\":\"drain\"}\n").expect("send");
+    let mut ack = String::new();
+    BufReader::new(stream).read_line(&mut ack).expect("ack");
+    assert!(ack.contains("\"op\":\"draining\""), "{ack}");
+
+    // New work is now refused with a typed reason...
+    let mut late = Client::connect(daemon.addr).expect("connect late");
+    match late.run_batch("too-late", None, &specs) {
+        Err(ClientError::Refused { reason, .. }) => assert_eq!(reason, "draining"),
+        Err(other) => panic!("expected a draining refusal, got: {other}"),
+        Ok(_) => panic!("a draining daemon must not accept new batches"),
+    }
+    // ...and the stats snapshot admits to draining.
+    let stats = late.stats().expect("stats");
+    assert!(stats.draining, "stats must carry the draining flag");
+
+    // Idle + draining: the serve loop exits by itself — no shutdown()
+    // call here, joining must succeed on its own.
+    let Daemon { thread, .. } = daemon;
+    thread.join().expect("serve thread exits after drain");
+}
